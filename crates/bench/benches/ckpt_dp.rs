@@ -1,0 +1,43 @@
+//! Criterion bench: the O(n²) checkpoint-placement DP (Algorithm 2) on
+//! superchains of growing length.
+
+use ckpt_core::{optimal_checkpoints, CostCtx};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspg::TaskId;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint-dp");
+    for &n in &[10usize, 100, 500, 1000] {
+        if n >= 500 {
+            group.sample_size(10);
+        }
+        let w = pegasus::generic::chain(n, 3);
+        let chain: Vec<TaskId> = w.dag.task_ids().collect();
+        let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e8 };
+        group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, chain| {
+            b.iter(|| optimal_checkpoints(&ctx, chain))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_superchain(c: &mut Criterion) {
+    // A linearized parallel block is denser in cross edges than a chain.
+    let mut group = c.benchmark_group("checkpoint-dp-superchain");
+    group.sample_size(20);
+    let w = pegasus::generic::bipartite(40, 40, 5);
+    let sched = ckpt_core::allocate(&w, 1, &ckpt_core::AllocateConfig::default());
+    let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e8 };
+    let biggest = sched
+        .superchains
+        .iter()
+        .max_by_key(|sc| sc.tasks.len())
+        .unwrap();
+    group.bench_function("bipartite-40x40", |b| {
+        b.iter(|| optimal_checkpoints(&ctx, &biggest.tasks))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_dp_superchain);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the four expected-makespan evaluators of §VI-B on a
+//! coalesced Genome-300 CkptAll graph (the paper's speed comparison:
+//! PathApprox ≪ Normal < Dodin ≪ MonteCarlo).
+
+use ckpt_bench::{instance, pipeline_for};
+use ckpt_core::Strategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox};
+
+fn bench_evaluators(c: &mut Criterion) {
+    let w = instance(pegasus::WorkflowClass::Genome, 300, 1e-3, 42);
+    let pipe = pipeline_for(&w, 18, 0.01, 42);
+    let sg = pipe.segment_graph(Strategy::CkptAll);
+    let pdag = sg.pdag;
+
+    let mut group = c.benchmark_group("evaluators-genome300");
+    group.bench_function("pathapprox", |b| {
+        b.iter(|| PathApprox::default().expected_makespan(&pdag))
+    });
+    group.bench_function("normal", |b| {
+        b.iter(|| NormalSculli.expected_makespan(&pdag))
+    });
+    group.bench_function("dodin", |b| {
+        b.iter(|| Dodin::default().expected_makespan(&pdag))
+    });
+    group.sample_size(10);
+    group.bench_function("montecarlo-10k", |b| {
+        let mc = MonteCarlo { trials: 10_000, seed: 1, threads: 0 };
+        b.iter(|| mc.run(&pdag).mean)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: `Allocate` (Algorithm 1) runtime across workflow
+//! classes and sizes.
+
+use ckpt_core::{allocate, AllocateConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pegasus::WorkflowClass;
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate");
+    for class in WorkflowClass::ALL {
+        for &size in &[50usize, 300, 1000] {
+            let w = pegasus::generate(class, size, 42);
+            let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
+            group.bench_with_input(
+                BenchmarkId::new(class.name(), size),
+                &w,
+                |b, w| b.iter(|| allocate(w, procs, &AllocateConfig::default())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_allocate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate-scaling");
+    group.sample_size(20);
+    for &size in &[1000usize, 3000] {
+        let w = pegasus::generate(WorkflowClass::Genome, size, 7);
+        group.bench_with_input(BenchmarkId::new("genome", size), &w, |b, w| {
+            b.iter(|| allocate(w, 64, &AllocateConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_allocate_scaling);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! E6/E7/E8 — ablation studies:
+//!
+//! * `--study linearization` (E6): random topological sort vs the
+//!   volume-minimizing sum-cut heuristic (§VIII future work) vs the
+//!   structural order, as superchain linearizers inside CkptSome;
+//! * `--study naive-coalesce` (E7): the §II-C naive solution (checkpoint
+//!   only superchain exits) vs the full DP;
+//! * `--study ligo-footnote` (E8): the incomplete-bipartite Ligo instances
+//!   patched with dummy edges (footnote 3: a few CCR points where CkptAll
+//!   can beat CkptSome on Ligo/300).
+//!
+//! ```text
+//! cargo run -p ckpt-bench --release --bin ablation [-- --study all]
+//!     [--seed 42] [--out results]
+//! ```
+
+use ckpt_bench::{write_csv, Args, BANDWIDTH};
+use ckpt_core::{lambda_from_pfail, AllocateConfig, Pipeline, Platform, Strategy};
+use mspg::linearize::Linearizer;
+use mspg::Workflow;
+use pegasus::ccr::{ccr_grid, scale_to_ccr};
+use pegasus::WorkflowClass;
+use probdag::PathApprox;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get_or("seed", 42);
+    let out_dir: String = args.get_or("out", "results".to_owned());
+    let study: String = args.get_or("study", "all".to_owned());
+    match study.as_str() {
+        "linearization" => linearization(seed, &out_dir),
+        "naive-coalesce" => naive_coalesce(seed, &out_dir),
+        "ligo-footnote" => ligo_footnote(seed, &out_dir),
+        "all" => {
+            linearization(seed, &out_dir);
+            naive_coalesce(seed, &out_dir);
+            ligo_footnote(seed, &out_dir);
+        }
+        other => panic!("unknown study `{other}`"),
+    }
+}
+
+fn assess(w: &Workflow, procs: usize, pfail: f64, lin: Linearizer, seed: u64, strategy: Strategy) -> f64 {
+    let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
+    let platform = Platform::new(procs, lambda, BANDWIDTH);
+    let cfg = AllocateConfig { linearizer: lin, seed };
+    let pipe = Pipeline::new(w, platform, &cfg);
+    pipe.assess(strategy, &PathApprox::default()).expected_makespan
+}
+
+/// E6: linearizer comparison inside CkptSome.
+fn linearization(seed: u64, out_dir: &str) {
+    println!("# E6 linearization ablation (CkptSome expected makespan)");
+    println!("{:8} {:9} {:>10} {:>12} {:>12} {:>12} {:>12}", "class", "ccr", "pfail", "random", "minvolume", "structural", "mv_gain_pct");
+    let mut lines = Vec::new();
+    for class in [WorkflowClass::Montage, WorkflowClass::Genome] {
+        let (lo, hi) = class.ccr_range();
+        for &ccr in &ccr_grid(lo, hi, 5) {
+            for &pfail in &[0.01, 0.001] {
+                let mut w = pegasus::generate(class, 300, seed);
+                scale_to_ccr(&mut w, ccr, BANDWIDTH);
+                let rnd = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
+                let mv = assess(&w, 18, pfail, Linearizer::MinVolume, seed, Strategy::CkptSome);
+                let st = assess(&w, 18, pfail, Linearizer::Structural, seed, Strategy::CkptSome);
+                let gain = 100.0 * (rnd - mv) / rnd;
+                println!(
+                    "{:8} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                    class.name(), ccr, pfail, rnd, mv, st, gain
+                );
+                lines.push(format!(
+                    "{},{:.6e},{},{:.4},{:.4},{:.4},{:.3}",
+                    class.name(), ccr, pfail, rnd, mv, st, gain
+                ));
+            }
+        }
+    }
+    let path = std::path::Path::new(out_dir).join("ablation_linearization.csv");
+    write_csv(&path, "class,ccr,pfail,em_random,em_minvolume,em_structural,minvolume_gain_pct", &lines)
+        .expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}
+
+/// E7: exit-only checkpoints (naive coalescing) vs the DP.
+fn naive_coalesce(seed: u64, out_dir: &str) {
+    println!("# E7 naive-coalescing ablation (ExitOnly vs CkptSome)");
+    println!("{:8} {:5} {:9} {:>10} {:>12} {:>12} {:>10}", "class", "size", "ccr", "pfail", "exit_only", "ckptsome", "ratio");
+    let mut lines = Vec::new();
+    for class in WorkflowClass::ALL {
+        let (lo, hi) = class.ccr_range();
+        for &size in &[50usize, 300] {
+            for &ccr in &ccr_grid(lo, hi, 4) {
+                for &pfail in &[0.01, 0.001] {
+                    let mut w = pegasus::generate(class, size, seed);
+                    scale_to_ccr(&mut w, ccr, BANDWIDTH);
+                    let procs = Platform::paper_proc_counts(size)[1];
+                    let exit = assess(&w, procs, pfail, Linearizer::RandomTopo, seed, Strategy::ExitOnly);
+                    let some = assess(&w, procs, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
+                    let ratio = exit / some;
+                    println!(
+                        "{:8} {:5} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>10.4}",
+                        class.name(), size, ccr, pfail, exit, some, ratio
+                    );
+                    lines.push(format!(
+                        "{},{},{:.6e},{},{:.4},{:.4},{:.4}",
+                        class.name(), size, ccr, pfail, exit, some, ratio
+                    ));
+                }
+            }
+        }
+    }
+    let path = std::path::Path::new(out_dir).join("ablation_naive_coalesce.csv");
+    write_csv(&path, "class,size,ccr,pfail,em_exit_only,em_ckptsome,ratio", &lines).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}
+
+/// E8: the Ligo incomplete-bipartite artifact. CkptSome must process the
+/// dummy-patched workflow (extra synchronizations, no data), while
+/// CkptAll's costs are unaffected by the zero-size dummies — reproducing
+/// footnote 3: the patched instance can cost CkptSome its advantage at a
+/// few CCR points.
+fn ligo_footnote(seed: u64, out_dir: &str) {
+    println!("# E8 Ligo incomplete-bipartite footnote");
+    println!("{:9} {:>10} {:>14} {:>14} {:>14}", "ccr", "pfail", "relall_main", "relall_patched", "sync_penalty");
+    let mut lines = Vec::new();
+    // Mainline (complete-bipartite) Ligo.
+    let mainline = pegasus::ligo::generate(300, seed);
+    // Incomplete instance, patched to an M-SPG with dummy edges.
+    let mut inc = pegasus::ligo::generate_incomplete(300, seed);
+    let shape = pegasus::ligo::ligo_shape(300);
+    for g in 0..shape.groups {
+        mspg::patch::complete_bipartite(
+            &mut inc.dag,
+            &inc.inspiral_level[g],
+            &inc.thinca_level[g],
+        );
+    }
+    let root = mspg::recognize(&inc.dag).expect("patched Ligo must be an M-SPG");
+    let patched = Workflow::from_wired(inc.dag, root);
+    patched.validate().expect("patched workflow valid");
+    let (lo, hi) = WorkflowClass::Ligo.ccr_range();
+    for &ccr in &ccr_grid(lo, hi, 7) {
+        {
+            let pfail = 0.001f64;
+            let run = |w: &Workflow| -> f64 {
+                let mut w = w.clone();
+                scale_to_ccr(&mut w, ccr, BANDWIDTH);
+                let all = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptAll);
+                let some = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
+                all / some
+            };
+            let rel_main = run(&mainline);
+            let rel_patched = run(&patched);
+            let penalty = rel_main - rel_patched;
+            println!(
+                "{:<9.2e} {:>10} {:>14.4} {:>14.4} {:>14.4}",
+                ccr, pfail, rel_main, rel_patched, penalty
+            );
+            lines.push(format!(
+                "{:.6e},{},{:.4},{:.4},{:.4}",
+                ccr, pfail, rel_main, rel_patched, penalty
+            ));
+        }
+    }
+    let path = std::path::Path::new(out_dir).join("ablation_ligo_footnote.csv");
+    write_csv(&path, "ccr,pfail,rel_all_mainline,rel_all_patched,sync_penalty", &lines)
+        .expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

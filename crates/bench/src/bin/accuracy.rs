@@ -1,0 +1,93 @@
+//! E4 — §VI-B: accuracy and runtime of the four expected-makespan
+//! evaluators (MonteCarlo ground truth at 300k trials vs Dodin, Normal,
+//! PathApprox) on the 2-state DAGs the pipeline produces.
+//!
+//! ```text
+//! cargo run -p ckpt-bench --release --bin accuracy [-- --trials 300000]
+//!     [--seed 42] [--out results]
+//! ```
+
+use ckpt_bench::{instance, pipeline_for, timed_eval, write_csv, Args};
+use ckpt_core::Strategy;
+use pegasus::WorkflowClass;
+use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox};
+
+const HEADER: &str =
+    "class,size,strategy,nodes,evaluator,estimate,rel_error_pct,runtime_s,mc_stderr";
+
+fn main() {
+    let args = Args::parse();
+    let trials: usize = args.get_or("trials", 300_000);
+    let seed: u64 = args.get_or("seed", 42);
+    let out_dir: String = args.get_or("out", "results".to_owned());
+    let pfail = 0.01;
+    let mut lines = Vec::new();
+    println!("# E4 accuracy (MC trials = {trials}, pfail = {pfail})");
+    println!(
+        "{:8} {:5} {:9} {:6} {:>11} {:>12} {:>12} {:>10}",
+        "class", "size", "strategy", "nodes", "evaluator", "estimate", "err(%)", "time(s)"
+    );
+    for class in WorkflowClass::ALL {
+        for &size in &[50usize, 300, 1000] {
+            let ccr = {
+                let (lo, hi) = class.ccr_range();
+                (lo * hi).sqrt() // mid of the log range
+            };
+            let w = instance(class, size, ccr, seed);
+            let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
+            let pipe = pipeline_for(&w, procs, pfail, seed);
+            for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
+                let sg = pipe.segment_graph(strategy);
+                let mc = MonteCarlo { trials, seed, threads: 0 };
+                let t0 = std::time::Instant::now();
+                let truth = mc.run(&sg.pdag);
+                let mc_time = t0.elapsed().as_secs_f64();
+                let evals: Vec<(&str, f64, f64)> = vec![
+                    ("MonteCarlo", truth.mean, mc_time),
+                    {
+                        let (v, t) = timed_eval(&Dodin::default(), &sg.pdag);
+                        ("Dodin", v, t)
+                    },
+                    {
+                        let (v, t) = timed_eval(&NormalSculli, &sg.pdag);
+                        ("Normal", v, t)
+                    },
+                    {
+                        let (v, t) = timed_eval(&PathApprox::default(), &sg.pdag);
+                        ("PathApprox", v, t)
+                    },
+                ];
+                for (name, v, t) in evals {
+                    let err = 100.0 * (v - truth.mean).abs() / truth.mean;
+                    println!(
+                        "{:8} {:5} {:9} {:6} {:>11} {:>12.4} {:>12.4} {:>10.6}",
+                        class.name(),
+                        size,
+                        strategy.name(),
+                        sg.pdag.n_nodes(),
+                        name,
+                        v,
+                        err,
+                        t
+                    );
+                    lines.push(format!(
+                        "{},{},{},{},{},{:.6},{:.4},{:.6},{:.6}",
+                        class.name(),
+                        size,
+                        strategy.name(),
+                        sg.pdag.n_nodes(),
+                        name,
+                        v,
+                        err,
+                        t,
+                        truth.stderr
+                    ));
+                }
+            }
+        }
+    }
+    let path = std::path::Path::new(&out_dir).join("table_accuracy.csv");
+    write_csv(&path, HEADER, &lines).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+    let _ = Evaluator::name(&PathApprox::default());
+}

@@ -1,0 +1,66 @@
+//! E1/E2/E3 — regenerates Figures 5 (Genome), 6 (Montage) and 7 (Ligo):
+//! relative expected makespan of CkptAll and CkptNone over CkptSome as a
+//! function of the CCR, for three workflow sizes, four processor counts
+//! and three failure probabilities.
+//!
+//! ```text
+//! cargo run -p ckpt-bench --release --bin figures [-- --workflow genome|montage|ligo]
+//!     [--points 9] [--instances 3] [--seed 42] [--out results]
+//! ```
+
+use ckpt_bench::{figure_csv, figure_grid, write_csv, Args, FIGURE_HEADER};
+use pegasus::WorkflowClass;
+
+fn main() {
+    let args = Args::parse();
+    let points: usize = args.get_or("points", 9);
+    let instances: usize = args.get_or("instances", 3);
+    let seed: u64 = args.get_or("seed", 42);
+    let out_dir: String = args.get_or("out", "results".to_owned());
+    let classes: Vec<WorkflowClass> = match args.get("workflow") {
+        Some(c) => vec![c.parse().expect("unknown workflow class")],
+        None => WorkflowClass::ALL.to_vec(),
+    };
+    for class in classes {
+        let fig = match class {
+            WorkflowClass::Genome => "fig5",
+            WorkflowClass::Montage => "fig6",
+            WorkflowClass::Ligo => "fig7",
+            WorkflowClass::Cybershake => "figx",
+        };
+        eprintln!("running {fig} ({class}): {points} CCR points × sizes × procs × pfail…");
+        let start = std::time::Instant::now();
+        let rows = figure_grid(class, points, instances, seed);
+        let lines: Vec<String> = rows.iter().map(figure_csv).collect();
+        let path = std::path::Path::new(&out_dir).join(format!("{fig}_{class}.csv"));
+        write_csv(&path, FIGURE_HEADER, &lines).expect("write CSV");
+        eprintln!(
+            "wrote {} rows to {} in {:.1}s",
+            rows.len(),
+            path.display(),
+            start.elapsed().as_secs_f64()
+        );
+        // Shape summary on stdout: per (size, pfail), the CCR endpoints.
+        println!("# {fig} ({class}) shape summary");
+        println!("size procs pfail | rel_all@loCCR rel_all@hiCCR | rel_none@loCCR rel_none@hiCCR");
+        for &size in &ckpt_bench::SIZES {
+            for &procs in ckpt_core::Platform::paper_proc_counts(size) {
+                for &pfail in &ckpt_bench::PFAILS {
+                    let cells: Vec<&ckpt_bench::FigureRow> = rows
+                        .iter()
+                        .filter(|r| r.size == size && r.procs == procs && r.pfail == pfail)
+                        .collect();
+                    if cells.is_empty() {
+                        continue;
+                    }
+                    let lo = cells.first().unwrap();
+                    let hi = cells.last().unwrap();
+                    println!(
+                        "{size:4} {procs:5} {pfail:6} | {:13.3} {:13.3} | {:14.3} {:15.3}",
+                        lo.rel_all, hi.rel_all, lo.rel_none, hi.rel_none
+                    );
+                }
+            }
+        }
+    }
+}

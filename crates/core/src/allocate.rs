@@ -1,0 +1,201 @@
+//! `Allocate` — the recursive list-scheduling algorithm
+//! (Algorithm 1, lines 1–13).
+//!
+//! Decomposes the M-SPG as `C ⊳ (G1 ∥ … ∥ Gn) ⊳ Gn+1`, schedules the head
+//! chain on the partition's first processor, splits the parallel
+//! composition with [`crate::propmap`], and recurses. Every
+//! `OnOneProcessor` call linearizes a sub-M-SPG into one **superchain**.
+
+use mspg::decompose::decompose;
+use mspg::linearize::{linearize, Linearizer};
+use mspg::{Mspg, Workflow};
+
+use crate::schedule::{Schedule, Superchain};
+
+/// Configuration of the scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocateConfig {
+    /// How `OnOneProcessor` linearizes a sub-M-SPG (the paper's default is
+    /// a random topological sort; `MinVolume` is the §VIII refinement).
+    pub linearizer: Linearizer,
+    /// Seed for the random linearizer (each superchain derives its own
+    /// stream).
+    pub seed: u64,
+}
+
+impl Default for AllocateConfig {
+    fn default() -> Self {
+        AllocateConfig { linearizer: Linearizer::RandomTopo, seed: 0 }
+    }
+}
+
+/// Schedules workflow `w` on `n_procs` processors, returning the
+/// superchain schedule (Algorithm 1 without the checkpoint placement —
+/// see [`crate::checkpoint_dp`] for that).
+pub fn allocate(w: &Workflow, n_procs: usize, cfg: &AllocateConfig) -> Schedule {
+    assert!(n_procs >= 1);
+    let mut out: Vec<Superchain> = Vec::new();
+    let procs: Vec<usize> = (0..n_procs).collect();
+    alloc(w, &w.root, &procs, cfg, &mut out);
+    let sched = Schedule::from_superchains(&w.dag, n_procs, out);
+    debug_assert!(sched.validate(&w.dag).is_ok());
+    sched
+}
+
+fn alloc(
+    w: &Workflow,
+    expr: &Mspg,
+    procs: &[usize],
+    cfg: &AllocateConfig,
+    out: &mut Vec<Superchain>,
+) {
+    debug_assert!(!procs.is_empty());
+    let d = decompose(expr);
+    // Line 4: the head chain C runs on P[0]. A chain is already linear.
+    if !d.chain.is_empty() {
+        out.push(Superchain { proc: procs[0], tasks: d.chain });
+    }
+    if !d.parallel.is_empty() {
+        if procs.len() == 1 {
+            // Line 6: the whole parallel composition is linearized on P[0].
+            let par = Mspg::parallel(d.parallel).expect("non-empty");
+            push_linearized(w, &par, procs[0], cfg, out);
+        } else {
+            // Lines 8–12: proportional mapping, then recursion.
+            let r = crate::propmap::propmap(&w.dag, d.parallel, procs.len());
+            let mut i = 0usize;
+            for (g, count) in r.graphs.into_iter().zip(r.proc_counts) {
+                alloc(w, &g, &procs[i..i + count], cfg, out);
+                i += count;
+            }
+        }
+    }
+    // Line 13: the remainder reuses the full partition.
+    if let Some(rest) = d.rest {
+        alloc(w, &rest, procs, cfg, out);
+    }
+}
+
+fn push_linearized(
+    w: &Workflow,
+    expr: &Mspg,
+    proc: usize,
+    cfg: &AllocateConfig,
+    out: &mut Vec<Superchain>,
+) {
+    let structural = expr.tasks();
+    // Derive a per-superchain seed stream so schedules are deterministic
+    // yet each superchain shuffles independently.
+    let seed = cfg
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(out.len() as u64);
+    let order = linearize(&w.dag, structural, cfg.linearizer, seed);
+    out.push(Superchain { proc, tasks: order });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::TaskId;
+    use pegasus::{generate, WorkflowClass};
+
+    fn cfg() -> AllocateConfig {
+        AllocateConfig { linearizer: Linearizer::RandomTopo, seed: 42 }
+    }
+
+    #[test]
+    fn chain_goes_to_first_processor() {
+        let w = pegasus::generic::chain(5, 1);
+        let s = allocate(&w, 4, &cfg());
+        assert_eq!(s.superchains.len(), 1);
+        assert_eq!(s.superchains[0].proc, 0);
+        assert_eq!(s.superchains[0].tasks.len(), 5);
+    }
+
+    #[test]
+    fn single_processor_single_superchain_per_block() {
+        let w = pegasus::generic::fork_join(2, 3, 1);
+        let s = allocate(&w, 1, &cfg());
+        // Blocks: chain, level, chain, level, chain — chains merge into the
+        // decomposition head each time: C ⊳ (par) ⊳ rest…
+        for sc in &s.superchains {
+            assert_eq!(sc.proc, 0);
+        }
+        assert_eq!(s.n_tasks(), w.n_tasks());
+        s.validate(&w.dag).unwrap();
+    }
+
+    #[test]
+    fn parallel_blocks_spread_over_processors() {
+        let w = pegasus::generic::independent_chains(4, 3, 1);
+        let s = allocate(&w, 4, &cfg());
+        s.validate(&w.dag).unwrap();
+        // Four equal chains on four processors: one superchain each.
+        let used: std::collections::HashSet<usize> =
+            s.superchains.iter().map(|sc| sc.proc).collect();
+        assert_eq!(used.len(), 4);
+        for sc in &s.superchains {
+            assert_eq!(sc.tasks.len(), 3);
+        }
+    }
+
+    #[test]
+    fn all_paper_workflows_schedule_cleanly() {
+        for class in WorkflowClass::ALL {
+            for &p in &[3usize, 10, 35] {
+                let w = generate(class, 300, 7);
+                let s = allocate(&w, p, &cfg());
+                s.validate(&w.dag).unwrap();
+                assert_eq!(s.n_tasks(), w.n_tasks(), "{class} on {p} procs");
+            }
+        }
+    }
+
+    #[test]
+    fn more_procs_reduce_parallel_time() {
+        let w = generate(WorkflowClass::Genome, 300, 3);
+        let t3 = allocate(&w, 3, &cfg()).failure_free_parallel_time(&w.dag);
+        let t18 = allocate(&w, 18, &cfg()).failure_free_parallel_time(&w.dag);
+        let t70 = allocate(&w, 70, &cfg()).failure_free_parallel_time(&w.dag);
+        assert!(t18 < t3, "18 procs {t18} vs 3 procs {t3}");
+        assert!(t70 <= t18 * 1.01, "70 procs {t70} vs 18 procs {t18}");
+        // And never better than the critical path.
+        assert!(t70 >= w.dag.critical_path() - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = generate(WorkflowClass::Montage, 300, 9);
+        let a = allocate(&w, 18, &cfg());
+        let b = allocate(&w, 18, &cfg());
+        assert_eq!(a.superchains.len(), b.superchains.len());
+        for (x, y) in a.superchains.iter().zip(&b.superchains) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn superchains_are_contiguous_executions() {
+        // Every superchain's task list is a topological order of its
+        // induced sub-DAG (validated), and tasks of one superchain share a
+        // processor.
+        let w = generate(WorkflowClass::Ligo, 300, 5);
+        let s = allocate(&w, 18, &cfg());
+        for sc in &s.superchains {
+            for &t in &sc.tasks {
+                assert_eq!(s.task_proc[t.index()] as usize, sc.proc);
+            }
+        }
+        let _ = TaskId(0);
+    }
+
+    #[test]
+    fn structural_linearizer_matches_expression_order() {
+        let w = pegasus::generic::fork_join(2, 4, 1);
+        let c = AllocateConfig { linearizer: Linearizer::Structural, seed: 0 };
+        let s = allocate(&w, 1, &c);
+        let all: Vec<TaskId> = (0..s.n_procs).flat_map(|p| s.proc_task_order(p)).collect();
+        assert!(w.dag.is_topological(&all));
+    }
+}

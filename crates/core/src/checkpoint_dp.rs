@@ -1,0 +1,446 @@
+//! Checkpoint placement in superchains — Algorithm 2 (§IV).
+//!
+//! Extends Toueg & Babaoğlu's chain algorithm to superchains with the
+//! paper's *extended checkpoint semantics*: the checkpoint taken after a
+//! task saves the output of **all** executed-but-uncheckpointed tasks that
+//! still have unexecuted successors (all solid dependence edges crossing
+//! the checkpoint time). Segments between checkpoints therefore recover
+//! independently: a failure rolls back exactly to the previous checkpoint.
+//!
+//! `ETime(j) = min( T(a,j), min_{a≤i<j} ETime(i) + T(i+1,j) )` where
+//! `T(i,j)` is the first-order expected time (Eq. (2)) to read the
+//! segment's external inputs (`Rᵢʲ`), run it (`Wᵢʲ`), and checkpoint the
+//! data needed later (`Cᵢʲ`). All file costs deduplicate by file — a file
+//! consumed by several segment tasks is read once, a file needed by
+//! several later tasks is saved once.
+
+use mspg::{Dag, TaskId};
+
+/// Cost context: the workflow, the processor failure rate, and the stable
+/// storage bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct CostCtx<'a> {
+    /// The workflow DAG (weights and file sizes).
+    pub dag: &'a Dag,
+    /// Per-processor exponential failure rate.
+    pub lambda: f64,
+    /// Stable-storage bandwidth (bytes/s).
+    pub bandwidth: f64,
+}
+
+impl<'a> CostCtx<'a> {
+    /// Eq. (2): first-order expected time to execute a segment whose
+    /// failure-free span is `base = R + W + C`:
+    /// `(1-λ·base)·base + λ·base·(3/2·base) = base + λ·base²/2`.
+    #[inline]
+    pub fn expected_segment_time(&self, base: f64) -> f64 {
+        base + 0.5 * self.lambda * base * base
+    }
+}
+
+/// Failure-free costs of one segment: stable-storage read time `r`,
+/// compute time `w`, checkpoint write time `c` (seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentCost {
+    /// `Rᵢʲ` — external inputs (files produced outside the segment,
+    /// including workflow inputs), deduplicated by file.
+    pub r: f64,
+    /// `Wᵢʲ` — sum of task weights.
+    pub w: f64,
+    /// `Cᵢʲ` — files produced in the segment and consumed after it,
+    /// deduplicated by file.
+    pub c: f64,
+}
+
+impl SegmentCost {
+    /// Failure-free span `R + W + C`.
+    #[inline]
+    pub fn base(&self) -> f64 {
+        self.r + self.w + self.c
+    }
+}
+
+/// Computes the cost of the segment `chain[lo..=hi]` directly (used by the
+/// simulator and as a cross-check for the DP's incremental sweep).
+pub fn segment_cost(ctx: &CostCtx<'_>, chain: &[TaskId], lo: usize, hi: usize) -> SegmentCost {
+    assert!(lo <= hi && hi < chain.len());
+    let dag = ctx.dag;
+    let mut in_segment = vec![false; dag.n_tasks()];
+    for &t in &chain[lo..=hi] {
+        in_segment[t.index()] = true;
+    }
+    let mut w = 0.0;
+    let mut read_files: Vec<mspg::FileId> = Vec::new();
+    let mut ckpt_files: Vec<mspg::FileId> = Vec::new();
+    for &t in &chain[lo..=hi] {
+        w += dag.weight(t);
+        for &(u, f) in dag.preds(t) {
+            if !in_segment[u.index()] && !read_files.contains(&f) {
+                read_files.push(f);
+            }
+        }
+        // Workflow inputs and transitive reads (GSPG support): read from
+        // storage unless the producer is inside the segment.
+        for &f in dag.input_files(t) {
+            let produced_inside =
+                dag.producer(f).is_some_and(|u| in_segment[u.index()]);
+            if !produced_inside && !read_files.contains(&f) {
+                read_files.push(f);
+            }
+        }
+        for &f in dag.output_files(t) {
+            let needed_later = dag.consumers(f).iter().any(|&v| !in_segment[v.index()]);
+            if needed_later && !ckpt_files.contains(&f) {
+                ckpt_files.push(f);
+            }
+        }
+    }
+    let r: f64 = read_files.iter().map(|&f| dag.file(f).size).sum::<f64>() / ctx.bandwidth;
+    let c: f64 = ckpt_files.iter().map(|&f| dag.file(f).size).sum::<f64>() / ctx.bandwidth;
+    SegmentCost { r, w, c }
+}
+
+/// Result of the checkpoint DP on one superchain.
+#[derive(Clone, Debug)]
+pub struct CheckpointChoice {
+    /// `ckpt_after[k]` — take a checkpoint after `chain[k]`. The final
+    /// position is always checkpointed (crossover-dependency removal,
+    /// §IV-B).
+    pub ckpt_after: Vec<bool>,
+    /// The DP's optimal expected time to execute the superchain.
+    pub expected_time: f64,
+}
+
+/// Optimal checkpoint positions for a superchain (Algorithm 2), `O(n²)`
+/// DP over all segment splits with incrementally computed `T(i,j)`.
+pub fn optimal_checkpoints(ctx: &CostCtx<'_>, chain: &[TaskId]) -> CheckpointChoice {
+    let n = chain.len();
+    assert!(n > 0, "empty superchain");
+    let t = SegmentTable::build(ctx, chain);
+    let mut etime = vec![f64::INFINITY; n];
+    let mut last = vec![usize::MAX; n];
+    for j in 0..n {
+        etime[j] = t.expected(0, j);
+        last[j] = usize::MAX;
+        for i in 0..j {
+            let cand = etime[i] + t.expected(i + 1, j);
+            if cand < etime[j] {
+                etime[j] = cand;
+                last[j] = i;
+            }
+        }
+    }
+    let mut ckpt_after = vec![false; n];
+    ckpt_after[n - 1] = true;
+    let mut cur = n - 1;
+    while last[cur] != usize::MAX {
+        cur = last[cur];
+        ckpt_after[cur] = true;
+    }
+    CheckpointChoice { ckpt_after, expected_time: etime[n - 1] }
+}
+
+/// The naive coalescing of §II-C (ablation E7): checkpoint only at the end
+/// of the superchain (the extended semantics then saves every exit file).
+pub fn exit_only(chain: &[TaskId]) -> Vec<bool> {
+    let mut v = vec![false; chain.len()];
+    if let Some(lastpos) = v.last_mut() {
+        *lastpos = true;
+    }
+    v
+}
+
+/// Checkpoint after every task (the CkptAll baseline restricted to this
+/// superchain).
+pub fn all_tasks(chain: &[TaskId]) -> Vec<bool> {
+    vec![true; chain.len()]
+}
+
+/// Dense `base(i, j)` table built with an incremental `O(n·(E+n))` sweep:
+/// for each start `i`, extend `j` rightward maintaining R/W/C with
+/// per-file counters.
+struct SegmentTable<'a> {
+    ctx: &'a CostCtx<'a>,
+    n: usize,
+    /// `base[i * n + j]` = `R + W + C` of segment `[i..=j]` (seconds).
+    base: Vec<f64>,
+}
+
+impl<'a> SegmentTable<'a> {
+    fn build(ctx: &'a CostCtx<'a>, chain: &[TaskId]) -> Self {
+        let dag = ctx.dag;
+        let n = chain.len();
+        let nf = dag.n_files();
+        // Position of each task within the chain (usize::MAX = outside).
+        let mut pos = vec![usize::MAX; dag.n_tasks()];
+        for (k, &t) in chain.iter().enumerate() {
+            pos[t.index()] = k;
+        }
+        let mut base = vec![0.0f64; n * n];
+        // Per-file stamped state for the current sweep start `i`.
+        let mut stamp = vec![usize::MAX; nf];
+        let mut read_stamp = vec![usize::MAX; nf];
+        let mut outside_consumers = vec![0usize; nf];
+        for i in 0..n {
+            let mut r_bytes = 0.0f64;
+            let mut w = 0.0f64;
+            let mut c_bytes = 0.0f64;
+            for j in i..n {
+                let t = chain[j];
+                w += dag.weight(t);
+                // External inputs: producer outside [i..=j]. Producers
+                // precede consumers, so "outside" is fixed for fixed i.
+                for &(u, f) in dag.preds(t) {
+                    let fp = f.index();
+                    let u_inside = pos[u.index()] != usize::MAX && pos[u.index()] >= i;
+                    if u_inside {
+                        // A producer inside the segment: this consumer
+                        // leaves the file's outside-consumer set.
+                        if stamp[fp] == i && outside_consumers[fp] > 0 {
+                            outside_consumers[fp] -= 1;
+                            if outside_consumers[fp] == 0 {
+                                c_bytes -= dag.file(f).size;
+                            }
+                        }
+                    } else if read_stamp[fp] != i {
+                        read_stamp[fp] = i;
+                        r_bytes += dag.file(f).size;
+                    }
+                }
+                // Workflow inputs and transitive reads (GSPG support).
+                for &f in dag.input_files(t) {
+                    let fp = f.index();
+                    let u_inside = dag.producer(f).is_some_and(|u| {
+                        pos[u.index()] != usize::MAX && pos[u.index()] >= i
+                    });
+                    if u_inside {
+                        if stamp[fp] == i && outside_consumers[fp] > 0 {
+                            outside_consumers[fp] -= 1;
+                            if outside_consumers[fp] == 0 {
+                                c_bytes -= dag.file(f).size;
+                            }
+                        }
+                    } else if read_stamp[fp] != i {
+                        read_stamp[fp] = i;
+                        r_bytes += dag.file(f).size;
+                    }
+                }
+                // Outputs: initially every consumer is outside (consumers
+                // are topologically after the producer).
+                for &f in dag.output_files(t) {
+                    let fp = f.index();
+                    let consumers = dag.consumers(f).len();
+                    stamp[fp] = i;
+                    outside_consumers[fp] = consumers;
+                    if consumers > 0 {
+                        c_bytes += dag.file(f).size;
+                    }
+                }
+                base[i * n + j] = (r_bytes + c_bytes) / ctx.bandwidth + w;
+            }
+        }
+        SegmentTable { ctx, n, base }
+    }
+
+    #[inline]
+    fn expected(&self, i: usize, j: usize) -> f64 {
+        self.ctx.expected_segment_time(self.base[i * self.n + j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::{Mspg, Workflow};
+
+    /// A chain of n unit tasks, each with a 1-byte output consumed by the
+    /// next (plus a final dangling output with no consumer).
+    fn unit_chain(n: usize, out_bytes: f64) -> (Workflow, Vec<TaskId>) {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let ids: Vec<TaskId> = (0..n)
+            .map(|i| dag.add_task_with_output(&format!("t{i}"), k, 1.0, out_bytes))
+            .collect();
+        let root = Mspg::chain(ids.iter().copied()).unwrap();
+        let w = Workflow::new(dag, root);
+        (w, ids)
+    }
+
+    /// Brute-force optimum: enumerate all checkpoint subsets (the last
+    /// position is forced) and minimize the sum of segment expected times.
+    fn brute_force(ctx: &CostCtx<'_>, chain: &[TaskId]) -> (f64, Vec<bool>) {
+        let n = chain.len();
+        assert!(n <= 16);
+        let mut best = f64::INFINITY;
+        let mut best_mask = vec![false; n];
+        for mask in 0u32..(1 << (n - 1)) {
+            let mut ck = vec![false; n];
+            for (b, flag) in ck.iter_mut().enumerate().take(n - 1) {
+                *flag = mask >> b & 1 == 1;
+            }
+            ck[n - 1] = true;
+            let mut total = 0.0;
+            let mut lo = 0usize;
+            for (hi, &flag) in ck.iter().enumerate() {
+                if flag {
+                    let cost = segment_cost(ctx, chain, lo, hi);
+                    total += ctx.expected_segment_time(cost.base());
+                    lo = hi + 1;
+                }
+            }
+            if total < best {
+                best = total;
+                best_mask = ck;
+            }
+        }
+        (best, best_mask)
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_chains() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for lambda in [1e-4, 1e-2, 0.1] {
+                let (w, ids) = unit_chain(n, 5.0);
+                let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 10.0 };
+                let dp = optimal_checkpoints(&ctx, &ids);
+                let (bf_time, _) = brute_force(&ctx, &ids);
+                assert!(
+                    (dp.expected_time - bf_time).abs() < 1e-9,
+                    "n={n} λ={lambda}: dp {} vs bf {bf_time}",
+                    dp.expected_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_linearized_fork_join() {
+        let w = pegasus::generic::fork_join(2, 4, 3);
+        let sched = crate::allocate::allocate(&w, 1, &crate::allocate::AllocateConfig::default());
+        for lambda in [1e-3, 0.05] {
+            let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 1e6 };
+            for sc in &sched.superchains {
+                if sc.tasks.len() > 14 {
+                    continue;
+                }
+                let dp = optimal_checkpoints(&ctx, &sc.tasks);
+                let (bf_time, _) = brute_force(&ctx, &sc.tasks);
+                assert!(
+                    (dp.expected_time - bf_time).abs() < 1e-9,
+                    "λ={lambda}: dp {} vs bf {bf_time}",
+                    dp.expected_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_checkpoints_mean_checkpoint_everywhere() {
+        // Zero-size files: splitting is free and λ > 0 makes smaller
+        // segments strictly better.
+        let (w, ids) = unit_chain(6, 0.0);
+        let ctx = CostCtx { dag: &w.dag, lambda: 0.1, bandwidth: 1.0 };
+        let dp = optimal_checkpoints(&ctx, &ids);
+        assert!(dp.ckpt_after.iter().all(|&c| c), "{:?}", dp.ckpt_after);
+    }
+
+    #[test]
+    fn expensive_checkpoints_and_rare_failures_mean_exit_only() {
+        // Huge files, tiny λ: any interior checkpoint costs more than the
+        // re-execution risk it saves.
+        let (w, ids) = unit_chain(6, 1e9);
+        let ctx = CostCtx { dag: &w.dag, lambda: 1e-9, bandwidth: 1e6 };
+        let dp = optimal_checkpoints(&ctx, &ids);
+        let interior: usize = dp.ckpt_after[..5].iter().filter(|&&c| c).count();
+        assert_eq!(interior, 0, "{:?}", dp.ckpt_after);
+        assert!(dp.ckpt_after[5]);
+    }
+
+    #[test]
+    fn last_task_always_checkpointed() {
+        for lambda in [0.0, 1e-3, 0.5] {
+            let (w, ids) = unit_chain(4, 3.0);
+            let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 1.0 };
+            let dp = optimal_checkpoints(&ctx, &ids);
+            assert!(dp.ckpt_after[3]);
+        }
+    }
+
+    #[test]
+    fn segment_cost_dedups_shared_files() {
+        // Figure 4 shape: T1 → T2 → {T3, T4}; T3 → T5; T2 → T4… build the
+        // example where one file feeds two tasks in the same segment.
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 1.0, 100.0);
+        let b = dag.add_task("b", k, 1.0);
+        let c = dag.add_task("c", k, 1.0);
+        let fa = dag.primary_output(a).unwrap();
+        dag.add_edge(b, fa);
+        dag.add_edge(c, fa);
+        let chain = [b, c];
+        let ctx = CostCtx { dag: &dag, lambda: 0.0, bandwidth: 1.0 };
+        let cost = segment_cost(&ctx, &chain, 0, 1);
+        // fa read once, not twice.
+        assert_eq!(cost.r, 100.0);
+        assert_eq!(cost.c, 0.0);
+        assert_eq!(cost.w, 2.0);
+    }
+
+    #[test]
+    fn extended_checkpoint_covers_live_outputs() {
+        // Figure 4 of the paper: T1 → T2 → T3 → T4 → T5 → T6 linearized;
+        // extra edges T2→T4 (via its file) and T3→T5. A checkpoint after
+        // T4 must also save T3's output (needed by T5).
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let t: Vec<TaskId> = (1..=6)
+            .map(|i| dag.add_task_with_output(&format!("T{i}"), k, 1.0, 10.0))
+            .collect();
+        let edges = [(0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5)];
+        for &(u, v) in &edges {
+            let file = dag.primary_output(t[u]).unwrap();
+            dag.add_edge(t[v], file);
+        }
+        let ctx = CostCtx { dag: &dag, lambda: 0.0, bandwidth: 1.0 };
+        // Segment [T3, T4] (indices 2..=3): checkpoint must save T3's
+        // output (needed by T5) and T4's output (needed by T5): C = 20.
+        let cost = segment_cost(&ctx, &t, 2, 3);
+        assert_eq!(cost.c, 20.0);
+        // It reads T2's output only (T2 outside), deduplicated: R = 10.
+        assert_eq!(cost.r, 10.0);
+    }
+
+    #[test]
+    fn incremental_table_matches_direct_costs() {
+        let w = pegasus::generate(pegasus::WorkflowClass::Montage, 60, 5);
+        let sched =
+            crate::allocate::allocate(&w, 3, &crate::allocate::AllocateConfig::default());
+        let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e7 };
+        for sc in &sched.superchains {
+            let table = SegmentTable::build(&ctx, &sc.tasks);
+            let n = sc.tasks.len();
+            for i in 0..n {
+                for j in i..n {
+                    let direct = segment_cost(&ctx, &sc.tasks, i, j);
+                    let got = table.base[i * n + j];
+                    assert!(
+                        (got - direct.base()).abs() < 1e-9 * direct.base().max(1.0),
+                        "segment [{i},{j}]: table {got} vs direct {}",
+                        direct.base()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_failure_rate_still_checkpoints_last_only() {
+        // λ = 0: interior checkpoints only add cost.
+        let (w, ids) = unit_chain(5, 10.0);
+        let ctx = CostCtx { dag: &w.dag, lambda: 0.0, bandwidth: 1.0 };
+        let dp = optimal_checkpoints(&ctx, &ids);
+        let interior: usize = dp.ckpt_after[..4].iter().filter(|&&c| c).count();
+        assert_eq!(interior, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! End-to-end evaluation pipeline: schedule → checkpoint → expected
+//! makespan, for all strategies of the paper.
+
+use mspg::Workflow;
+use probdag::Evaluator;
+
+use crate::allocate::{allocate, AllocateConfig};
+use crate::checkpoint_dp::{exit_only, optimal_checkpoints, CostCtx};
+use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
+use crate::platform::Platform;
+use crate::schedule::Schedule;
+
+/// The checkpointing strategies compared in §VI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Checkpoint every task's output (the production default).
+    CkptAll,
+    /// Checkpoint nothing; expected makespan estimated by Theorem 1.
+    CkptNone,
+    /// The paper's contribution: superchain scheduling + optimal DP
+    /// checkpoint placement.
+    CkptSome,
+    /// Ablation (§II-C "naive solution"): checkpoint only superchain
+    /// exits.
+    ExitOnly,
+}
+
+impl Strategy {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::CkptAll => "CkptAll",
+            Strategy::CkptNone => "CkptNone",
+            Strategy::CkptSome => "CkptSome",
+            Strategy::ExitOnly => "ExitOnly",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Theorem 1: estimated expected makespan of a no-checkpoint execution
+/// with failure-free parallel time `w_par` on `n_procs` processors of
+/// failure rate `lambda`:
+/// `EM = (1 - pλW)·W + pλW·(3/2·W) = W·(1 + pλW/2)`.
+pub fn theorem1(w_par: f64, n_procs: usize, lambda: f64) -> f64 {
+    let q = n_procs as f64 * lambda * w_par;
+    (1.0 - q) * w_par + q * 1.5 * w_par
+}
+
+/// Outcome of assessing one strategy on one scheduled workflow.
+#[derive(Clone, Debug)]
+pub struct Assessment {
+    /// The strategy assessed.
+    pub strategy: Strategy,
+    /// Estimated expected makespan (seconds).
+    pub expected_makespan: f64,
+    /// Number of checkpointed tasks (0 for CkptNone).
+    pub n_checkpoints: usize,
+    /// Number of coalesced segments (tasks for CkptAll; 0 for CkptNone).
+    pub n_segments: usize,
+    /// Failure-free parallel time of the schedule *without* storage I/O.
+    pub w_par: f64,
+}
+
+/// A scheduled workflow ready for strategy assessment.
+///
+/// Scheduling (the expensive, strategy-independent step) happens once in
+/// [`Pipeline::new`]; each [`Pipeline::assess`] call then derives
+/// checkpoint decisions and evaluates the expected makespan — exactly how
+/// the paper compares the three strategies on a common schedule.
+pub struct Pipeline<'a> {
+    /// The workflow under evaluation.
+    pub workflow: &'a Workflow,
+    /// The platform (processor count, failure rate, storage bandwidth).
+    pub platform: Platform,
+    /// The superchain schedule produced by `Allocate`.
+    pub schedule: Schedule,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Schedules `workflow` on `platform` with `Allocate`.
+    pub fn new(workflow: &'a Workflow, platform: Platform, cfg: &AllocateConfig) -> Self {
+        let schedule = allocate(workflow, platform.n_procs, cfg);
+        Pipeline { workflow, platform, schedule }
+    }
+
+    fn ctx(&self) -> CostCtx<'_> {
+        CostCtx {
+            dag: &self.workflow.dag,
+            lambda: self.platform.lambda,
+            bandwidth: self.platform.bandwidth,
+        }
+    }
+
+    /// The checkpoint plan a strategy induces on this schedule.
+    ///
+    /// # Panics
+    /// Panics for [`Strategy::CkptNone`], which has no checkpoint plan —
+    /// use [`Pipeline::assess`].
+    pub fn plan(&self, strategy: Strategy) -> CheckpointPlan {
+        let dag = &self.workflow.dag;
+        let ctx = self.ctx();
+        let mut ckpt_after = vec![false; dag.n_tasks()];
+        match strategy {
+            Strategy::CkptAll => ckpt_after.fill(true),
+            Strategy::CkptSome => {
+                for sc in &self.schedule.superchains {
+                    let choice = optimal_checkpoints(&ctx, &sc.tasks);
+                    for (k, &t) in sc.tasks.iter().enumerate() {
+                        ckpt_after[t.index()] = choice.ckpt_after[k];
+                    }
+                }
+            }
+            Strategy::ExitOnly => {
+                for sc in &self.schedule.superchains {
+                    let choice = exit_only(&sc.tasks);
+                    for (k, &t) in sc.tasks.iter().enumerate() {
+                        ckpt_after[t.index()] = choice[k];
+                    }
+                }
+            }
+            Strategy::CkptNone => panic!("CkptNone has no checkpoint plan"),
+        }
+        CheckpointPlan { ckpt_after }
+    }
+
+    /// The coalesced 2-state segment graph for a checkpointing strategy.
+    pub fn segment_graph(&self, strategy: Strategy) -> SegmentGraph {
+        let plan = self.plan(strategy);
+        coalesce(&self.ctx(), &self.schedule, &plan)
+    }
+
+    /// Assesses a strategy with the given 2-state DAG evaluator
+    /// (irrelevant for CkptNone, which uses the Theorem 1 closed form).
+    pub fn assess(&self, strategy: Strategy, evaluator: &dyn Evaluator) -> Assessment {
+        let w_par = self.schedule.failure_free_parallel_time(&self.workflow.dag);
+        match strategy {
+            Strategy::CkptNone => Assessment {
+                strategy,
+                expected_makespan: theorem1(w_par, self.platform.n_procs, self.platform.lambda),
+                n_checkpoints: 0,
+                n_segments: 0,
+                w_par,
+            },
+            _ => {
+                let plan = self.plan(strategy);
+                let n_checkpoints = plan.n_checkpoints();
+                let sg = coalesce(&self.ctx(), &self.schedule, &plan);
+                Assessment {
+                    strategy,
+                    expected_makespan: evaluator.expected_makespan(&sg.pdag),
+                    n_checkpoints,
+                    n_segments: sg.segments.len(),
+                    w_par,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfail::lambda_from_pfail;
+    use pegasus::ccr::scale_to_ccr;
+    use pegasus::{generate, WorkflowClass};
+    use probdag::PathApprox;
+
+    fn platform(w: &Workflow, n_procs: usize, pfail: f64, bw: f64) -> Platform {
+        Platform::new(n_procs, lambda_from_pfail(pfail, w.dag.mean_weight()), bw)
+    }
+
+    #[test]
+    fn theorem1_formula() {
+        // q = pλW; EM = W(1 + q/2).
+        let em = theorem1(100.0, 4, 1e-4);
+        let q: f64 = 4.0 * 1e-4 * 100.0;
+        assert!((em - 100.0 * (1.0 + q / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_zero_lambda_is_wpar() {
+        assert_eq!(theorem1(123.0, 8, 0.0), 123.0);
+    }
+
+    #[test]
+    fn ckptsome_never_worse_than_ckptall() {
+        // The DP contains CkptAll's solution (checkpoint everywhere) in
+        // its search space, so segment-DAG expected makespans should obey
+        // CkptSome ≤ CkptAll up to evaluator noise.
+        for class in WorkflowClass::ALL {
+            let mut w = generate(class, 50, 5);
+            let bw = 1e7;
+            scale_to_ccr(&mut w, 0.01, bw);
+            let p = platform(&w, 5, 0.001, bw);
+            let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+            let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+            let all = pipe.assess(Strategy::CkptAll, &PathApprox::default());
+            assert!(
+                some.expected_makespan <= all.expected_makespan * 1.02,
+                "{class}: some {} vs all {}",
+                some.expected_makespan,
+                all.expected_makespan
+            );
+            assert!(some.n_checkpoints <= all.n_checkpoints);
+        }
+    }
+
+    #[test]
+    fn cheap_checkpoints_make_ckptsome_equal_ckptall() {
+        // §VI-C: as the CCR → 0, CkptSome checkpoints every task. The
+        // crossover is where interface I/O (write + later read) matches
+        // the re-execution gain λ·b1·b2 — for sub-second Genome tasks at
+        // pfail = 0.01 that is around CCR ~ 1e-6, so 1e-9 is firmly in the
+        // checkpoint-everything regime.
+        let mut w = generate(WorkflowClass::Genome, 50, 3);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 1e-9, bw);
+        let p = platform(&w, 5, 0.01, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let some = pipe.plan(Strategy::CkptSome);
+        assert_eq!(some.n_checkpoints(), w.n_tasks());
+    }
+
+    #[test]
+    fn expensive_checkpoints_reduce_to_exits() {
+        // Very expensive storage + rare failures: only superchain exits
+        // remain checkpointed.
+        let mut w = generate(WorkflowClass::Genome, 50, 3);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 10.0, bw);
+        let p = platform(&w, 5, 0.0001, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let some = pipe.plan(Strategy::CkptSome);
+        let exits = pipe.plan(Strategy::ExitOnly);
+        assert_eq!(some, exits);
+    }
+
+    #[test]
+    fn exitonly_bounds_ckptsome_from_search_space() {
+        let mut w = generate(WorkflowClass::Ligo, 50, 4);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 0.1, bw);
+        let p = platform(&w, 5, 0.001, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+        let exit = pipe.assess(Strategy::ExitOnly, &PathApprox::default());
+        assert!(some.expected_makespan <= exit.expected_makespan * 1.02);
+    }
+
+    #[test]
+    fn assessments_report_consistent_counts() {
+        let w = generate(WorkflowClass::Montage, 50, 6);
+        let p = platform(&w, 5, 0.001, 1e7);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let all = pipe.assess(Strategy::CkptAll, &PathApprox::default());
+        assert_eq!(all.n_checkpoints, w.n_tasks());
+        assert_eq!(all.n_segments, w.n_tasks());
+        let none = pipe.assess(Strategy::CkptNone, &PathApprox::default());
+        assert_eq!(none.n_checkpoints, 0);
+        assert!(none.w_par > 0.0);
+    }
+
+    #[test]
+    fn ckptnone_beats_ckptall_when_io_dominates_and_failures_rare() {
+        // §VI-C: CkptNone wins when checkpoints are expensive and failures
+        // rare.
+        let mut w = generate(WorkflowClass::Montage, 50, 7);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 1.0, bw);
+        let p = platform(&w, 5, 0.0001, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let none = pipe.assess(Strategy::CkptNone, &PathApprox::default());
+        let all = pipe.assess(Strategy::CkptAll, &PathApprox::default());
+        assert!(
+            none.expected_makespan < all.expected_makespan,
+            "none {} vs all {}",
+            none.expected_makespan,
+            all.expected_makespan
+        );
+    }
+
+    #[test]
+    fn ckptsome_beats_ckptnone_under_frequent_failures() {
+        // §VI-C: CkptNone loses when failures are frequent and
+        // checkpoints cheap.
+        let mut w = generate(WorkflowClass::Genome, 300, 8);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 1e-4, bw);
+        let p = platform(&w, 18, 0.01, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let none = pipe.assess(Strategy::CkptNone, &PathApprox::default());
+        let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+        assert!(
+            some.expected_makespan < none.expected_makespan,
+            "some {} vs none {}",
+            some.expected_makespan,
+            none.expected_makespan
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # ckpt-core — scheduling and checkpointing M-SPG workflows for
+//! fail-stop errors
+//!
+//! The primary contribution of *Checkpointing Workflows for Fail-Stop
+//! Errors* (Han, Canon, Casanova, Robert, Vivien — IEEE CLUSTER 2017),
+//! implemented in full:
+//!
+//! * [`allocate`] / [`propmap`] — Algorithm 1: the recursive
+//!   proportional-mapping list scheduler that decomposes an M-SPG as
+//!   `C ⊳ (G1 ∥ … ∥ Gn) ⊳ Gn+1` and linearizes sub-graphs into
+//!   **superchains**;
+//! * [`checkpoint_dp`] — Algorithm 2: the `O(n²)` dynamic program placing
+//!   checkpoints inside a superchain under the extended checkpoint
+//!   semantics (Eq. (2) costs, per-file deduplication), always
+//!   checkpointing superchain exits to remove crossover dependencies;
+//! * [`coalesce`] — §II-C: coalescing checkpoint-delimited segments into a
+//!   2-state probabilistic DAG evaluable by the `probdag` estimators;
+//! * [`evaluate`] — the three strategies of §VI (**CkptAll**, **CkptNone**
+//!   via Theorem 1, **CkptSome**) plus the naive exit-only ablation, behind
+//!   a single [`evaluate::Pipeline`];
+//! * [`pfail`] / [`platform`] — the `pfail ↔ λ` normalization and platform
+//!   model of §VI-A.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ckpt_core::allocate::AllocateConfig;
+//! use ckpt_core::evaluate::{Pipeline, Strategy};
+//! use ckpt_core::pfail::lambda_from_pfail;
+//! use ckpt_core::platform::Platform;
+//! use probdag::PathApprox;
+//!
+//! let workflow = pegasus::generate(pegasus::WorkflowClass::Genome, 50, 42);
+//! let lambda = lambda_from_pfail(0.001, workflow.dag.mean_weight());
+//! let platform = Platform::new(5, lambda, 1e8);
+//! let pipe = Pipeline::new(&workflow, platform, &AllocateConfig::default());
+//! let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+//! let all = pipe.assess(Strategy::CkptAll, &PathApprox::default());
+//! assert!(some.expected_makespan <= all.expected_makespan * 1.02);
+//! ```
+
+pub mod allocate;
+pub mod checkpoint_dp;
+pub mod coalesce;
+pub mod evaluate;
+pub mod pfail;
+pub mod platform;
+pub mod propmap;
+pub mod schedule;
+
+pub use allocate::{allocate, AllocateConfig};
+pub use checkpoint_dp::{optimal_checkpoints, segment_cost, CostCtx, SegmentCost};
+pub use coalesce::{coalesce, CheckpointPlan, Segment, SegmentGraph};
+pub use evaluate::{theorem1, Assessment, Pipeline, Strategy};
+pub use pfail::{lambda_from_pfail, pfail_from_lambda};
+pub use platform::Platform;
+pub use propmap::{propmap, PropMapResult};
+pub use schedule::{Schedule, Superchain};

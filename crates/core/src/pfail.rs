@@ -1,0 +1,58 @@
+//! `pfail ↔ λ` conversion (§VI-A).
+//!
+//! To compare across workflows with different task weights, the paper fixes
+//! the probability `pfail` that an *average* task fails and derives the
+//! exponential processor failure rate from `pfail = 1 - e^{-λ·w̄}`, where
+//! `w̄` is the mean task weight.
+
+/// Failure rate `λ` such that a task of weight `mean_weight` fails with
+/// probability `pfail`.
+pub fn lambda_from_pfail(pfail: f64, mean_weight: f64) -> f64 {
+    assert!((0.0..1.0).contains(&pfail), "pfail must be in [0, 1)");
+    assert!(mean_weight > 0.0, "mean weight must be positive");
+    -(1.0 - pfail).ln() / mean_weight
+}
+
+/// Probability that a task of weight `mean_weight` fails at rate `lambda`.
+pub fn pfail_from_lambda(lambda: f64, mean_weight: f64) -> f64 {
+    assert!(lambda >= 0.0 && mean_weight >= 0.0);
+    1.0 - (-lambda * mean_weight).exp()
+}
+
+/// The three `pfail` values of the paper's figures.
+pub const PAPER_PFAILS: [f64; 3] = [0.01, 0.001, 0.0001];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for pfail in PAPER_PFAILS {
+            for w in [0.5, 10.0, 500.0] {
+                let l = lambda_from_pfail(pfail, w);
+                let back = pfail_from_lambda(l, w);
+                assert!((back - pfail).abs() < 1e-12, "{back} vs {pfail}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_pfail_is_linear() {
+        // pfail ≈ λ·w̄ for small rates.
+        let l = lambda_from_pfail(1e-4, 100.0);
+        assert!((l - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_pfail_zero_lambda() {
+        assert_eq!(lambda_from_pfail(0.0, 10.0), 0.0);
+        assert_eq!(pfail_from_lambda(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pfail_one_rejected() {
+        lambda_from_pfail(1.0, 10.0);
+    }
+}

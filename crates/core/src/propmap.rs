@@ -1,0 +1,170 @@
+//! `PropMap` — the proportional-mapping processor allocation
+//! (Algorithm 1, lines 15–36; after Pothen & Sun's proportional mapping).
+
+use mspg::{Dag, Mspg};
+
+/// Result of proportionally mapping `n` parallel components onto `p`
+/// processors: `k = min(n, p)` output graphs with their processor counts.
+#[derive(Clone, Debug)]
+pub struct PropMapResult {
+    /// Output (possibly merged) sub-M-SPGs.
+    pub graphs: Vec<Mspg>,
+    /// Processors allocated to each output graph (sums to ≤ `p`, exactly
+    /// `p` when `n < p`).
+    pub proc_counts: Vec<usize>,
+}
+
+/// Allocates processors to parallel components proportionally to their
+/// total task weight (stable-storage traffic is ignored here, §II-C).
+///
+/// * `n ≥ p`: components are sorted by non-increasing weight and greedily
+///   merged (LPT-style) into `p` bins, each bin becoming one parallel
+///   composition on one processor.
+/// * `n < p`: each component gets one processor, then the `p - n` spare
+///   processors go one at a time to the currently heaviest component,
+///   whose effective weight is discounted by `1 - 1/procNum` (Line 34).
+pub fn propmap(dag: &Dag, components: Vec<Mspg>, p: usize) -> PropMapResult {
+    assert!(!components.is_empty() && p >= 1);
+    let n = components.len();
+    // Sort by non-increasing weight; tie-break on first task id for
+    // determinism.
+    let mut indexed: Vec<(f64, Mspg)> =
+        components.into_iter().map(|g| (g.weight(dag), g)).collect();
+    indexed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    if n >= p {
+        let mut bins: Vec<Vec<Mspg>> = (0..p).map(|_| Vec::new()).collect();
+        let mut weights = vec![0.0f64; p];
+        for (w, g) in indexed {
+            let j = argmin(&weights);
+            weights[j] += w;
+            bins[j].push(g);
+        }
+        let graphs: Vec<Mspg> = bins
+            .into_iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| Mspg::parallel(b).expect("non-empty bin"))
+            .collect();
+        let counts = vec![1usize; graphs.len()];
+        PropMapResult { graphs, proc_counts: counts }
+    } else {
+        let mut weights: Vec<f64> = indexed.iter().map(|(w, _)| *w).collect();
+        let graphs: Vec<Mspg> = indexed.into_iter().map(|(_, g)| g).collect();
+        let mut counts = vec![1usize; n];
+        let mut spare = p - n;
+        while spare > 0 {
+            let j = argmax(&weights);
+            counts[j] += 1;
+            weights[j] *= 1.0 - 1.0 / counts[j] as f64;
+            spare -= 1;
+        }
+        PropMapResult { graphs, proc_counts: counts }
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    let _ = xs[best];
+    best
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::TaskId;
+
+    /// DAG with `weights[i]` as task i's weight; components are single
+    /// tasks.
+    fn setup(weights: &[f64]) -> (Dag, Vec<Mspg>) {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let comps = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Mspg::Task(dag.add_task(format!("t{i}"), k, w)))
+            .collect();
+        (dag, comps)
+    }
+
+    #[test]
+    fn more_components_than_procs_balances() {
+        let (dag, comps) = setup(&[5.0, 4.0, 3.0, 3.0, 2.0, 1.0]);
+        let r = propmap(&dag, comps, 2);
+        assert_eq!(r.graphs.len(), 2);
+        assert_eq!(r.proc_counts, vec![1, 1]);
+        // LPT: bins {5,3,1}=9 and {4,3,2}=9.
+        let w0 = r.graphs[0].weight(&dag);
+        let w1 = r.graphs[1].weight(&dag);
+        assert_eq!(w0 + w1, 18.0);
+        assert!((w0 - w1).abs() <= 1.0, "bins {w0} vs {w1}");
+    }
+
+    #[test]
+    fn fewer_components_than_procs_gives_spares_to_heaviest() {
+        let (dag, comps) = setup(&[10.0, 1.0]);
+        let r = propmap(&dag, comps, 5);
+        assert_eq!(r.graphs.len(), 2);
+        assert_eq!(r.proc_counts.iter().sum::<usize>(), 5);
+        // The weight-10 component must take all 3 spares:
+        // 10 → (×1/2) 5 → (×2/3) 3.33 → (×3/4) 2.5, still above 1.
+        assert_eq!(r.proc_counts, vec![4, 1]);
+    }
+
+    #[test]
+    fn equal_components_split_spares() {
+        let (dag, comps) = setup(&[6.0, 6.0]);
+        let r = propmap(&dag, comps, 4);
+        assert_eq!(r.proc_counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn n_equals_p_is_identity() {
+        let (dag, comps) = setup(&[3.0, 2.0, 1.0]);
+        let r = propmap(&dag, comps, 3);
+        assert_eq!(r.graphs.len(), 3);
+        assert_eq!(r.proc_counts, vec![1, 1, 1]);
+        // Sorted by non-increasing weight.
+        assert_eq!(r.graphs[0].weight(&dag), 3.0);
+        assert_eq!(r.graphs[2].weight(&dag), 1.0);
+    }
+
+    #[test]
+    fn single_processor_merges_everything() {
+        let (dag, comps) = setup(&[1.0, 2.0, 3.0]);
+        let r = propmap(&dag, comps, 1);
+        assert_eq!(r.graphs.len(), 1);
+        assert_eq!(r.graphs[0].n_tasks(), 3);
+    }
+
+    #[test]
+    fn weights_preserved_under_merge() {
+        let (dag, comps) = setup(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let total: f64 = 15.0;
+        let r = propmap(&dag, comps, 3);
+        let sum: f64 = r.graphs.iter().map(|g| g.weight(&dag)).sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn single_task_many_procs() {
+        let (dag, comps) = setup(&[7.0]);
+        let r = propmap(&dag, comps, 8);
+        assert_eq!(r.graphs.len(), 1);
+        assert_eq!(r.proc_counts, vec![8]);
+        let _ = TaskId(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the scheduling and checkpointing algorithms.
+
+use ckpt_core::{
+    allocate, optimal_checkpoints, segment_cost, AllocateConfig, CostCtx, Pipeline, Platform,
+    Strategy,
+};
+use mspg::gen::{random_workflow, GenConfig};
+use mspg::linearize::Linearizer;
+use probdag::PathApprox;
+use proptest::prelude::*;
+
+fn wf(n: usize, seed: u64) -> mspg::Workflow {
+    random_workflow(&GenConfig {
+        n_tasks: n,
+        max_branch: 4,
+        weight_range: (0.5, 60.0),
+        size_range: (1.0, 5e7),
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Allocate produces a valid schedule (full cover, topological
+    /// superchains, deadlock-free) on arbitrary M-SPGs and processor
+    /// counts.
+    #[test]
+    fn allocate_is_always_valid(n in 1usize..150, p in 1usize..24, seed: u64) {
+        let w = wf(n, seed);
+        let cfg = AllocateConfig { linearizer: Linearizer::RandomTopo, seed };
+        let s = allocate(&w, p, &cfg);
+        prop_assert!(s.validate(&w.dag).is_ok());
+        prop_assert_eq!(s.n_tasks(), n);
+        // Every superchain sits on a valid processor.
+        for sc in &s.superchains {
+            prop_assert!(sc.proc < p);
+        }
+    }
+
+    /// The failure-free parallel time is bracketed by the critical path
+    /// and the sequential time, and never improves with fewer processors.
+    #[test]
+    fn parallel_time_brackets(n in 2usize..120, seed: u64) {
+        let w = wf(n, seed);
+        let cfg = AllocateConfig::default();
+        let t1 = allocate(&w, 1, &cfg).failure_free_parallel_time(&w.dag);
+        let t8 = allocate(&w, 8, &cfg).failure_free_parallel_time(&w.dag);
+        let cp = w.dag.critical_path();
+        let total = w.dag.total_weight();
+        prop_assert!((t1 - total).abs() < 1e-6 * total, "t1 {t1} vs total {total}");
+        prop_assert!(t8 >= cp - 1e-9);
+        prop_assert!(t8 <= t1 + 1e-9);
+    }
+
+    /// The checkpoint DP is optimal: on small superchains it matches
+    /// exhaustive enumeration over all checkpoint subsets.
+    #[test]
+    fn dp_matches_exhaustive(n in 1usize..40, p in 1usize..4, seed: u64,
+                             lambda in 1e-6f64..0.05, bw in 1e5f64..1e9) {
+        let w = wf(n, seed);
+        let s = allocate(&w, p, &AllocateConfig { linearizer: Linearizer::RandomTopo, seed });
+        let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: bw };
+        for sc in &s.superchains {
+            let len = sc.tasks.len();
+            if len > 12 {
+                continue;
+            }
+            let dp = optimal_checkpoints(&ctx, &sc.tasks);
+            // Exhaustive enumeration.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << (len - 1)) {
+                let mut total = 0.0;
+                let mut lo = 0usize;
+                for hi in 0..len {
+                    let is_ckpt = hi == len - 1 || mask >> hi & 1 == 1;
+                    if is_ckpt {
+                        let c = segment_cost(&ctx, &sc.tasks, lo, hi);
+                        total += ctx.expected_segment_time(c.base());
+                        lo = hi + 1;
+                    }
+                }
+                best = best.min(total);
+            }
+            prop_assert!(
+                (dp.expected_time - best).abs() <= 1e-9 * best.max(1.0),
+                "dp {} vs exhaustive {best}", dp.expected_time
+            );
+        }
+    }
+
+    /// Segment costs are superadditive-consistent: splitting a segment
+    /// never reduces total I/O below the merged I/O minus the interface
+    /// data (reads/writes only move, they don't vanish).
+    #[test]
+    fn segment_cost_monotonicity(n in 2usize..60, seed: u64) {
+        let w = wf(n, seed);
+        let s = allocate(&w, 1, &AllocateConfig::default());
+        let ctx = CostCtx { dag: &w.dag, lambda: 0.0, bandwidth: 1e6 };
+        for sc in &s.superchains {
+            let len = sc.tasks.len();
+            if len < 2 {
+                continue;
+            }
+            let whole = segment_cost(&ctx, &sc.tasks, 0, len - 1);
+            let mid = len / 2;
+            let left = segment_cost(&ctx, &sc.tasks, 0, mid - 1);
+            let right = segment_cost(&ctx, &sc.tasks, mid, len - 1);
+            // Work is conserved exactly.
+            prop_assert!((left.w + right.w - whole.w).abs() < 1e-9 * whole.w.max(1.0));
+            // Splitting can only add I/O (the interface files get written
+            // and re-read).
+            let merged_io = whole.r + whole.c;
+            let split_io = left.r + left.c + right.r + right.c;
+            prop_assert!(split_io >= merged_io - 1e-9 * merged_io.max(1.0),
+                "split {split_io} < merged {merged_io}");
+        }
+    }
+
+    /// End-to-end: CkptSome's evaluated makespan never exceeds ExitOnly's
+    /// (the DP dominates the naive solution on the same schedule), and
+    /// all strategies respect the failure-free lower bound.
+    #[test]
+    fn strategy_dominance(n in 2usize..80, p in 1usize..8, seed: u64) {
+        let w = wf(n, seed);
+        let lambda = ckpt_core::lambda_from_pfail(0.001, w.dag.mean_weight());
+        let platform = Platform::new(p, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { linearizer: Linearizer::RandomTopo, seed });
+        let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+        let exit = pipe.assess(Strategy::ExitOnly, &PathApprox::default());
+        prop_assert!(
+            some.expected_makespan <= exit.expected_makespan * 1.03,
+            "some {} vs exit {}", some.expected_makespan, exit.expected_makespan
+        );
+        prop_assert!(some.expected_makespan >= some.w_par * 0.99);
+    }
+
+    /// Theorem 1 is monotone in every argument.
+    #[test]
+    fn theorem1_monotone(w1 in 1.0f64..1e5, p in 1usize..512, l in 0.0f64..1e-3) {
+        let base = ckpt_core::theorem1(w1, p, l);
+        prop_assert!(ckpt_core::theorem1(w1 * 1.5, p, l) >= base);
+        prop_assert!(ckpt_core::theorem1(w1, p + 1, l) >= base);
+        prop_assert!(ckpt_core::theorem1(w1, p, l + 1e-6) >= base);
+    }
+}

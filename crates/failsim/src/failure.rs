@@ -1,0 +1,115 @@
+//! Failure injection: exponential processes and deterministic traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of fail-stop failure times, one stream per processor.
+pub trait FailureSource {
+    /// The next failure on `proc` strictly after time `after`, or
+    /// `f64::INFINITY` if the processor never fails again.
+    fn next_failure(&mut self, proc: usize, after: f64) -> f64;
+}
+
+/// Independent Poisson failures of rate `lambda` per processor (the
+/// paper's model). Memoryless, so each query draws a fresh exponential
+/// inter-arrival from `after`.
+pub struct ExpFailures {
+    lambda: f64,
+    rng: StdRng,
+}
+
+impl ExpFailures {
+    /// Creates the process with the given rate and seed.
+    pub fn new(lambda: f64, seed: u64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite());
+        ExpFailures { lambda, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws one exponential inter-arrival time.
+    pub fn sample_interarrival(&mut self) -> f64 {
+        if self.lambda == 0.0 {
+            return f64::INFINITY;
+        }
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+impl FailureSource for ExpFailures {
+    fn next_failure(&mut self, _proc: usize, after: f64) -> f64 {
+        after + self.sample_interarrival()
+    }
+}
+
+/// Deterministic failure trace: explicit failure times per processor
+/// (used by tests to script crossover-dependency scenarios).
+pub struct TraceFailures {
+    /// Sorted failure times per processor.
+    traces: Vec<Vec<f64>>,
+}
+
+impl TraceFailures {
+    /// Creates a trace source; each inner vector is sorted ascending.
+    pub fn new(mut traces: Vec<Vec<f64>>) -> Self {
+        for t in &mut traces {
+            t.sort_by(f64::total_cmp);
+        }
+        TraceFailures { traces }
+    }
+}
+
+impl FailureSource for TraceFailures {
+    fn next_failure(&mut self, proc: usize, after: f64) -> f64 {
+        match self.traces.get(proc) {
+            Some(ts) => ts
+                .iter()
+                .copied()
+                .find(|&t| t > after)
+                .unwrap_or(f64::INFINITY),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut src = ExpFailures::new(0.5, 1);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| src.sample_interarrival()).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let mut src = ExpFailures::new(0.0, 2);
+        assert_eq!(src.next_failure(0, 10.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn trace_returns_next_strictly_after() {
+        let mut src = TraceFailures::new(vec![vec![5.0, 1.0, 9.0]]);
+        assert_eq!(src.next_failure(0, 0.0), 1.0);
+        assert_eq!(src.next_failure(0, 1.0), 5.0);
+        assert_eq!(src.next_failure(0, 7.0), 9.0);
+        assert_eq!(src.next_failure(0, 9.0), f64::INFINITY);
+        assert_eq!(src.next_failure(1, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_failures_are_seeded() {
+        let a: Vec<f64> = {
+            let mut s = ExpFailures::new(1.0, 7);
+            (0..10).map(|_| s.sample_interarrival()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = ExpFailures::new(1.0, 7);
+            (0..10).map(|_| s.sample_interarrival()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

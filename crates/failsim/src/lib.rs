@@ -1,0 +1,28 @@
+//! # failsim — discrete-event simulation of fail-stop workflow execution
+//!
+//! Ground-truth substrate for *Checkpointing Workflows for Fail-Stop
+//! Errors* (Han et al., CLUSTER 2017). Where `probdag` evaluates the
+//! paper's *first-order model* (Eq. (1)/(2)), this crate simulates the
+//! *actual execution processes*, validating the model (experiment E5):
+//!
+//! * [`segment_exec`] — checkpointed executions (CkptAll / CkptSome /
+//!   ExitOnly): segments restart from stable storage, so per-segment
+//!   renewal sampling is exact for the execution model;
+//! * [`none_exec`] — the CkptNone strategy with full crossover-dependency
+//!   cascades: processor failures lose in-memory outputs, consumers demand
+//!   transitive producer re-execution (the process whose expectation the
+//!   paper proves #P-complete to compute);
+//! * [`failure`] — exponential and trace-driven failure injection;
+//! * [`montecarlo`] — seeded, thread-parallel aggregation.
+
+pub mod failure;
+pub mod metrics;
+pub mod montecarlo;
+pub mod none_exec;
+pub mod segment_exec;
+
+pub use failure::{ExpFailures, FailureSource, TraceFailures};
+pub use metrics::{ExecStats, McStats};
+pub use montecarlo::{montecarlo_none, montecarlo_segments, NoneMcStats, SimConfig};
+pub use none_exec::{simulate_none, Diverged};
+pub use segment_exec::{simulate_segments, simulate_segments_downtime};

@@ -1,0 +1,71 @@
+//! Execution statistics collected by the simulators.
+
+/// Outcome of one simulated execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Wall-clock completion time (seconds).
+    pub makespan: f64,
+    /// Number of fail-stop failures that struck busy or stateful
+    /// processors (idle failures with no live data are still counted by
+    /// the CkptNone engine, since they may invalidate data).
+    pub n_failures: usize,
+    /// Time spent on work that was lost to failures (partial attempts).
+    pub wasted_time: f64,
+    /// Number of task or segment re-executions.
+    pub n_reexecs: usize,
+}
+
+/// Aggregate over many simulated executions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct McStats {
+    /// Mean makespan.
+    pub mean_makespan: f64,
+    /// Standard error of the mean makespan.
+    pub stderr: f64,
+    /// Mean number of failures per run.
+    pub mean_failures: f64,
+    /// Mean wasted time per run.
+    pub mean_wasted: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl McStats {
+    /// Aggregates per-run statistics.
+    pub fn from_runs(runs: &[ExecStats]) -> McStats {
+        assert!(!runs.is_empty());
+        let n = runs.len() as f64;
+        let mean = runs.iter().map(|r| r.makespan).sum::<f64>() / n;
+        let var = runs
+            .iter()
+            .map(|r| (r.makespan - mean) * (r.makespan - mean))
+            .sum::<f64>()
+            / n;
+        McStats {
+            mean_makespan: mean,
+            stderr: (var / n).sqrt(),
+            mean_failures: runs.iter().map(|r| r.n_failures as f64).sum::<f64>() / n,
+            mean_wasted: runs.iter().map(|r| r.wasted_time).sum::<f64>() / n,
+            runs: runs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let runs = [
+            ExecStats { makespan: 10.0, n_failures: 1, wasted_time: 2.0, n_reexecs: 1 },
+            ExecStats { makespan: 14.0, n_failures: 3, wasted_time: 6.0, n_reexecs: 2 },
+        ];
+        let agg = McStats::from_runs(&runs);
+        assert_eq!(agg.mean_makespan, 12.0);
+        assert_eq!(agg.mean_failures, 2.0);
+        assert_eq!(agg.mean_wasted, 4.0);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.stderr - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+}

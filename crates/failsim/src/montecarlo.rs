@@ -1,0 +1,167 @@
+//! Parallel Monte Carlo over simulated executions.
+
+use ckpt_core::{Schedule, SegmentGraph};
+use mspg::Dag;
+
+use crate::failure::ExpFailures;
+use crate::metrics::{ExecStats, McStats};
+use crate::none_exec::simulate_none;
+use crate::segment_exec::simulate_segments;
+
+/// Monte Carlo configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of simulated executions.
+    pub runs: usize,
+    /// Base seed; run `i` derives an independent stream.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Failure budget per CkptNone run (see
+    /// [`crate::none_exec::Diverged`]).
+    pub max_failures: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { runs: 1000, seed: 0xF00D, threads: 0, max_failures: 1_000_000 }
+    }
+}
+
+fn run_seed(base: u64, i: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+}
+
+fn parallel_map<F>(runs: usize, threads: usize, f: F) -> Vec<ExecStats>
+where
+    F: Fn(usize) -> ExecStats + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(runs.max(1));
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < runs {
+                    out.push(f(i));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        let mut all = Vec::with_capacity(runs);
+        for h in handles {
+            all.extend(h.join().expect("sim worker panicked"));
+        }
+        all
+    })
+}
+
+/// Monte Carlo over checkpointed (segment-graph) executions.
+pub fn montecarlo_segments(sg: &SegmentGraph, lambda: f64, cfg: &SimConfig) -> McStats {
+    let runs = parallel_map(cfg.runs, cfg.threads, |i| {
+        simulate_segments(sg, lambda, run_seed(cfg.seed, i))
+    });
+    McStats::from_runs(&runs)
+}
+
+/// Monte Carlo over CkptNone executions. Diverged runs (failure budget
+/// exhausted) are censored at the budget and reported separately.
+pub struct NoneMcStats {
+    /// Aggregate over converged runs.
+    pub stats: McStats,
+    /// Number of runs that exceeded the failure budget.
+    pub diverged: usize,
+}
+
+/// Monte Carlo over CkptNone executions.
+pub fn montecarlo_none(
+    dag: &Dag,
+    sched: &Schedule,
+    lambda: f64,
+    cfg: &SimConfig,
+) -> NoneMcStats {
+    let marker = f64::INFINITY;
+    let runs = parallel_map(cfg.runs, cfg.threads, |i| {
+        let mut src = ExpFailures::new(lambda, run_seed(cfg.seed, i));
+        match simulate_none(dag, sched, &mut src, cfg.max_failures) {
+            Ok(s) => s,
+            Err(d) => ExecStats {
+                makespan: marker,
+                n_failures: d.n_failures,
+                wasted_time: 0.0,
+                n_reexecs: 0,
+            },
+        }
+    });
+    let converged: Vec<ExecStats> =
+        runs.iter().copied().filter(|r| r.makespan.is_finite()).collect();
+    let diverged = runs.len() - converged.len();
+    assert!(!converged.is_empty(), "all CkptNone runs diverged");
+    NoneMcStats { stats: McStats::from_runs(&converged), diverged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::{allocate, AllocateConfig, Pipeline, Platform, Strategy};
+    use pegasus::{generate, WorkflowClass};
+
+    #[test]
+    fn segment_mc_matches_pathapprox_at_small_pfail() {
+        // E5 in miniature: the first-order 2-state model evaluated by
+        // PathApprox must agree with the exact renewal simulation within a
+        // few standard errors plus the O(λ²) model error.
+        let w = generate(WorkflowClass::Genome, 50, 2);
+        let lambda = ckpt_core::lambda_from_pfail(0.001, w.dag.mean_weight());
+        let platform = Platform::new(5, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        let mc = montecarlo_segments(&sg, lambda, &SimConfig { runs: 4000, ..Default::default() });
+        let pa = pipe
+            .assess(Strategy::CkptSome, &probdag::PathApprox::default())
+            .expected_makespan;
+        let tol = 5.0 * mc.stderr + 0.01 * pa;
+        assert!(
+            (mc.mean_makespan - pa).abs() < tol,
+            "mc {} vs pathapprox {pa} (stderr {})",
+            mc.mean_makespan,
+            mc.stderr
+        );
+    }
+
+    #[test]
+    fn none_mc_reports_divergence_separately() {
+        let w = generate(WorkflowClass::Genome, 50, 4);
+        let sched = allocate(&w, 5, &AllocateConfig::default());
+        let lambda = ckpt_core::lambda_from_pfail(0.0001, w.dag.mean_weight());
+        let r = montecarlo_none(
+            &w.dag,
+            &sched,
+            lambda,
+            &SimConfig { runs: 200, ..Default::default() },
+        );
+        assert_eq!(r.diverged, 0);
+        assert!(r.stats.mean_makespan >= sched.failure_free_parallel_time(&w.dag) - 1e-6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_threads() {
+        let w = generate(WorkflowClass::Ligo, 50, 5);
+        let lambda = ckpt_core::lambda_from_pfail(0.001, w.dag.mean_weight());
+        let platform = Platform::new(3, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        let sg = pipe.segment_graph(Strategy::CkptAll);
+        let cfg = SimConfig { runs: 500, seed: 11, threads: 2, max_failures: 1000 };
+        let a = montecarlo_segments(&sg, lambda, &cfg);
+        let b = montecarlo_segments(&sg, lambda, &cfg);
+        assert_eq!(a.mean_makespan, b.mean_makespan);
+    }
+}

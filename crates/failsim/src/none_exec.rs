@@ -1,0 +1,395 @@
+//! Event-driven simulation of the CkptNone strategy, including
+//! crossover-dependency cascades (§I of the paper).
+//!
+//! No data is ever checkpointed: a task's outputs live only in its
+//! processor's memory. When a processor fails it instantly reboots but
+//! loses everything — the task it was running *and* the outputs of every
+//! completed task still resident. Consumers that later need a lost datum
+//! force the producer to re-execute on its original processor, which may
+//! transitively require re-executing *its* producers ("a few crashes can
+//! thus lead to many task re-executions"). The paper proves computing the
+//! expected makespan of this process is #P-complete; this engine samples
+//! it instead.
+//!
+//! Model choices (documented in DESIGN.md): instant reboot (no downtime),
+//! zero-cost in-memory transfer, consumers copy their inputs at start (a
+//! running task is immune to later producer failures), workflow inputs
+//! live on stable storage and are always recoverable, and re-executions
+//! keep the original task→processor mapping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ckpt_core::Schedule;
+use mspg::{Dag, TaskId};
+
+use crate::failure::FailureSource;
+use crate::metrics::ExecStats;
+
+/// Simulation failed to converge within the failure budget (the expected
+/// number of failures per execution explodes for high `λ·W` products —
+/// exactly the regime where the paper's plots clip CkptNone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Diverged {
+    /// Failures injected before giving up.
+    pub n_failures: usize,
+}
+
+impl std::fmt::Display for Diverged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CkptNone simulation exceeded {} failures", self.n_failures)
+    }
+}
+
+impl std::error::Error for Diverged {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Waiting in its processor's queue (never run, or demanded again).
+    Queued,
+    /// Currently executing.
+    Running,
+    /// Completed with output data live in processor memory.
+    DoneLive,
+    /// Completed but output data lost to a failure.
+    DoneLost,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Fail-stop failure on a processor.
+    Fail(usize),
+    /// Completion of the task running on a processor; stale epochs are
+    /// dropped.
+    Done(usize, u64),
+}
+
+/// Total-ordered event key (time, tie-break sequence).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Key(f64, u64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// One simulated CkptNone execution of `sched` under `failures`.
+///
+/// `max_failures` bounds the simulation (see [`Diverged`]).
+pub fn simulate_none(
+    dag: &Dag,
+    sched: &Schedule,
+    failures: &mut dyn FailureSource,
+    max_failures: usize,
+) -> Result<ExecStats, Diverged> {
+    let n = dag.n_tasks();
+    let p = sched.n_procs;
+    // Static maps.
+    let mut proc_of = vec![usize::MAX; n];
+    let mut pos_of = vec![u32::MAX; n];
+    let mut proc_orders: Vec<Vec<TaskId>> = Vec::with_capacity(p);
+    for q in 0..p {
+        let order = sched.proc_task_order(q);
+        for (i, &t) in order.iter().enumerate() {
+            proc_of[t.index()] = q;
+            pos_of[t.index()] = i as u32;
+        }
+        proc_orders.push(order);
+    }
+    // Dynamic state.
+    let mut state = vec![TState::Queued; n];
+    let mut ever_done = vec![false; n];
+    let mut queues: Vec<BinaryHeap<Reverse<(u32, u32)>>> =
+        (0..p).map(|_| BinaryHeap::new()).collect();
+    for q in 0..p {
+        for &t in &proc_orders[q] {
+            queues[q].push(Reverse((pos_of[t.index()], t.0)));
+        }
+    }
+    let mut current: Vec<Option<(TaskId, f64)>> = vec![None; p];
+    let mut epoch = vec![0u64; p];
+    let mut events: BinaryHeap<Reverse<(Key, EventBox)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BinaryHeap<Reverse<(Key, EventBox)>>,
+                    seq: &mut u64,
+                    time: f64,
+                    ev: Event| {
+        *seq += 1;
+        events.push(Reverse((Key(time, *seq), EventBox(ev))));
+    };
+    for q in 0..p {
+        let t = failures.next_failure(q, 0.0);
+        if t.is_finite() {
+            push(&mut events, &mut seq, t, Event::Fail(q));
+        }
+    }
+    let mut stats = ExecStats::default();
+    // The workflow completes when every *sink* has completed once: sinks
+    // have no consumers, so their first completion is final, and all
+    // other tasks are ancestors of some sink. Re-execution demands still
+    // pending at that instant are irrelevant.
+    let mut is_sink = vec![false; n];
+    let mut remaining_sinks = 0usize;
+    for t in dag.task_ids() {
+        if dag.succs(t).is_empty() {
+            is_sink[t.index()] = true;
+            remaining_sinks += 1;
+        }
+    }
+
+    // Starts the front task of every idle processor whose predecessors are
+    // all DoneLive; lost predecessors are demanded for re-execution on
+    // their own processors. Loops until no processor can start (a fresh
+    // re-execution demand may itself be immediately startable).
+    macro_rules! start_ready {
+        ($now:expr) => {{
+            loop {
+                let mut progressed = false;
+                for q in 0..p {
+                    if current[q].is_some() {
+                        continue;
+                    }
+                    let Some(&Reverse((_, tid))) = queues[q].peek() else {
+                        continue;
+                    };
+                    let t = TaskId(tid);
+                    let mut ready = true;
+                    for &(u, _) in dag.preds(t) {
+                        match state[u.index()] {
+                            TState::DoneLive => {}
+                            TState::DoneLost => {
+                                // Demand re-execution of the producer on
+                                // its own processor; re-scan so that an
+                                // idle processor picks the demand up in
+                                // this same instant.
+                                state[u.index()] = TState::Queued;
+                                stats.n_reexecs += 1;
+                                queues[proc_of[u.index()]]
+                                    .push(Reverse((pos_of[u.index()], u.0)));
+                                ready = false;
+                                progressed = true;
+                            }
+                            _ => ready = false,
+                        }
+                    }
+                    if ready {
+                        queues[q].pop();
+                        current[q] = Some((t, $now));
+                        state[t.index()] = TState::Running;
+                        epoch[q] += 1;
+                        seq += 1;
+                        events.push(Reverse((
+                            Key($now + dag.weight(t), seq),
+                            EventBox(Event::Done(q, epoch[q])),
+                        )));
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }};
+    }
+
+    start_ready!(0.0);
+    while let Some(Reverse((Key(now, _), EventBox(ev)))) = events.pop() {
+        match ev {
+            Event::Done(q, e) => {
+                if e != epoch[q] {
+                    continue; // aborted by a failure
+                }
+                let (t, _) = current[q].take().expect("done on idle proc");
+                state[t.index()] = TState::DoneLive;
+                if !ever_done[t.index()] {
+                    ever_done[t.index()] = true;
+                    if is_sink[t.index()] {
+                        remaining_sinks -= 1;
+                        stats.makespan = stats.makespan.max(now);
+                        if remaining_sinks == 0 {
+                            return Ok(stats);
+                        }
+                    }
+                }
+                start_ready!(now);
+            }
+            Event::Fail(q) => {
+                stats.n_failures += 1;
+                if stats.n_failures > max_failures {
+                    return Err(Diverged { n_failures: stats.n_failures });
+                }
+                // Abort the running task.
+                if let Some((t, started)) = current[q].take() {
+                    stats.wasted_time += now - started;
+                    state[t.index()] = TState::Queued;
+                    queues[q].push(Reverse((pos_of[t.index()], t.0)));
+                    epoch[q] += 1;
+                }
+                // All live outputs on q are lost.
+                for &t in &proc_orders[q] {
+                    if state[t.index()] == TState::DoneLive {
+                        state[t.index()] = TState::DoneLost;
+                    }
+                }
+                let next = failures.next_failure(q, now);
+                if next.is_finite() {
+                    push(&mut events, &mut seq, next, Event::Fail(q));
+                }
+                start_ready!(now);
+            }
+        }
+    }
+    // Event queue drained: with no more failures scheduled everything
+    // still queued would have started; reaching here with sinks pending
+    // means a blocked demand was never satisfied — a bug.
+    assert_eq!(remaining_sinks, 0, "simulation stalled with {remaining_sinks} sinks left");
+    Ok(stats)
+}
+
+/// Boxed event to keep the heap element `Ord` (events themselves are not
+/// ordered; the key is).
+#[derive(Clone, Copy, Debug)]
+struct EventBox(Event);
+
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for EventBox {}
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{ExpFailures, TraceFailures};
+    use ckpt_core::{allocate, AllocateConfig};
+    use mspg::{Mspg, Workflow};
+
+    /// a → b with a on P0, b on P1; weights 2 and 3.
+    fn cross_proc_chain() -> (Workflow, Schedule) {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 2.0, 1.0);
+        let b = dag.add_task_with_output("b", k, 3.0, 1.0);
+        let root = Mspg::chain([a, b]).unwrap();
+        let w = Workflow::new(dag, root);
+        let scs = vec![
+            ckpt_core::Superchain { proc: 0, tasks: vec![a] },
+            ckpt_core::Superchain { proc: 1, tasks: vec![b] },
+        ];
+        let sched = ckpt_core::Schedule::from_superchains(&w.dag, 2, scs);
+        (w, sched)
+    }
+
+    #[test]
+    fn no_failures_gives_parallel_time() {
+        let (w, sched) = cross_proc_chain();
+        let mut src = TraceFailures::new(vec![]);
+        let stats = simulate_none(&w.dag, &sched, &mut src, 1000).unwrap();
+        assert_eq!(stats.makespan, 5.0);
+        assert_eq!(stats.n_failures, 0);
+    }
+
+    #[test]
+    fn crossover_dependency_forces_producer_reexecution() {
+        // a (P0, weight 2) completes at t=2; b (P1, weight 3) starts at 2.
+        // P1 fails at t=4 (b aborted, its input copy lost). By then P0
+        // failed at t=3, losing a's output. b's restart demands a's
+        // re-execution: a reruns 4→6, b reruns 6→9.
+        let (w, sched) = cross_proc_chain();
+        let mut src = TraceFailures::new(vec![vec![3.0], vec![4.0]]);
+        let stats = simulate_none(&w.dag, &sched, &mut src, 1000).unwrap();
+        assert_eq!(stats.makespan, 9.0);
+        assert_eq!(stats.n_failures, 2);
+        assert_eq!(stats.n_reexecs, 1, "a must be demanded once");
+    }
+
+    #[test]
+    fn producer_failure_during_consumer_run_is_harmless() {
+        // b starts at 2 holding a copy of a's output; P0 fails at t=3 but
+        // b completes at t=5 unaffected.
+        let (w, sched) = cross_proc_chain();
+        let mut src = TraceFailures::new(vec![vec![3.0], vec![]]);
+        let stats = simulate_none(&w.dag, &sched, &mut src, 1000).unwrap();
+        assert_eq!(stats.makespan, 5.0);
+        assert_eq!(stats.n_reexecs, 0);
+    }
+
+    #[test]
+    fn failure_of_running_task_restarts_it() {
+        let (w, sched) = cross_proc_chain();
+        // P0 fails at t=1 (a half done): a reruns 1→3, b runs 3→6.
+        let mut src = TraceFailures::new(vec![vec![1.0], vec![]]);
+        let stats = simulate_none(&w.dag, &sched, &mut src, 1000).unwrap();
+        assert_eq!(stats.makespan, 6.0);
+        assert!((stats.wasted_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let (w, sched) = cross_proc_chain();
+        // Both processors fail every 0.5 s: nothing of weight ≥ 2 can ever
+        // finish.
+        let times: Vec<f64> = (1..100_000).map(|i| i as f64 * 0.5).collect();
+        let mut src = TraceFailures::new(vec![times.clone(), times]);
+        let r = simulate_none(&w.dag, &sched, &mut src, 500);
+        assert!(matches!(r, Err(Diverged { .. })));
+    }
+
+    #[test]
+    fn matches_wpar_for_scheduled_workflows_without_failures() {
+        for class in pegasus::WorkflowClass::ALL {
+            let w = pegasus::generate(class, 50, 3);
+            let sched = allocate(&w, 5, &AllocateConfig::default());
+            let wpar = sched.failure_free_parallel_time(&w.dag);
+            let mut src = ExpFailures::new(0.0, 1);
+            let stats = simulate_none(&w.dag, &sched, &mut src, 10).unwrap();
+            assert!(
+                (stats.makespan - wpar).abs() < 1e-6 * wpar,
+                "{class}: sim {} vs wpar {wpar}",
+                stats.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn failures_increase_expected_makespan() {
+        let w = pegasus::generate(pegasus::WorkflowClass::Genome, 50, 7);
+        let sched = allocate(&w, 5, &AllocateConfig::default());
+        let wpar = sched.failure_free_parallel_time(&w.dag);
+        let lambda = ckpt_core::lambda_from_pfail(0.01, w.dag.mean_weight());
+        let runs = 100;
+        let mean: f64 = (0..runs)
+            .map(|s| {
+                let mut src = ExpFailures::new(lambda, s);
+                simulate_none(&w.dag, &sched, &mut src, 100_000)
+                    .unwrap()
+                    .makespan
+            })
+            .sum::<f64>()
+            / runs as f64;
+        assert!(mean > wpar, "mean {mean} vs wpar {wpar}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulation of checkpointed executions (CkptAll / CkptSome / ExitOnly).
+//!
+//! With every superchain checkpointed there are no crossover dependencies:
+//! each segment restarts from its own inputs on stable storage, so a
+//! segment's wall-clock duration is an independent renewal process —
+//! failed attempts (exponential strikes before the `R + W + C` span
+//! completes) repeat until one attempt survives. Failures during idle
+//! waiting are harmless (no state in memory between segments), which makes
+//! the renewal sampling *exact* for this execution model, not an
+//! approximation.
+
+use ckpt_core::SegmentGraph;
+
+use crate::failure::ExpFailures;
+use crate::metrics::ExecStats;
+
+/// Simulates one execution of a coalesced (checkpointed) schedule under
+/// exponential failures of rate `lambda` per processor (instant reboot,
+/// the paper's model).
+pub fn simulate_segments(sg: &SegmentGraph, lambda: f64, seed: u64) -> ExecStats {
+    simulate_segments_downtime(sg, lambda, 0.0, seed)
+}
+
+/// Like [`simulate_segments`] but each failure additionally costs
+/// `downtime` seconds of processor unavailability before the segment
+/// restarts (a fidelity knob the paper's instant-reboot model sets to 0).
+pub fn simulate_segments_downtime(
+    sg: &SegmentGraph,
+    lambda: f64,
+    downtime: f64,
+    seed: u64,
+) -> ExecStats {
+    assert!(downtime >= 0.0);
+    let mut src = ExpFailures::new(lambda, seed);
+    let order = sg.pdag.topo_order();
+    let mut finish = vec![0.0f64; sg.segments.len()];
+    let mut stats = ExecStats::default();
+    for v in order {
+        let start = sg
+            .pdag
+            .preds(v)
+            .iter()
+            .map(|u| finish[u.index()])
+            .fold(0.0f64, f64::max);
+        let base = sg.segments[v.index()].cost.base();
+        let dur = sample_duration(base, downtime, &mut src, &mut stats);
+        finish[v.index()] = start + dur;
+        stats.makespan = stats.makespan.max(finish[v.index()]);
+    }
+    stats
+}
+
+/// Renewal sampling of one segment's wall-clock duration: attempts of span
+/// `base` repeat until no failure strikes within the attempt.
+fn sample_duration(
+    base: f64,
+    downtime: f64,
+    src: &mut ExpFailures,
+    stats: &mut ExecStats,
+) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    let mut elapsed = 0.0;
+    loop {
+        let strike = src.sample_interarrival();
+        if strike >= base {
+            return elapsed + base;
+        }
+        elapsed += strike + downtime;
+        stats.n_failures += 1;
+        stats.n_reexecs += 1;
+        stats.wasted_time += strike;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::{AllocateConfig, Pipeline, Platform, Strategy};
+    use pegasus::{generate, WorkflowClass};
+
+    fn segment_graph(pfail: f64, n_procs: usize) -> SegmentGraph {
+        let w = generate(WorkflowClass::Genome, 50, 1);
+        let lambda = ckpt_core::lambda_from_pfail(pfail, w.dag.mean_weight());
+        let platform = Platform::new(n_procs, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        pipe.segment_graph(Strategy::CkptSome)
+    }
+
+    #[test]
+    fn zero_failures_reproduce_deterministic_makespan() {
+        let sg = segment_graph(0.0, 5);
+        let stats = simulate_segments(&sg, 0.0, 1);
+        assert_eq!(stats.n_failures, 0);
+        assert_eq!(stats.wasted_time, 0.0);
+        assert!((stats.makespan - sg.pdag.makespan_low()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_only_lengthen() {
+        let sg = segment_graph(0.01, 5);
+        let base = sg.pdag.makespan_low();
+        let lambda = ckpt_core::lambda_from_pfail(0.01, 50.0);
+        for seed in 0..50 {
+            let stats = simulate_segments(&sg, lambda, seed);
+            assert!(stats.makespan >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let sg = segment_graph(0.01, 5);
+        let a = simulate_segments(&sg, 1e-4, 9);
+        let b = simulate_segments(&sg, 1e-4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn downtime_only_lengthens() {
+        let sg = segment_graph(0.01, 5);
+        let lambda = ckpt_core::lambda_from_pfail(0.01, 50.0);
+        let mut strictly_longer = 0usize;
+        let mut any_failures = 0usize;
+        for seed in 0..30 {
+            let fast = simulate_segments_downtime(&sg, lambda, 0.0, seed);
+            let slow = simulate_segments_downtime(&sg, lambda, 60.0, seed);
+            // Same RNG consumption → identical failure draws.
+            assert_eq!(slow.n_failures, fast.n_failures);
+            assert!(slow.makespan >= fast.makespan);
+            if fast.n_failures > 0 {
+                any_failures += 1;
+                // A failure off the critical path can be absorbed by
+                // slack, so only count strict increases.
+                if slow.makespan > fast.makespan {
+                    strictly_longer += 1;
+                }
+            }
+        }
+        assert!(any_failures > 0, "want some failing runs at this rate");
+        assert!(strictly_longer > 0, "60s reboots must show up somewhere");
+    }
+
+    #[test]
+    fn zero_downtime_matches_plain_api() {
+        let sg = segment_graph(0.01, 5);
+        let lambda = ckpt_core::lambda_from_pfail(0.01, 50.0);
+        assert_eq!(
+            simulate_segments(&sg, lambda, 3),
+            simulate_segments_downtime(&sg, lambda, 0.0, 3)
+        );
+    }
+
+    #[test]
+    fn higher_rate_more_failures_on_average() {
+        let sg = segment_graph(0.01, 5);
+        let runs = 200;
+        let count = |lambda: f64| -> f64 {
+            (0..runs)
+                .map(|s| simulate_segments(&sg, lambda, s).n_failures as f64)
+                .sum::<f64>()
+                / runs as f64
+        };
+        let lo = count(1e-6);
+        let hi = count(1e-3);
+        assert!(hi > lo, "failures: hi {hi} vs lo {lo}");
+    }
+}

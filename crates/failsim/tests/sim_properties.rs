@@ -1,0 +1,95 @@
+//! Property-based tests for the discrete-event simulators.
+
+use ckpt_core::{allocate, AllocateConfig, Pipeline, Platform, Strategy};
+use failsim::{simulate_none, simulate_segments, ExpFailures, TraceFailures};
+use mspg::gen::{random_workflow, GenConfig};
+use proptest::prelude::*;
+
+fn wf(n: usize, seed: u64) -> mspg::Workflow {
+    random_workflow(&GenConfig {
+        n_tasks: n,
+        max_branch: 4,
+        weight_range: (0.5, 20.0),
+        size_range: (1.0, 1e7),
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Without failures, both engines reproduce their deterministic
+    /// makespans exactly: the segment graph's all-low longest path, and
+    /// the schedule's failure-free parallel time.
+    #[test]
+    fn zero_lambda_is_deterministic(n in 2usize..60, p in 1usize..6, seed: u64) {
+        let w = wf(n, seed);
+        let platform = Platform::new(p, 0.0, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        let stats = simulate_segments(&sg, 0.0, seed);
+        prop_assert!((stats.makespan - sg.pdag.makespan_low()).abs() < 1e-6);
+        prop_assert_eq!(stats.n_failures, 0);
+        let mut src = ExpFailures::new(0.0, seed);
+        let none = simulate_none(&w.dag, &pipe.schedule, &mut src, 10).unwrap();
+        let wpar = pipe.schedule.failure_free_parallel_time(&w.dag);
+        prop_assert!((none.makespan - wpar).abs() < 1e-6 * wpar.max(1.0),
+            "sim {} vs wpar {wpar}", none.makespan);
+    }
+
+    /// Failures never shorten an execution, and wasted time is consistent
+    /// with the failure count.
+    #[test]
+    fn failures_only_lengthen(n in 2usize..50, seed: u64, lam_exp in 1u32..5) {
+        let w = wf(n, seed);
+        let lambda = 10f64.powi(-(lam_exp as i32 + 1));
+        let platform = Platform::new(3, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let sg = pipe.segment_graph(Strategy::CkptAll);
+        let floor = sg.pdag.makespan_low();
+        let stats = simulate_segments(&sg, lambda, seed);
+        prop_assert!(stats.makespan >= floor - 1e-9);
+        prop_assert!(stats.wasted_time >= 0.0);
+        if stats.n_failures == 0 {
+            prop_assert!((stats.makespan - floor).abs() < 1e-9 * floor.max(1.0));
+        }
+    }
+
+    /// The CkptNone cascade engine terminates and respects the
+    /// failure-free floor under scripted failure traces.
+    #[test]
+    fn cascade_engine_terminates(n in 2usize..40, p in 1usize..5, seed: u64,
+                                 fail_times in prop::collection::vec(0.1f64..200.0, 0..12)) {
+        let w = wf(n, seed);
+        let sched = allocate(&w, p, &AllocateConfig { seed, ..Default::default() });
+        let wpar = sched.failure_free_parallel_time(&w.dag);
+        // Spread the scripted failures round-robin over processors.
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); p];
+        for (i, t) in fail_times.iter().enumerate() {
+            traces[i % p].push(*t);
+        }
+        let mut src = TraceFailures::new(traces);
+        let stats = simulate_none(&w.dag, &sched, &mut src, 100_000).unwrap();
+        prop_assert!(stats.makespan >= wpar - 1e-6 * wpar.max(1.0));
+        prop_assert!(stats.n_failures <= fail_times.len());
+    }
+
+    /// Monte Carlo means respond monotonically to the failure rate (with
+    /// generous statistical slack).
+    #[test]
+    fn mc_mean_monotone_in_lambda(seed in 0u64..100) {
+        let w = wf(40, seed);
+        let platform = Platform::new(3, 1e-5, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        let runs = 300;
+        let mean = |lambda: f64| -> f64 {
+            (0..runs)
+                .map(|i| simulate_segments(&sg, lambda, seed.wrapping_add(i)).makespan)
+                .sum::<f64>() / runs as f64
+        };
+        let lo = mean(1e-6);
+        let hi = mean(5e-3);
+        prop_assert!(hi >= lo * 0.999, "hi {hi} vs lo {lo}");
+    }
+}

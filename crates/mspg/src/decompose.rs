@@ -1,0 +1,209 @@
+//! The `C ⊳ (G1 ∥ … ∥ Gn) ⊳ Gn+1` decomposition (Algorithm 1, line 3).
+//!
+//! `Allocate` repeatedly decomposes an M-SPG into a *head chain* `C` (the
+//! longest possible chain of atomic tasks, as required by the paper to avoid
+//! infinite recursion), a parallel composition `G1 ∥ … ∥ Gn`, and a
+//! remainder `Gn+1`.
+
+use crate::expr::Mspg;
+use crate::task::TaskId;
+
+/// Result of decomposing a normalized M-SPG as `C ⊳ (G1 ∥ … ∥ Gn) ⊳ Gn+1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The head chain `C` (possibly empty).
+    pub chain: Vec<TaskId>,
+    /// The parallel components `G1, …, Gn` (possibly empty).
+    pub parallel: Vec<Mspg>,
+    /// The remainder `Gn+1` (possibly empty).
+    pub rest: Option<Mspg>,
+}
+
+impl Decomposition {
+    /// True when every component is empty (decomposition of the empty
+    /// graph).
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty() && self.parallel.is_empty() && self.rest.is_none()
+    }
+}
+
+/// Decomposes a normalized M-SPG expression.
+///
+/// Guarantees, for a normalized input:
+/// * `chain` is the **longest** atomic-task prefix (maximal `C`);
+/// * every element of `parallel` is strictly smaller than the input;
+/// * at least one of `chain`/`parallel` is non-empty, so recursion on
+///   (`parallel` components, then `rest`) terminates.
+///
+/// # Panics
+/// Panics (in debug builds) if the expression is not in normal form.
+pub fn decompose(expr: &Mspg) -> Decomposition {
+    debug_assert!(expr.is_normalized(), "decompose requires a normalized M-SPG");
+    match expr {
+        Mspg::Task(t) => Decomposition { chain: vec![*t], parallel: Vec::new(), rest: None },
+        Mspg::Parallel(cs) => Decomposition {
+            chain: Vec::new(),
+            parallel: cs.clone(),
+            rest: None,
+        },
+        Mspg::Series(cs) => {
+            // Longest atomic prefix: in normal form the children are Task or
+            // Parallel, so the chain is the maximal Task prefix.
+            let mut chain = Vec::new();
+            let mut i = 0;
+            while i < cs.len() {
+                if let Mspg::Task(t) = cs[i] {
+                    chain.push(t);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let (parallel, rest) = if i == cs.len() {
+                (Vec::new(), None)
+            } else {
+                let parallel = match &cs[i] {
+                    Mspg::Parallel(ps) => ps.clone(),
+                    // A single non-parallel component: treat it as the sole
+                    // parallel part (n = 1), exactly the paper's
+                    // "some of these graphs possibly empty".
+                    other => vec![other.clone()],
+                };
+                let rest = Mspg::series(cs[i + 1..].iter().cloned());
+                (parallel, rest)
+            };
+            Decomposition { chain, parallel, rest }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> Mspg {
+        Mspg::Task(TaskId(i))
+    }
+
+    fn id(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn atomic_task_is_a_chain() {
+        let d = decompose(&t(3));
+        assert_eq!(d.chain, vec![id(3)]);
+        assert!(d.parallel.is_empty());
+        assert!(d.rest.is_none());
+    }
+
+    #[test]
+    fn pure_chain() {
+        let e = Mspg::chain([id(0), id(1), id(2)]).unwrap();
+        let d = decompose(&e);
+        assert_eq!(d.chain, vec![id(0), id(1), id(2)]);
+        assert!(d.parallel.is_empty());
+        assert!(d.rest.is_none());
+    }
+
+    #[test]
+    fn pure_parallel() {
+        let e = Mspg::parallel([t(0), t(1), t(2)]).unwrap();
+        let d = decompose(&e);
+        assert!(d.chain.is_empty());
+        assert_eq!(d.parallel.len(), 3);
+        assert!(d.rest.is_none());
+    }
+
+    #[test]
+    fn fork_join() {
+        // (0 ⊳ 1) ⊳ (2 ∥ 3) ⊳ 4
+        let e = Mspg::series([
+            t(0),
+            t(1),
+            Mspg::parallel([t(2), t(3)]).unwrap(),
+            t(4),
+        ])
+        .unwrap();
+        let d = decompose(&e);
+        assert_eq!(d.chain, vec![id(0), id(1)]);
+        assert_eq!(d.parallel, vec![t(2), t(3)]);
+        assert_eq!(d.rest, Some(t(4)));
+    }
+
+    #[test]
+    fn chain_is_maximal() {
+        // All-atomic series: the whole thing is the chain.
+        let e = Mspg::chain([id(0), id(1), id(2), id(3)]).unwrap();
+        let d = decompose(&e);
+        assert_eq!(d.chain.len(), 4);
+    }
+
+    #[test]
+    fn rest_preserves_structure() {
+        // 0 ⊳ (1 ∥ 2) ⊳ (3 ∥ 4) ⊳ 5
+        let e = Mspg::series([
+            t(0),
+            Mspg::parallel([t(1), t(2)]).unwrap(),
+            Mspg::parallel([t(3), t(4)]).unwrap(),
+            t(5),
+        ])
+        .unwrap();
+        let d = decompose(&e);
+        assert_eq!(d.chain, vec![id(0)]);
+        assert_eq!(d.parallel.len(), 2);
+        let rest = d.rest.unwrap();
+        let d2 = decompose(&rest);
+        assert!(d2.chain.is_empty());
+        assert_eq!(d2.parallel.len(), 2);
+        assert_eq!(d2.rest, Some(t(5)));
+    }
+
+    #[test]
+    fn decomposition_partitions_tasks() {
+        let e = Mspg::series([
+            t(9),
+            Mspg::parallel([Mspg::chain([id(1), id(2)]).unwrap(), t(3)]).unwrap(),
+            t(4),
+        ])
+        .unwrap();
+        let d = decompose(&e);
+        let mut all: Vec<TaskId> = d.chain.clone();
+        for p in &d.parallel {
+            all.extend(p.tasks());
+        }
+        if let Some(r) = &d.rest {
+            all.extend(r.tasks());
+        }
+        all.sort_unstable();
+        let mut expect = e.tasks();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn progress_guarantee() {
+        // Recursing through decompose must terminate on any normalized expr.
+        fn count(expr: &Mspg) -> usize {
+            let d = decompose(expr);
+            let mut n = d.chain.len();
+            for p in &d.parallel {
+                n += count(p);
+            }
+            if let Some(r) = &d.rest {
+                n += count(r);
+            }
+            n
+        }
+        let e = Mspg::series([
+            Mspg::parallel([
+                Mspg::series([t(0), Mspg::parallel([t(1), t(2)]).unwrap()]).unwrap(),
+                t(3),
+            ])
+            .unwrap(),
+            t(4),
+        ])
+        .unwrap();
+        assert_eq!(count(&e), e.n_tasks());
+    }
+}

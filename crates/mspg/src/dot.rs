@@ -1,0 +1,98 @@
+//! Graphviz (DOT) export for debugging and documentation.
+
+use crate::dag::Dag;
+use crate::task::TaskId;
+
+/// Renders the DAG in Graphviz DOT syntax.
+///
+/// `checkpointed`, if given, must be indexed by task id; checkpointed tasks
+/// are drawn shaded, mirroring the paper's figures.
+pub fn to_dot(dag: &Dag, checkpointed: Option<&[bool]>) -> String {
+    let mut out = String::with_capacity(64 * dag.n_tasks());
+    out.push_str("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n");
+    for t in dag.task_ids() {
+        let task = dag.task(t);
+        let shaded = checkpointed
+            .map(|c| c.get(t.index()).copied().unwrap_or(false))
+            .unwrap_or(false);
+        let style = if shaded { ", style=filled, fillcolor=gray80" } else { "" };
+        out.push_str(&format!(
+            "  {} [label=\"{}\\nw={:.2}\"{}];\n",
+            t.0, task.name, task.weight, style
+        ));
+    }
+    for t in dag.task_ids() {
+        for &(v, f) in dag.succs(t) {
+            out.push_str(&format!(
+                "  {} -> {} [label=\"{} ({:.0}B)\"];\n",
+                t.0,
+                v.0,
+                dag.file(f).name,
+                dag.file(f).size
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a per-processor schedule as a DOT cluster diagram (one cluster
+/// per processor, tasks in execution order).
+pub fn schedule_to_dot(dag: &Dag, per_proc: &[Vec<TaskId>]) -> String {
+    let mut out = String::new();
+    out.push_str("digraph schedule {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (p, tasks) in per_proc.iter().enumerate() {
+        out.push_str(&format!("  subgraph cluster_{p} {{\n    label=\"P{p}\";\n"));
+        for &t in tasks {
+            out.push_str(&format!("    {} [label=\"{}\"];\n", t.0, dag.task(t).name));
+        }
+        // Serialization edges.
+        for w in tasks.windows(2) {
+            out.push_str(&format!("    {} -> {} [style=dashed];\n", w[0].0, w[1].0));
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dag {
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        let a = g.add_task_with_output("alpha", k, 1.0, 10.0);
+        let _b = g.add_task_with_output("beta", k, 2.0, 20.0);
+        let fa = g.primary_output(a).unwrap();
+        g.add_edge(TaskId(1), fa);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = tiny();
+        let s = to_dot(&g, None);
+        assert!(s.starts_with("digraph workflow {"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("beta"));
+        assert!(s.contains("0 -> 1"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn checkpointed_tasks_are_shaded() {
+        let g = tiny();
+        let s = to_dot(&g, Some(&[true, false]));
+        assert!(s.contains("fillcolor=gray80"));
+    }
+
+    #[test]
+    fn schedule_dot_has_clusters() {
+        let g = tiny();
+        let s = schedule_to_dot(&g, &[vec![TaskId(0), TaskId(1)]]);
+        assert!(s.contains("cluster_0"));
+        assert!(s.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The recursive M-SPG structure.
+
+use crate::dag::Dag;
+use crate::task::TaskId;
+
+/// A Minimal Series-Parallel Graph expression over atomic tasks.
+///
+/// Following Valdes, Tarjan & Lawler (and §II-A of the paper), an M-SPG is
+/// either an atomic task, a serial composition `G1 ⊳ … ⊳ Gn` (dependencies
+/// from all sinks of `Gi` to all sources of `Gi+1`, *without* merging), or a
+/// parallel composition `G1 ∥ … ∥ Gn` (disjoint union).
+///
+/// Expressions are kept in **normal form** (see [`crate::normalize`]):
+/// `Series`/`Parallel` nodes have at least two children and never directly
+/// nest a node of the same variant. The smart constructors [`Mspg::series`]
+/// and [`Mspg::parallel`] enforce this. An *empty* M-SPG is represented by
+/// `Option<Mspg>` at API boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mspg {
+    /// An atomic task.
+    Task(TaskId),
+    /// Serial composition `children[0] ⊳ children[1] ⊳ …`.
+    Series(Vec<Mspg>),
+    /// Parallel composition `children[0] ∥ children[1] ∥ …`.
+    Parallel(Vec<Mspg>),
+}
+
+impl Mspg {
+    /// Serial composition smart constructor: flattens nested `Series` and
+    /// collapses singletons. Returns `None` for an empty part list.
+    pub fn series(parts: impl IntoIterator<Item = Mspg>) -> Option<Mspg> {
+        crate::normalize::series(parts)
+    }
+
+    /// Parallel composition smart constructor: flattens nested `Parallel`
+    /// and collapses singletons. Returns `None` for an empty part list.
+    pub fn parallel(parts: impl IntoIterator<Item = Mspg>) -> Option<Mspg> {
+        crate::normalize::parallel(parts)
+    }
+
+    /// A chain `g1 ⊳ g2 ⊳ … ⊳ gk` of atomic tasks.
+    pub fn chain(tasks: impl IntoIterator<Item = TaskId>) -> Option<Mspg> {
+        Mspg::series(tasks.into_iter().map(Mspg::Task))
+    }
+
+    /// Number of atomic tasks in the expression.
+    pub fn n_tasks(&self) -> usize {
+        match self {
+            Mspg::Task(_) => 1,
+            Mspg::Series(cs) | Mspg::Parallel(cs) => cs.iter().map(Mspg::n_tasks).sum(),
+        }
+    }
+
+    /// Appends all atomic tasks, in structural (depth-first) order.
+    pub fn collect_tasks(&self, out: &mut Vec<TaskId>) {
+        match self {
+            Mspg::Task(t) => out.push(*t),
+            Mspg::Series(cs) | Mspg::Parallel(cs) => {
+                for c in cs {
+                    c.collect_tasks(out);
+                }
+            }
+        }
+    }
+
+    /// All atomic tasks, in structural (depth-first) order.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        let mut v = Vec::with_capacity(self.n_tasks());
+        self.collect_tasks(&mut v);
+        v
+    }
+
+    /// Source tasks: tasks with no predecessor *within* this expression.
+    pub fn source_tasks(&self) -> Vec<TaskId> {
+        match self {
+            Mspg::Task(t) => vec![*t],
+            Mspg::Series(cs) => cs[0].source_tasks(),
+            Mspg::Parallel(cs) => cs.iter().flat_map(Mspg::source_tasks).collect(),
+        }
+    }
+
+    /// Sink tasks: tasks with no successor *within* this expression.
+    pub fn sink_tasks(&self) -> Vec<TaskId> {
+        match self {
+            Mspg::Task(t) => vec![*t],
+            Mspg::Series(cs) => cs[cs.len() - 1].sink_tasks(),
+            Mspg::Parallel(cs) => cs.iter().flat_map(Mspg::sink_tasks).collect(),
+        }
+    }
+
+    /// Sum of the weights of the expression's tasks (the `weight(Gi)` used
+    /// by `PropMap`; stable-storage traffic is deliberately ignored here,
+    /// matching §II-C).
+    pub fn weight(&self, dag: &Dag) -> f64 {
+        match self {
+            Mspg::Task(t) => dag.weight(*t),
+            Mspg::Series(cs) | Mspg::Parallel(cs) => {
+                cs.iter().map(|c| c.weight(dag)).sum()
+            }
+        }
+    }
+
+    /// Checks the normal-form invariants (used by tests and `debug_assert`).
+    pub fn is_normalized(&self) -> bool {
+        match self {
+            Mspg::Task(_) => true,
+            Mspg::Series(cs) => {
+                cs.len() >= 2
+                    && cs.iter().all(|c| !matches!(c, Mspg::Series(_)))
+                    && cs.iter().all(Mspg::is_normalized)
+            }
+            Mspg::Parallel(cs) => {
+                cs.len() >= 2
+                    && cs.iter().all(|c| !matches!(c, Mspg::Parallel(_)))
+                    && cs.iter().all(Mspg::is_normalized)
+            }
+        }
+    }
+
+    /// Maximum depth of the expression tree (a `Task` has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Mspg::Task(_) => 1,
+            Mspg::Series(cs) | Mspg::Parallel(cs) => {
+                1 + cs.iter().map(Mspg::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> Mspg {
+        Mspg::Task(TaskId(i))
+    }
+
+    #[test]
+    fn chain_is_series_of_tasks() {
+        let c = Mspg::chain([TaskId(0), TaskId(1), TaskId(2)]).unwrap();
+        assert_eq!(c, Mspg::Series(vec![t(0), t(1), t(2)]));
+        assert!(c.is_normalized());
+        assert_eq!(c.n_tasks(), 3);
+    }
+
+    #[test]
+    fn singleton_chain_collapses() {
+        assert_eq!(Mspg::chain([TaskId(5)]), Some(t(5)));
+        assert_eq!(Mspg::chain([]), None);
+    }
+
+    #[test]
+    fn sources_and_sinks_fork_join() {
+        // (0 ⊳ (1 ∥ 2) ⊳ 3)
+        let e = Mspg::series([
+            t(0),
+            Mspg::parallel([t(1), t(2)]).unwrap(),
+            t(3),
+        ])
+        .unwrap();
+        assert_eq!(e.source_tasks(), vec![TaskId(0)]);
+        assert_eq!(e.sink_tasks(), vec![TaskId(3)]);
+        assert!(e.is_normalized());
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn parallel_sources_concatenate() {
+        let e = Mspg::parallel([
+            Mspg::chain([TaskId(0), TaskId(1)]).unwrap(),
+            t(2),
+        ])
+        .unwrap();
+        assert_eq!(e.source_tasks(), vec![TaskId(0), TaskId(2)]);
+        assert_eq!(e.sink_tasks(), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn weight_sums_tasks() {
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        let a = g.add_task("a", k, 1.5);
+        let b = g.add_task("b", k, 2.5);
+        let e = Mspg::parallel([Mspg::Task(a), Mspg::Task(b)]).unwrap();
+        assert_eq!(e.weight(&g), 4.0);
+    }
+
+    #[test]
+    fn structural_task_order_is_depth_first() {
+        let e = Mspg::series([
+            Mspg::parallel([t(3), t(1)]).unwrap(),
+            t(0),
+        ])
+        .unwrap();
+        assert_eq!(e.tasks(), vec![TaskId(3), TaskId(1), TaskId(0)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Data files exchanged along workflow dependence edges.
+
+use std::fmt;
+
+/// Identifier of a data file: a dense index into [`crate::Dag`] storage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The file's index into dense per-file arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// A data file: a named blob of `size` bytes.
+///
+/// Files are first-class (rather than plain edge weights) because a task may
+/// produce *one* file consumed by several successors; a checkpoint then
+/// saves that file only once (§VI-A of the paper). The time to read or
+/// write a file is `size / bandwidth` for the platform's stable-storage
+/// bandwidth.
+#[derive(Clone, Debug)]
+pub struct DataFile {
+    /// Human-readable name, unique within a workflow.
+    pub name: String,
+    /// Size in bytes. Must be finite and `>= 0`.
+    pub size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_roundtrip() {
+        let f = FileId(3);
+        assert_eq!(f.index(), 3);
+        assert_eq!(f.to_string(), "F3");
+    }
+}

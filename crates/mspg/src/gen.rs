@@ -1,0 +1,138 @@
+//! Seeded random M-SPG workflow generation (testing and fuzzing substrate).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::Dag;
+use crate::expr::Mspg;
+use crate::workflow::Workflow;
+
+/// Configuration for [`random_workflow`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Exact number of atomic tasks to generate.
+    pub n_tasks: usize,
+    /// Maximum number of children of any composition node (≥ 2).
+    pub max_branch: usize,
+    /// Uniform range for task weights (seconds).
+    pub weight_range: (f64, f64),
+    /// Uniform range for primary-output file sizes (bytes).
+    pub size_range: (f64, f64),
+    /// RNG seed; identical configs generate identical workflows.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            n_tasks: 50,
+            max_branch: 5,
+            weight_range: (1.0, 100.0),
+            size_range: (1e6, 1e8),
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random normalized M-SPG workflow with exactly
+/// `cfg.n_tasks` tasks, wired and validated.
+pub fn random_workflow(cfg: &GenConfig) -> Workflow {
+    assert!(cfg.n_tasks > 0, "need at least one task");
+    assert!(cfg.max_branch >= 2, "max_branch must be >= 2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dag = Dag::new();
+    let _ = dag.add_kind("rand");
+    let root = build(&mut dag, &mut rng, cfg, cfg.n_tasks, true);
+    let w = Workflow::new(dag, root);
+    debug_assert!(w.validate().is_ok());
+    w
+}
+
+fn build(dag: &mut Dag, rng: &mut StdRng, cfg: &GenConfig, budget: usize, root: bool) -> Mspg {
+    if budget == 1 {
+        return Mspg::Task(new_task(dag, rng, cfg));
+    }
+    // Split the budget into k parts of at least one task each.
+    let k = rng.gen_range(2..=cfg.max_branch.min(budget));
+    let parts = split_budget(rng, budget, k);
+    let children: Vec<Mspg> =
+        parts.into_iter().map(|b| build(dag, rng, cfg, b, false)).collect();
+    // Root leans serial so the workflow has global structure; inner nodes
+    // pick uniformly. The smart constructors keep everything normalized.
+    let serial = if root { true } else { rng.gen_bool(0.5) };
+    if serial {
+        Mspg::series(children).expect("non-empty")
+    } else {
+        Mspg::parallel(children).expect("non-empty")
+    }
+}
+
+fn new_task(dag: &mut Dag, rng: &mut StdRng, cfg: &GenConfig) -> crate::task::TaskId {
+    let i = dag.n_tasks();
+    let w = rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
+    let s = rng.gen_range(cfg.size_range.0..=cfg.size_range.1);
+    dag.add_task_with_output(&format!("r{i}"), crate::task::KindId(0), w, s)
+}
+
+/// Splits `budget` into `k` positive parts, uniformly-ish.
+fn split_budget(rng: &mut StdRng, budget: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= budget);
+    let mut parts = vec![1usize; k];
+    for _ in 0..budget - k {
+        parts[rng.gen_range(0..k)] += 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_task_count() {
+        for n in [1, 2, 7, 50, 333] {
+            let w = random_workflow(&GenConfig { n_tasks: n, seed: 1, ..Default::default() });
+            assert_eq!(w.n_tasks(), n);
+        }
+    }
+
+    #[test]
+    fn generated_workflows_validate() {
+        for seed in 0..10 {
+            let w = random_workflow(&GenConfig { n_tasks: 64, seed, ..Default::default() });
+            w.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let a = random_workflow(&GenConfig { n_tasks: 30, seed: 9, ..Default::default() });
+        let b = random_workflow(&GenConfig { n_tasks: 30, seed: 9, ..Default::default() });
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.dag.n_edges(), b.dag.n_edges());
+        for t in a.dag.task_ids() {
+            assert_eq!(a.dag.weight(t), b.dag.weight(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_workflow(&GenConfig { n_tasks: 30, seed: 1, ..Default::default() });
+        let b = random_workflow(&GenConfig { n_tasks: 30, seed: 2, ..Default::default() });
+        assert!(a.root != b.root || a.dag.weight(crate::task::TaskId(0)) != b.dag.weight(crate::task::TaskId(0)));
+    }
+
+    #[test]
+    fn normalized_structure() {
+        for seed in 0..10 {
+            let w = random_workflow(&GenConfig { n_tasks: 40, seed, ..Default::default() });
+            assert!(w.root.is_normalized());
+        }
+    }
+
+    #[test]
+    fn structural_order_is_topological() {
+        let w = random_workflow(&GenConfig { n_tasks: 100, seed: 3, ..Default::default() });
+        assert!(w.dag.is_topological(&w.structural_order()));
+    }
+}

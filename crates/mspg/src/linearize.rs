@@ -1,0 +1,305 @@
+//! Linearizations of task sets onto a single processor.
+//!
+//! `OnOneProcessor` (Algorithm 1, lines 38–41) performs "a random
+//! topological sort" of a sub-M-SPG's tasks. This module provides that,
+//! plus a deterministic structural order and the volume-minimizing greedy
+//! order suggested as future work in §VIII (related to the NP-complete
+//! *sum cut* problem).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::Dag;
+use crate::task::TaskId;
+
+/// Which linearization `OnOneProcessor` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linearizer {
+    /// Depth-first structural order of the expression (deterministic).
+    Structural,
+    /// Uniform random topological order (Kahn with random ready pick),
+    /// seeded — the paper's default.
+    RandomTopo,
+    /// Greedy live-volume-minimizing topological order (sum-cut heuristic,
+    /// §VIII future work; evaluated by ablation E6).
+    MinVolume,
+}
+
+/// Computes, for the sub-DAG induced by `tasks`, the in-degree of every
+/// member counting only internal edges (deduplicated by predecessor task).
+fn internal_indegrees(dag: &Dag, tasks: &[TaskId], member: &[bool]) -> Vec<usize> {
+    let mut indeg = vec![0usize; dag.n_tasks()];
+    for &t in tasks {
+        let mut seen: Vec<TaskId> = Vec::new();
+        for &(u, _) in dag.preds(t) {
+            if member[u.index()] && !seen.contains(&u) {
+                seen.push(u);
+                indeg[t.index()] += 1;
+            }
+        }
+    }
+    indeg
+}
+
+/// Membership bitmap over the full DAG for `tasks`.
+fn membership(dag: &Dag, tasks: &[TaskId]) -> Vec<bool> {
+    let mut member = vec![false; dag.n_tasks()];
+    for &t in tasks {
+        member[t.index()] = true;
+    }
+    member
+}
+
+/// Seeded uniform-random topological order of the sub-DAG induced by
+/// `tasks` (Kahn's algorithm choosing uniformly among ready tasks).
+pub fn topo_random(dag: &Dag, tasks: &[TaskId], seed: u64) -> Vec<TaskId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let member = membership(dag, tasks);
+    let mut indeg = internal_indegrees(dag, tasks, &member);
+    let mut ready: Vec<TaskId> =
+        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(tasks.len());
+    while !ready.is_empty() {
+        let i = rng.gen_range(0..ready.len());
+        let t = ready.swap_remove(i);
+        order.push(t);
+        release(dag, t, &member, &mut indeg, &mut ready);
+    }
+    assert_eq!(order.len(), tasks.len(), "topo_random: cyclic induced subgraph");
+    order
+}
+
+/// Greedy topological order minimizing, at each step, the increase in live
+/// data volume (bytes produced and still needed minus bytes fully
+/// consumed). Ties break on smaller task id, keeping the order
+/// deterministic.
+pub fn topo_min_volume(dag: &Dag, tasks: &[TaskId]) -> Vec<TaskId> {
+    let member = membership(dag, tasks);
+    let mut indeg = internal_indegrees(dag, tasks, &member);
+    let mut done = vec![false; dag.n_tasks()];
+    // Remaining internal consumers per file.
+    let mut remaining: Vec<usize> = vec![0; dag.n_files()];
+    for &t in tasks {
+        let mut seen: Vec<crate::file::FileId> = Vec::new();
+        for &(u, f) in dag.preds(t) {
+            if member[u.index()] && !seen.contains(&f) {
+                seen.push(f);
+                remaining[f.index()] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<TaskId> =
+        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(tasks.len());
+    while !ready.is_empty() {
+        let mut best = 0usize;
+        let mut best_delta = f64::INFINITY;
+        for (i, &t) in ready.iter().enumerate() {
+            let delta = volume_delta(dag, t, &member, &remaining);
+            if delta < best_delta
+                || (delta == best_delta && t < ready[best])
+            {
+                best = i;
+                best_delta = delta;
+            }
+        }
+        let t = ready.swap_remove(best);
+        order.push(t);
+        done[t.index()] = true;
+        // Consume inputs.
+        let mut seen: Vec<crate::file::FileId> = Vec::new();
+        for &(u, f) in dag.preds(t) {
+            if member[u.index()] && !seen.contains(&f) {
+                seen.push(f);
+                remaining[f.index()] -= 1;
+            }
+        }
+        release(dag, t, &member, &mut indeg, &mut ready);
+    }
+    assert_eq!(order.len(), tasks.len(), "topo_min_volume: cyclic induced subgraph");
+    order
+}
+
+/// Live-volume change from executing `t` now: bytes of `t`'s outputs that
+/// internal consumers still need, minus bytes of `t`'s inputs that become
+/// dead (last internal consumer).
+fn volume_delta(dag: &Dag, t: TaskId, member: &[bool], remaining: &[usize]) -> f64 {
+    let mut delta = 0.0;
+    for &f in dag.output_files(t) {
+        let consumed_internally = dag
+            .consumers(f)
+            .iter()
+            .any(|&c| member[c.index()] && c != t);
+        if consumed_internally {
+            delta += dag.file(f).size;
+        }
+    }
+    let mut seen: Vec<crate::file::FileId> = Vec::new();
+    for &(u, f) in dag.preds(t) {
+        if member[u.index()] && !seen.contains(&f) {
+            seen.push(f);
+            if remaining[f.index()] == 1 {
+                delta -= dag.file(f).size;
+            }
+        }
+    }
+    delta
+}
+
+fn release(
+    dag: &Dag,
+    t: TaskId,
+    member: &[bool],
+    indeg: &mut [usize],
+    ready: &mut Vec<TaskId>,
+) {
+    let mut seen: Vec<TaskId> = Vec::new();
+    for &(v, _) in dag.succs(t) {
+        if member[v.index()] && !seen.contains(&v) {
+            seen.push(v);
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                ready.push(v);
+            }
+        }
+    }
+}
+
+/// Checks that `order` is a valid topological order of the sub-DAG induced
+/// by its own task set.
+pub fn is_topological_induced(dag: &Dag, order: &[TaskId]) -> bool {
+    let mut pos = vec![usize::MAX; dag.n_tasks()];
+    for (i, &t) in order.iter().enumerate() {
+        if pos[t.index()] != usize::MAX {
+            return false;
+        }
+        pos[t.index()] = i;
+    }
+    for &t in order {
+        for &(v, _) in dag.succs(t) {
+            if pos[v.index()] != usize::MAX && pos[t.index()] >= pos[v.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Dispatches on the chosen [`Linearizer`]. `structural` must be the
+/// depth-first expression order of exactly the same task set.
+pub fn linearize(
+    dag: &Dag,
+    structural: Vec<TaskId>,
+    how: Linearizer,
+    seed: u64,
+) -> Vec<TaskId> {
+    match how {
+        Linearizer::Structural => structural,
+        Linearizer::RandomTopo => topo_random(dag, &structural, seed),
+        Linearizer::MinVolume => topo_min_volume(dag, &structural),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Mspg;
+    use crate::workflow::Workflow;
+
+    fn fork_join_x2() -> Workflow {
+        // a ⊳ (b ∥ c ∥ d) ⊳ e ⊳ (f ∥ g) ⊳ h
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let mut tasks = Vec::new();
+        for (name, w, s) in [
+            ("a", 1.0, 10.0),
+            ("b", 2.0, 5.0),
+            ("c", 2.0, 50.0),
+            ("d", 2.0, 5.0),
+            ("e", 1.0, 10.0),
+            ("f", 3.0, 1.0),
+            ("g", 3.0, 1.0),
+            ("h", 1.0, 1.0),
+        ] {
+            tasks.push(dag.add_task_with_output(name, k, w, s));
+        }
+        let t = |i: usize| Mspg::Task(tasks[i]);
+        let root = Mspg::series([
+            t(0),
+            Mspg::parallel([t(1), t(2), t(3)]).unwrap(),
+            t(4),
+            Mspg::parallel([t(5), t(6)]).unwrap(),
+            t(7),
+        ])
+        .unwrap();
+        Workflow::new(dag, root)
+    }
+
+    #[test]
+    fn random_topo_is_valid_and_seed_deterministic() {
+        let w = fork_join_x2();
+        let tasks = w.structural_order();
+        let o1 = topo_random(&w.dag, &tasks, 42);
+        let o2 = topo_random(&w.dag, &tasks, 42);
+        let o3 = topo_random(&w.dag, &tasks, 43);
+        assert_eq!(o1, o2);
+        assert!(is_topological_induced(&w.dag, &o1));
+        assert!(is_topological_induced(&w.dag, &o3));
+    }
+
+    #[test]
+    fn random_topo_varies_with_seed() {
+        let w = fork_join_x2();
+        let tasks = w.structural_order();
+        let distinct: std::collections::HashSet<Vec<TaskId>> =
+            (0..32).map(|s| topo_random(&w.dag, &tasks, s)).collect();
+        assert!(distinct.len() > 1, "32 seeds should produce >1 distinct order");
+    }
+
+    #[test]
+    fn min_volume_is_valid_topo() {
+        let w = fork_join_x2();
+        let tasks = w.structural_order();
+        let o = topo_min_volume(&w.dag, &tasks);
+        assert!(is_topological_induced(&w.dag, &o));
+        assert_eq!(o.len(), tasks.len());
+    }
+
+    #[test]
+    fn min_volume_defers_fat_outputs() {
+        // Among b (5 bytes), c (50 bytes), d (5 bytes), the greedy order
+        // should schedule c last so its big output stays live as briefly as
+        // possible.
+        let w = fork_join_x2();
+        let tasks = w.structural_order();
+        let o = topo_min_volume(&w.dag, &tasks);
+        let pos = |name: &str| {
+            o.iter()
+                .position(|&t| w.dag.task(t).name == name)
+                .unwrap()
+        };
+        assert!(pos("c") > pos("b"));
+        assert!(pos("c") > pos("d"));
+    }
+
+    #[test]
+    fn subgraph_linearization() {
+        // Linearizing only the middle parallel block works on the induced
+        // sub-DAG (no internal edges → any permutation is fine).
+        let w = fork_join_x2();
+        let sub: Vec<TaskId> = vec![TaskId(1), TaskId(2), TaskId(3)];
+        let o = topo_random(&w.dag, &sub, 7);
+        assert_eq!(o.len(), 3);
+        let mut s = o.clone();
+        s.sort_unstable();
+        assert_eq!(s, sub);
+    }
+
+    #[test]
+    fn structural_dispatch_passthrough() {
+        let w = fork_join_x2();
+        let tasks = w.structural_order();
+        let o = linearize(&w.dag, tasks.clone(), Linearizer::Structural, 0);
+        assert_eq!(o, tasks);
+    }
+}

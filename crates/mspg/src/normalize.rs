@@ -1,0 +1,137 @@
+//! Normal-form smart constructors for [`Mspg`] expressions.
+//!
+//! Normal form guarantees that the `C ⊳ (G1 ∥ … ∥ Gn) ⊳ Gn+1`
+//! decomposition of [`crate::decompose`] always makes progress (the paper
+//! notes that some decompositions lead to infinite recursion; normal form
+//! rules those out): `Series` children are never `Series`, `Parallel`
+//! children are never `Parallel`, and compositions have at least two
+//! children.
+
+use crate::expr::Mspg;
+
+/// Serial composition: flattens nested `Series`, drops nothing, collapses
+/// singletons. Returns `None` when `parts` is empty.
+pub fn series(parts: impl IntoIterator<Item = Mspg>) -> Option<Mspg> {
+    let mut out: Vec<Mspg> = Vec::new();
+    for p in parts {
+        match p {
+            Mspg::Series(cs) => out.extend(cs),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => None,
+        1 => Some(out.pop().unwrap()),
+        _ => Some(Mspg::Series(out)),
+    }
+}
+
+/// Parallel composition: flattens nested `Parallel`, collapses singletons.
+/// Returns `None` when `parts` is empty.
+pub fn parallel(parts: impl IntoIterator<Item = Mspg>) -> Option<Mspg> {
+    let mut out: Vec<Mspg> = Vec::new();
+    for p in parts {
+        match p {
+            Mspg::Parallel(cs) => out.extend(cs),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => None,
+        1 => Some(out.pop().unwrap()),
+        _ => Some(Mspg::Parallel(out)),
+    }
+}
+
+/// Recursively rewrites an arbitrary expression into normal form.
+///
+/// The smart constructors only normalize the top level; this walks the whole
+/// tree (useful after manual construction or deserialization).
+pub fn normalize(e: Mspg) -> Mspg {
+    match e {
+        Mspg::Task(t) => Mspg::Task(t),
+        Mspg::Series(cs) => {
+            series(cs.into_iter().map(normalize)).expect("series of >=1 parts")
+        }
+        Mspg::Parallel(cs) => {
+            parallel(cs.into_iter().map(normalize)).expect("parallel of >=1 parts")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn t(i: u32) -> Mspg {
+        Mspg::Task(TaskId(i))
+    }
+
+    #[test]
+    fn series_flattens() {
+        let inner = Mspg::Series(vec![t(0), t(1)]);
+        let e = series([inner, t(2)]).unwrap();
+        assert_eq!(e, Mspg::Series(vec![t(0), t(1), t(2)]));
+    }
+
+    #[test]
+    fn parallel_flattens() {
+        let inner = Mspg::Parallel(vec![t(0), t(1)]);
+        let e = parallel([inner, t(2)]).unwrap();
+        assert_eq!(e, Mspg::Parallel(vec![t(0), t(1), t(2)]));
+    }
+
+    #[test]
+    fn singletons_collapse() {
+        assert_eq!(series([t(9)]), Some(t(9)));
+        assert_eq!(parallel([t(9)]), Some(t(9)));
+    }
+
+    #[test]
+    fn empties_are_none() {
+        assert_eq!(series([]), None);
+        assert_eq!(parallel([]), None);
+    }
+
+    #[test]
+    fn series_of_parallel_is_untouched() {
+        let p = Mspg::Parallel(vec![t(0), t(1)]);
+        let e = series([p.clone(), t(2)]).unwrap();
+        assert_eq!(e, Mspg::Series(vec![p, t(2)]));
+        assert!(e.is_normalized());
+    }
+
+    #[test]
+    fn normalize_deep_tree() {
+        // Series(Series(a, Parallel(Parallel(b, c), d)), e)
+        let messy = Mspg::Series(vec![
+            Mspg::Series(vec![
+                t(0),
+                Mspg::Parallel(vec![Mspg::Parallel(vec![t(1), t(2)]), t(3)]),
+            ]),
+            t(4),
+        ]);
+        let n = normalize(messy);
+        assert!(n.is_normalized());
+        assert_eq!(
+            n,
+            Mspg::Series(vec![
+                t(0),
+                Mspg::Parallel(vec![t(1), t(2), t(3)]),
+                t(4),
+            ])
+        );
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let e = Mspg::Series(vec![
+            Mspg::Series(vec![t(0), t(1)]),
+            Mspg::Parallel(vec![t(2), Mspg::Parallel(vec![t(3), t(4)])]),
+        ]);
+        let once = normalize(e);
+        let twice = normalize(once.clone());
+        assert_eq!(once, twice);
+    }
+}

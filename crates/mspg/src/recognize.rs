@@ -1,0 +1,439 @@
+//! Recognition of arbitrary DAGs as M-SPGs.
+//!
+//! Given a [`Dag`], [`recognize`] either recovers a normalized [`Mspg`]
+//! expression whose wiring reproduces exactly the DAG's (deduplicated)
+//! dependence relation, or reports why the DAG is outside the class.
+//!
+//! The algorithm peels *serial cuts*: a partition `(A, B)` of a connected
+//! task set is a serial cut iff every crossing edge goes from a sink of `A`
+//! to a source of `B` and the crossing relation is the **complete**
+//! bipartite product `sinks(A) × sources(B)` (the definition of `⊳`). In
+//! any series composition every element of `A` is an ancestor of every
+//! element of `B`, so every topological order enumerates `A` entirely
+//! before `B`; it therefore suffices to scan prefix positions of one fixed
+//! topological order, maintaining incremental sink/source/crossing
+//! counters. Smallest cuts are peeled first (the head is then
+//! serial-irreducible), disconnected sets become parallel compositions, and
+//! singletons are atomic tasks.
+
+use crate::dag::Dag;
+use crate::expr::Mspg;
+use crate::task::TaskId;
+
+/// Error: the DAG is not an M-SPG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotMspg {
+    /// The connected task set that is neither atomic, nor serially
+    /// splittable, nor disconnected.
+    pub witness: Vec<TaskId>,
+}
+
+impl std::fmt::Display for NotMspg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "not an M-SPG: {} connected tasks admit no serial cut (first: {})",
+            self.witness.len(),
+            self.witness.first().map(|t| t.to_string()).unwrap_or_default()
+        )
+    }
+}
+
+impl std::error::Error for NotMspg {}
+
+/// Attempts to recover the M-SPG structure of the whole DAG.
+///
+/// On success the returned expression is normalized, covers every task
+/// exactly once, and `Workflow::new(dag', expr)` on an edge-free copy of the
+/// task/file storage would re-create the same (deduplicated) dependence
+/// relation up to the choice of transported files.
+pub fn recognize(dag: &Dag) -> Result<Mspg, NotMspg> {
+    assert!(dag.n_tasks() > 0, "recognize: empty DAG");
+    let all: Vec<TaskId> = dag.task_ids().collect();
+    recognize_set(dag, &all)
+}
+
+/// Recognizes the sub-DAG induced by `tasks`.
+pub fn recognize_set(dag: &Dag, tasks: &[TaskId]) -> Result<Mspg, NotMspg> {
+    assert!(!tasks.is_empty());
+    if tasks.len() == 1 {
+        return Ok(Mspg::Task(tasks[0]));
+    }
+    // Split into weakly connected components first.
+    let comps = weak_components(dag, tasks);
+    if comps.len() > 1 {
+        let parts: Result<Vec<Mspg>, NotMspg> =
+            comps.iter().map(|c| recognize_set(dag, c)).collect();
+        return Ok(Mspg::parallel(parts?).expect(">=2 components"));
+    }
+    // Connected: peel serial cuts left to right.
+    let order = induced_topo(dag, tasks);
+    let mut parts: Vec<Mspg> = Vec::new();
+    let mut rest: &[TaskId] = &order;
+    while rest.len() > 1 {
+        match smallest_serial_cut(dag, rest) {
+            Some(k) => {
+                parts.push(recognize_head(dag, &rest[..k])?);
+                rest = &rest[k..];
+            }
+            None => {
+                if parts.is_empty() {
+                    // Connected, >1 task, no serial cut anywhere.
+                    return Err(NotMspg { witness: rest.to_vec() });
+                }
+                parts.push(recognize_set(dag, rest)?);
+                rest = &[];
+                break;
+            }
+        }
+    }
+    if rest.len() == 1 {
+        parts.push(Mspg::Task(rest[0]));
+    }
+    Ok(Mspg::series(parts).expect("non-empty series"))
+}
+
+/// Recognizes a serial-irreducible head (atomic or parallel; recursing into
+/// `recognize_set` handles both, including nested structure inside the
+/// parallel branches).
+fn recognize_head(dag: &Dag, tasks: &[TaskId]) -> Result<Mspg, NotMspg> {
+    recognize_set(dag, tasks)
+}
+
+/// Weakly connected components of the induced sub-DAG, each sorted by id,
+/// components ordered by smallest member.
+fn weak_components(dag: &Dag, tasks: &[TaskId]) -> Vec<Vec<TaskId>> {
+    let n = dag.n_tasks();
+    let mut member = vec![false; n];
+    for &t in tasks {
+        member[t.index()] = true;
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<TaskId>> = Vec::new();
+    let mut stack = Vec::new();
+    let mut sorted = tasks.to_vec();
+    sorted.sort_unstable();
+    for &start in &sorted {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let cid = comps.len();
+        comps.push(Vec::new());
+        stack.push(start);
+        comp[start.index()] = cid;
+        while let Some(t) = stack.pop() {
+            comps[cid].push(t);
+            for &(v, _) in dag.succs(t) {
+                if member[v.index()] && comp[v.index()] == usize::MAX {
+                    comp[v.index()] = cid;
+                    stack.push(v);
+                }
+            }
+            for &(u, _) in dag.preds(t) {
+                if member[u.index()] && comp[u.index()] == usize::MAX {
+                    comp[u.index()] = cid;
+                    stack.push(u);
+                }
+            }
+        }
+        comps[cid].sort_unstable();
+    }
+    comps
+}
+
+/// Deterministic topological order of the induced sub-DAG (smallest id
+/// first among ready tasks).
+fn induced_topo(dag: &Dag, tasks: &[TaskId]) -> Vec<TaskId> {
+    let n = dag.n_tasks();
+    let mut member = vec![false; n];
+    for &t in tasks {
+        member[t.index()] = true;
+    }
+    let mut indeg = vec![0usize; n];
+    for &t in tasks {
+        for u in distinct_preds_in(dag, t, &member) {
+            let _ = u;
+            indeg[t.index()] += 1;
+        }
+    }
+    let mut ready: Vec<TaskId> =
+        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(tasks.len());
+    while let Some(t) = ready.pop() {
+        order.push(t);
+        for v in distinct_succs_in(dag, t, &member) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                let pos = ready.binary_search_by(|x| v.cmp(x)).unwrap_or_else(|e| e);
+                ready.insert(pos, v);
+            }
+        }
+    }
+    assert_eq!(order.len(), tasks.len(), "induced subgraph has a cycle");
+    order
+}
+
+fn distinct_succs_in(dag: &Dag, t: TaskId, member: &[bool]) -> Vec<TaskId> {
+    let mut out: Vec<TaskId> = Vec::new();
+    for &(v, _) in dag.succs(t) {
+        if member[v.index()] && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn distinct_preds_in(dag: &Dag, t: TaskId, member: &[bool]) -> Vec<TaskId> {
+    let mut out: Vec<TaskId> = Vec::new();
+    for &(u, _) in dag.preds(t) {
+        if member[u.index()] && !out.contains(&u) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+/// Finds the smallest `k` (0 < k < n) such that `(order[..k], order[k..])`
+/// is a serial cut of the induced sub-DAG, or `None`.
+fn smallest_serial_cut(dag: &Dag, order: &[TaskId]) -> Option<usize> {
+    let n_all = dag.n_tasks();
+    let n = order.len();
+    let mut member = vec![false; n_all];
+    for &t in order {
+        member[t.index()] = true;
+    }
+    // Per-task distinct degree within the set.
+    let mut dsucc = vec![0usize; n_all];
+    let mut dpred = vec![0usize; n_all];
+    for &t in order {
+        dsucc[t.index()] = distinct_succs_in(dag, t, &member).len();
+        dpred[t.index()] = distinct_preds_in(dag, t, &member).len();
+    }
+    let mut in_a = vec![false; n_all];
+    let mut succ_in_b = vec![0usize; n_all]; // for tasks in A
+    let mut pred_in_a = vec![0usize; n_all]; // for tasks in B
+    let mut sinks = 0usize; // |sinks(A)|
+    let mut sources = order
+        .iter()
+        .filter(|t| dpred[t.index()] == 0)
+        .count(); // |sources(B)|, A empty initially
+    let mut open_pairs = 0usize;
+
+    for k in 1..n {
+        let v = order[k - 1];
+        // Move v from B to A.
+        debug_assert_eq!(pred_in_a[v.index()], dpred[v.index()], "topo order violated");
+        sources -= 1; // v was a source of B (all its preds already in A)
+        open_pairs -= dpred[v.index()];
+        open_pairs += dsucc[v.index()];
+        in_a[v.index()] = true;
+        succ_in_b[v.index()] = dsucc[v.index()];
+        sinks += 1; // all of v's succs are still in B
+        for u in distinct_preds_in(dag, v, &member) {
+            if succ_in_b[u.index()] == dsucc[u.index()] {
+                sinks -= 1; // u stops being a sink of A
+            }
+            succ_in_b[u.index()] -= 1;
+        }
+        for w in distinct_succs_in(dag, v, &member) {
+            pred_in_a[w.index()] += 1;
+            if pred_in_a[w.index()] == dpred[w.index()] {
+                sources += 1; // w became a source of B
+            }
+        }
+        // Quick counter test, then exact verification.
+        if open_pairs == sinks * sources
+            && open_pairs > 0
+            && verify_cut(
+                dag, &order[..k], &member, &in_a, &succ_in_b, &dsucc, &pred_in_a, &dpred,
+                sources, open_pairs,
+            )
+        {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Exact check that the crossing relation equals `sinks(A) × sources(B)`.
+#[allow(clippy::too_many_arguments)]
+fn verify_cut(
+    dag: &Dag,
+    a: &[TaskId],
+    member: &[bool],
+    in_a: &[bool],
+    succ_in_b: &[usize],
+    dsucc: &[usize],
+    pred_in_a: &[usize],
+    dpred: &[usize],
+    sources: usize,
+    open_pairs: usize,
+) -> bool {
+    let is_source_of_b = |v: TaskId| {
+        member[v.index()] && !in_a[v.index()] && pred_in_a[v.index()] == dpred[v.index()]
+    };
+    let mut crossing_from_sinks = 0usize;
+    for &u in a {
+        let is_sink = succ_in_b[u.index()] == dsucc[u.index()];
+        if !is_sink {
+            continue;
+        }
+        let targets = distinct_succs_in(dag, u, member);
+        // A sink's crossing targets must be exactly the sources of B.
+        if targets.len() != sources {
+            return false;
+        }
+        if !targets.into_iter().all(is_source_of_b) {
+            return false;
+        }
+        crossing_from_sinks += sources;
+    }
+    // No crossing edges may originate from non-sinks.
+    crossing_from_sinks == open_pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::Workflow;
+
+    fn dag_with(n: usize, edges: &[(u32, u32)]) -> Dag {
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        for i in 0..n {
+            g.add_task_with_output(&format!("t{i}"), k, 1.0, 1.0);
+        }
+        for &(u, v) in edges {
+            let f = g.primary_output(TaskId(u)).unwrap();
+            g.add_edge(TaskId(v), f);
+        }
+        g
+    }
+
+    #[test]
+    fn single_task() {
+        let g = dag_with(1, &[]);
+        assert_eq!(recognize(&g).unwrap(), Mspg::Task(TaskId(0)));
+    }
+
+    #[test]
+    fn chain() {
+        let g = dag_with(3, &[(0, 1), (1, 2)]);
+        let e = recognize(&g).unwrap();
+        assert_eq!(e, Mspg::chain([TaskId(0), TaskId(1), TaskId(2)]).unwrap());
+    }
+
+    #[test]
+    fn independent_tasks_are_parallel() {
+        let g = dag_with(3, &[]);
+        let e = recognize(&g).unwrap();
+        assert!(matches!(e, Mspg::Parallel(ref cs) if cs.len() == 3));
+    }
+
+    #[test]
+    fn fork_join_diamond() {
+        let g = dag_with(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let e = recognize(&g).unwrap();
+        let expect = Mspg::series([
+            Mspg::Task(TaskId(0)),
+            Mspg::parallel([Mspg::Task(TaskId(1)), Mspg::Task(TaskId(2))]).unwrap(),
+            Mspg::Task(TaskId(3)),
+        ])
+        .unwrap();
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn complete_bipartite_is_mspg() {
+        // (0 ∥ 1) ⊳ (2 ∥ 3): the Figure 1(c) pattern.
+        let g = dag_with(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let e = recognize(&g).unwrap();
+        let expect = Mspg::series([
+            Mspg::parallel([Mspg::Task(TaskId(0)), Mspg::Task(TaskId(1))]).unwrap(),
+            Mspg::parallel([Mspg::Task(TaskId(2)), Mspg::Task(TaskId(3))]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn incomplete_bipartite_is_not_mspg() {
+        // Missing edge 1→2: the Ligo artifact of §VI-A.
+        let g = dag_with(4, &[(0, 2), (0, 3), (1, 3)]);
+        assert!(recognize(&g).is_err());
+    }
+
+    #[test]
+    fn n_graph_is_not_mspg() {
+        // The classical non-SP "N": 0→2, 0→3, 1→3.
+        let g = dag_with(4, &[(0, 2), (0, 3), (1, 3)]);
+        assert!(recognize(&g).is_err());
+    }
+
+    #[test]
+    fn recognize_roundtrips_random_workflows() {
+        for seed in 0..20 {
+            let w = crate::gen::random_workflow(&crate::gen::GenConfig {
+                n_tasks: 40,
+                max_branch: 4,
+                weight_range: (1.0, 10.0),
+                size_range: (1.0, 10.0),
+                seed,
+            });
+            let e = recognize(&w.dag)
+                .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+            // The recovered structure must cover all tasks exactly once…
+            let mut got = e.tasks();
+            got.sort_unstable();
+            let mut want: Vec<TaskId> = w.dag.task_ids().collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            // …and re-wiring it must reproduce the same dependence relation.
+            let mut rebuilt = Dag::new();
+            let k = rebuilt.add_kind("t");
+            for t in w.dag.task_ids() {
+                rebuilt.add_task_with_output(
+                    &w.dag.task(t).name,
+                    k,
+                    w.dag.weight(t),
+                    1.0,
+                );
+            }
+            let w2 = Workflow::new(rebuilt, e);
+            for t in w.dag.task_ids() {
+                let mut s1: Vec<TaskId> =
+                    w.dag.succs(t).iter().map(|&(v, _)| v).collect();
+                let mut s2: Vec<TaskId> =
+                    w2.dag.succs(t).iter().map(|&(v, _)| v).collect();
+                s1.sort_unstable();
+                s1.dedup();
+                s2.sort_unstable();
+                s2.dedup();
+                assert_eq!(s1, s2, "seed {seed}, task {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structure() {
+        // 0 ⊳ ((1 ⊳ 2) ∥ 3) ⊳ 4
+        let g = dag_with(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]);
+        let e = recognize(&g).unwrap();
+        assert!(e.is_normalized());
+        assert_eq!(e.n_tasks(), 5);
+        let d = crate::decompose::decompose(&e);
+        assert_eq!(d.chain, vec![TaskId(0)]);
+        assert_eq!(d.parallel.len(), 2);
+    }
+
+    #[test]
+    fn multi_edges_dedup_in_recognition() {
+        // Two files both going 0 → 1 still form a chain.
+        let mut g = dag_with(2, &[(0, 1)]);
+        let extra = g.add_file("extra", 2.0, Some(TaskId(0)));
+        g.add_edge(TaskId(1), extra);
+        let e = recognize(&g).unwrap();
+        assert_eq!(e, Mspg::chain([TaskId(0), TaskId(1)]).unwrap());
+    }
+}

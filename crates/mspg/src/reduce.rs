@@ -1,0 +1,233 @@
+//! Transitive reduction and General Series-Parallel Graph (GSPG) support.
+//!
+//! §VIII of the paper: "A first step would be to deal with General Series
+//! Parallel Graphs, which are defined in [13] as graphs whose transitive
+//! reduction is an M-SPG."
+//!
+//! [`transitive_reduction`] rewrites a DAG dropping every dependence edge
+//! implied by a longer path. The dropped edge's *data* still matters — the
+//! consumer really reads that file — so it is preserved as a **transitive
+//! read** ([`crate::Dag::add_transitive_read`]): the file is fetched from
+//! stable storage without constraining the schedule (the surviving
+//! structure already guarantees the producer's segment — and therefore the
+//! file's checkpoint — completes first). [`recognize_gspg`] then recovers
+//! the M-SPG expression of the reduced graph, making the whole
+//! scheduling/checkpointing pipeline applicable to GSPGs.
+
+use crate::dag::Dag;
+use crate::expr::Mspg;
+use crate::recognize::{recognize, NotMspg};
+
+/// Per-task descendant bitsets (`reach[t]` has bit `v` set iff there is a
+/// non-empty path `t → v`). `O(V·E/64)` words of work.
+pub fn reachability(dag: &Dag) -> Vec<Vec<u64>> {
+    let n = dag.n_tasks();
+    let words = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; n];
+    let order = dag.topo_order().expect("reachability: cyclic graph");
+    for &t in order.iter().rev() {
+        // reach(t) = ⋃ over succs s of ({s} ∪ reach(s)).
+        let mut acc = vec![0u64; words];
+        for &(s, _) in dag.succs(t) {
+            acc[s.index() / 64] |= 1u64 << (s.index() % 64);
+            for w in 0..words {
+                acc[w] |= reach[s.index()][w];
+            }
+        }
+        reach[t.index()] = acc;
+    }
+    reach
+}
+
+#[inline]
+fn has_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Result of a transitive reduction.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The rewritten DAG: redundant dependence edges dropped, their files
+    /// preserved as transitive reads.
+    pub dag: Dag,
+    /// Number of dependence edges dropped.
+    pub dropped: usize,
+}
+
+/// Rewrites `dag` without transitively redundant dependence edges.
+///
+/// An edge `u → v` is redundant when some other direct successor of `u`
+/// reaches `v`. Tasks, kinds, files, weights, workflow inputs and primary
+/// outputs are preserved; each dropped edge's file becomes a transitive
+/// read of `v`.
+pub fn transitive_reduction(dag: &Dag) -> Reduced {
+    let reach = reachability(dag);
+    let mut out = Dag::new();
+    for k in 0..dag.n_kinds() {
+        out.add_kind(dag.kind_name(crate::task::KindId(k as u16)));
+    }
+    for t in dag.task_ids() {
+        let task = dag.task(t);
+        out.add_task(task.name.clone(), task.kind, task.weight);
+    }
+    for f in dag.file_ids() {
+        let file = dag.file(f);
+        out.add_file(file.name.clone(), file.size, dag.producer(f));
+    }
+    for t in dag.task_ids() {
+        if let Some(f) = dag.primary_output(t) {
+            out.set_primary_output(t, f);
+        }
+    }
+    let mut dropped = 0usize;
+    for v in dag.task_ids() {
+        // Distinct predecessor tasks of v (an edge u→v is redundant iff a
+        // *different* direct predecessor of v is reachable from u).
+        let preds = dag.preds(v);
+        for &(u, f) in preds {
+            let redundant = preds.iter().any(|&(w, _)| {
+                w != u && has_bit(&reach[u.index()], w.index())
+            });
+            if redundant {
+                out.add_transitive_read(v, f);
+                dropped += 1;
+            } else {
+                out.add_edge(v, f);
+            }
+        }
+        for &f in dag.input_files(v) {
+            if dag.producer(f).is_none() {
+                out.add_input_file(v, f);
+            } else {
+                out.add_transitive_read(v, f);
+            }
+        }
+    }
+    Reduced { dag: out, dropped }
+}
+
+/// Recognizes a General SPG: transitively reduces, then recovers the
+/// M-SPG expression of the reduction. On success returns the expression
+/// together with the reduced DAG (which the scheduling pipeline should
+/// use — it carries the dropped edges' files as transitive reads).
+pub fn recognize_gspg(dag: &Dag) -> Result<(Mspg, Dag), NotMspg> {
+    let reduced = transitive_reduction(dag);
+    let expr = recognize(&reduced.dag)?;
+    Ok((expr, reduced.dag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::task::TaskId;
+
+    /// Diamond a → {b, c} → d plus the shortcut a → d (a GSPG that is not
+    /// an M-SPG).
+    fn diamond_with_shortcut() -> Dag {
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        let a = g.add_task_with_output("a", k, 1.0, 10.0);
+        let b = g.add_task_with_output("b", k, 2.0, 20.0);
+        let c = g.add_task_with_output("c", k, 3.0, 30.0);
+        let d = g.add_task_with_output("d", k, 4.0, 40.0);
+        let fa = g.primary_output(a).unwrap();
+        let fb = g.primary_output(b).unwrap();
+        let fc = g.primary_output(c).unwrap();
+        g.add_edge(b, fa);
+        g.add_edge(c, fa);
+        g.add_edge(d, fb);
+        g.add_edge(d, fc);
+        g.add_edge(d, fa); // transitive shortcut carrying real data
+        let _ = TaskId(0);
+        g
+    }
+
+    #[test]
+    fn reachability_diamond() {
+        let g = diamond_with_shortcut();
+        let r = reachability(&g);
+        assert!(has_bit(&r[0], 1) && has_bit(&r[0], 2) && has_bit(&r[0], 3));
+        assert!(has_bit(&r[1], 3));
+        assert!(!has_bit(&r[1], 2));
+        assert!(r[3].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn shortcut_is_dropped_but_data_survives() {
+        let g = diamond_with_shortcut();
+        assert!(recognize(&g).is_err(), "shortcut diamond is not an M-SPG");
+        let red = transitive_reduction(&g);
+        assert_eq!(red.dropped, 1);
+        assert_eq!(red.dag.n_edges(), 4);
+        // d still reads a's file — now as a transitive read.
+        let d = TaskId(3);
+        let fa = red.dag.primary_output(TaskId(0)).unwrap();
+        assert!(red.dag.input_files(d).contains(&fa));
+        // And a's file still lists d as a consumer (checkpoint dedup).
+        assert!(red.dag.consumers(fa).contains(&d));
+        // Total data volume unchanged.
+        assert_eq!(red.dag.total_data_volume(), g.total_data_volume());
+    }
+
+    #[test]
+    fn gspg_recognition_succeeds_on_reduction() {
+        let g = diamond_with_shortcut();
+        let (expr, reduced) = recognize_gspg(&g).expect("diamond+shortcut is a GSPG");
+        assert_eq!(expr.n_tasks(), 4);
+        assert!(expr.is_normalized());
+        assert!(reduced.validate().is_ok());
+    }
+
+    #[test]
+    fn non_gspg_still_rejected() {
+        // The N-graph's reduction is itself (no redundant edges): still
+        // not an M-SPG.
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        let a = g.add_task_with_output("a", k, 1.0, 1.0);
+        let b = g.add_task_with_output("b", k, 1.0, 1.0);
+        let c = g.add_task("c", k, 1.0);
+        let d = g.add_task("d", k, 1.0);
+        let fa = g.primary_output(a).unwrap();
+        let fb = g.primary_output(b).unwrap();
+        g.add_edge(c, fa);
+        g.add_edge(d, fa);
+        g.add_edge(d, fb);
+        assert!(recognize_gspg(&g).is_err());
+    }
+
+    #[test]
+    fn already_reduced_graph_is_unchanged() {
+        let w = crate::gen::random_workflow(&crate::gen::GenConfig {
+            n_tasks: 40,
+            seed: 5,
+            ..Default::default()
+        });
+        // M-SPG wiring only creates sink→source edges of serial
+        // compositions… which CAN be transitive across nested structure;
+        // so just check idempotence of a second reduction.
+        let once = transitive_reduction(&w.dag);
+        let twice = transitive_reduction(&once.dag);
+        assert_eq!(twice.dropped, 0);
+        assert_eq!(once.dag.n_edges(), twice.dag.n_edges());
+    }
+
+    #[test]
+    fn chain_of_shortcuts() {
+        // a → b → c with both a→c and even a-file read by c: everything
+        // collapses onto the chain.
+        let mut g = Dag::new();
+        let k = g.add_kind("t");
+        let a = g.add_task_with_output("a", k, 1.0, 5.0);
+        let b = g.add_task_with_output("b", k, 1.0, 5.0);
+        let c = g.add_task_with_output("c", k, 1.0, 5.0);
+        let fa = g.primary_output(a).unwrap();
+        let fb = g.primary_output(b).unwrap();
+        g.add_edge(b, fa);
+        g.add_edge(c, fb);
+        g.add_edge(c, fa); // redundant
+        let (expr, _) = recognize_gspg(&g).unwrap();
+        assert_eq!(expr, Mspg::chain([a, b, c]).unwrap());
+    }
+}

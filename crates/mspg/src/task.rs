@@ -1,0 +1,78 @@
+//! Tasks (workflow vertices) and their identifiers.
+
+use std::fmt;
+
+/// Identifier of a task: a dense index into [`crate::Dag`] storage.
+///
+/// Using a `u32` newtype rather than `usize` halves the footprint of edge
+/// lists on 64-bit platforms, which matters for the 10⁵-edge bipartite
+/// stages of the larger Pegasus-style workflows.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task's index into dense per-task arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of an interned task *kind* (e.g. `mProjectPP`, `fastq2bfq`).
+///
+/// Kinds are interned in the owning [`crate::Dag`] so that tasks store a
+/// 2-byte id instead of a heap string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct KindId(pub u16);
+
+impl KindId {
+    /// The kind's index into the owning DAG's kind table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A workflow task: an atomic unit of sequential computation.
+///
+/// `weight` is the task's failure-free execution time in seconds (the
+/// paper's `wᵢ`).
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Human-readable name, unique within a workflow (used by DOT export
+    /// and the text serialization format).
+    pub name: String,
+    /// Interned task kind.
+    pub kind: KindId,
+    /// Failure-free execution time, in seconds. Must be finite and `>= 0`.
+    pub weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "T7");
+    }
+
+    #[test]
+    fn task_id_ordering_follows_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId(3), TaskId(3));
+    }
+
+    #[test]
+    fn kind_id_index() {
+        assert_eq!(KindId(5).index(), 5);
+    }
+}

@@ -1,0 +1,238 @@
+//! A workflow = a [`Dag`] together with its M-SPG structure.
+
+use crate::dag::Dag;
+use crate::expr::Mspg;
+use crate::task::TaskId;
+
+/// A complete workflow: task/file storage plus the recursive M-SPG
+/// expression describing its structure.
+///
+/// The canonical construction is: create tasks (with primary output files)
+/// in the [`Dag`], build the [`Mspg`] expression over them, then call
+/// [`Workflow::wire`] to derive the dependence edges that serial
+/// compositions imply. Generators in the `pegasus` crate follow this
+/// pattern.
+#[derive(Clone, Debug)]
+pub struct Workflow {
+    /// Task, file and edge storage.
+    pub dag: Dag,
+    /// The M-SPG structure (normal form).
+    pub root: Mspg,
+}
+
+/// Error returned by [`Workflow::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// The underlying DAG is invalid.
+    Dag(crate::dag::DagError),
+    /// The expression is not in normal form.
+    NotNormalized,
+    /// A task appears zero or multiple times in the expression.
+    BadTaskCover,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Dag(e) => write!(f, "invalid DAG: {e}"),
+            WorkflowError::NotNormalized => write!(f, "expression is not in normal form"),
+            WorkflowError::BadTaskCover => {
+                write!(f, "expression does not cover each task exactly once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl Workflow {
+    /// Creates a workflow and wires the edges implied by the expression.
+    pub fn new(dag: Dag, root: Mspg) -> Self {
+        let mut w = Workflow { dag, root };
+        w.wire();
+        w
+    }
+
+    /// Creates a workflow whose edges are already present in the DAG (used
+    /// by [`crate::recognize`] round-trips and deserialization).
+    pub fn from_wired(dag: Dag, root: Mspg) -> Self {
+        Workflow { dag, root }
+    }
+
+    /// Derives the dependence edges of every serial composition: for each
+    /// consecutive pair in a `Series`, each sink task `s` of the left part
+    /// sends its *primary output file* to every source task of the right
+    /// part.
+    ///
+    /// Idempotence is not attempted: call exactly once on an edge-free DAG.
+    ///
+    /// # Panics
+    /// Panics if a serial-composition sink has no primary output file.
+    pub fn wire(&mut self) {
+        // Work on a clone of the expression to appease the borrow checker;
+        // expressions are small relative to the DAG.
+        let root = self.root.clone();
+        Self::wire_expr(&mut self.dag, &root);
+    }
+
+    fn wire_expr(dag: &mut Dag, expr: &Mspg) {
+        match expr {
+            Mspg::Task(_) => {}
+            Mspg::Parallel(cs) => {
+                for c in cs {
+                    Self::wire_expr(dag, c);
+                }
+            }
+            Mspg::Series(cs) => {
+                for c in cs {
+                    Self::wire_expr(dag, c);
+                }
+                for pair in cs.windows(2) {
+                    let sinks = pair[0].sink_tasks();
+                    let sources = pair[1].source_tasks();
+                    for &s in &sinks {
+                        let f = dag
+                            .primary_output(s)
+                            .expect("serial-composition sink lacks a primary output file");
+                        for &t in &sources {
+                            dag.add_edge(t, f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.dag.n_tasks()
+    }
+
+    /// Communication-to-Computation Ratio for stable-storage bandwidth `bw`
+    /// (bytes/s): total file store time over total failure-free compute
+    /// time (§VI-A).
+    pub fn ccr(&self, bw: f64) -> f64 {
+        (self.dag.total_data_volume() / bw) / self.dag.total_weight()
+    }
+
+    /// Validates DAG invariants, expression normal form, and that the
+    /// expression covers each task exactly once.
+    pub fn validate(&self) -> Result<(), WorkflowError> {
+        self.dag.validate().map_err(WorkflowError::Dag)?;
+        if !self.root.is_normalized() {
+            return Err(WorkflowError::NotNormalized);
+        }
+        let mut seen = vec![false; self.dag.n_tasks()];
+        let mut tasks = Vec::with_capacity(self.dag.n_tasks());
+        self.root.collect_tasks(&mut tasks);
+        if tasks.len() != self.dag.n_tasks() {
+            return Err(WorkflowError::BadTaskCover);
+        }
+        for t in tasks {
+            if seen[t.index()] {
+                return Err(WorkflowError::BadTaskCover);
+            }
+            seen[t.index()] = true;
+        }
+        Ok(())
+    }
+
+    /// Structural linearization of the whole workflow (a valid topological
+    /// order; see [`crate::linearize`] for alternatives).
+    pub fn structural_order(&self) -> Vec<TaskId> {
+        self.root.tasks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fork-join: a ⊳ (b ∥ c) ⊳ d, with explicit primary outputs.
+    fn fork_join() -> Workflow {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 1.0, 100.0);
+        let b = dag.add_task_with_output("b", k, 2.0, 200.0);
+        let c = dag.add_task_with_output("c", k, 3.0, 300.0);
+        let d = dag.add_task_with_output("d", k, 4.0, 400.0);
+        let root = Mspg::series([
+            Mspg::Task(a),
+            Mspg::parallel([Mspg::Task(b), Mspg::Task(c)]).unwrap(),
+            Mspg::Task(d),
+        ])
+        .unwrap();
+        Workflow::new(dag, root)
+    }
+
+    #[test]
+    fn wire_creates_fork_join_edges() {
+        let w = fork_join();
+        assert_eq!(w.dag.n_edges(), 4); // a→b, a→c, b→d, c→d
+        let a = TaskId(0);
+        let d = TaskId(3);
+        assert_eq!(w.dag.succs(a).len(), 2);
+        assert_eq!(w.dag.preds(d).len(), 2);
+        // a's single output file feeds both b and c.
+        let fa = w.dag.primary_output(a).unwrap();
+        assert_eq!(w.dag.consumers(fa).len(), 2);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn bipartite_wiring() {
+        // (a ∥ b) ⊳ (c ∥ d): complete bipartite, 4 edges, 2 files.
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 1.0, 1.0);
+        let b = dag.add_task_with_output("b", k, 1.0, 1.0);
+        let c = dag.add_task_with_output("c", k, 1.0, 1.0);
+        let d = dag.add_task_with_output("d", k, 1.0, 1.0);
+        let root = Mspg::series([
+            Mspg::parallel([Mspg::Task(a), Mspg::Task(b)]).unwrap(),
+            Mspg::parallel([Mspg::Task(c), Mspg::Task(d)]).unwrap(),
+        ])
+        .unwrap();
+        let w = Workflow::new(dag, root);
+        assert_eq!(w.dag.n_edges(), 4);
+        assert_eq!(w.dag.preds(c).len(), 2);
+        assert_eq!(w.dag.preds(d).len(), 2);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn ccr_definition() {
+        let w = fork_join();
+        // volume = 1000 bytes, weight = 10 s; bw = 100 B/s → CCR = 1.
+        assert!((w.ccr(100.0) - 1.0).abs() < 1e-12);
+        assert!((w.ccr(1000.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_order_is_topological() {
+        let w = fork_join();
+        let order = w.structural_order();
+        assert!(w.dag.is_topological(&order));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_cover() {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 1.0, 1.0);
+        let _b = dag.add_task_with_output("b", k, 1.0, 1.0);
+        let root = Mspg::parallel([Mspg::Task(a), Mspg::Task(a)]).unwrap();
+        let w = Workflow::from_wired(dag, root);
+        assert_eq!(w.validate(), Err(WorkflowError::BadTaskCover));
+    }
+
+    #[test]
+    fn validate_rejects_missing_cover() {
+        let mut dag = Dag::new();
+        let k = dag.add_kind("t");
+        let a = dag.add_task_with_output("a", k, 1.0, 1.0);
+        let _b = dag.add_task_with_output("b", k, 1.0, 1.0);
+        let w = Workflow::from_wired(dag, Mspg::Task(a));
+        assert_eq!(w.validate(), Err(WorkflowError::BadTaskCover));
+    }
+}

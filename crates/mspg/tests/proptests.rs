@@ -1,0 +1,123 @@
+//! Property-based tests for the M-SPG model.
+
+use mspg::gen::{random_workflow, GenConfig};
+use mspg::linearize::{is_topological_induced, topo_min_volume, topo_random};
+use mspg::normalize::normalize;
+use mspg::recognize::recognize;
+use mspg::{decompose, Mspg, TaskId};
+use proptest::prelude::*;
+
+fn cfg(n_tasks: usize, max_branch: usize, seed: u64) -> GenConfig {
+    GenConfig {
+        n_tasks,
+        max_branch,
+        weight_range: (0.5, 50.0),
+        size_range: (1.0, 1e6),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated workflows always validate and the expression covers every
+    /// task exactly once.
+    #[test]
+    fn generated_workflows_are_valid(n in 1usize..120, b in 2usize..6, seed: u64) {
+        let w = random_workflow(&cfg(n, b, seed));
+        prop_assert!(w.validate().is_ok());
+        prop_assert_eq!(w.n_tasks(), n);
+    }
+
+    /// The recognizer accepts every generated workflow and recovers a
+    /// structure with the same task set.
+    #[test]
+    fn recognizer_accepts_generated(n in 1usize..80, seed: u64) {
+        let w = random_workflow(&cfg(n, 4, seed));
+        let e = recognize(&w.dag).expect("generated workflow must be an M-SPG");
+        let mut got = e.tasks();
+        got.sort_unstable();
+        let want: Vec<TaskId> = w.dag.task_ids().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(e.is_normalized());
+    }
+
+    /// Decomposition partitions the task set and recursing reaches every
+    /// task exactly once.
+    #[test]
+    fn decompose_partitions(n in 1usize..100, seed: u64) {
+        fn walk(e: &Mspg, out: &mut Vec<TaskId>) {
+            let d = decompose(e);
+            out.extend_from_slice(&d.chain);
+            for p in &d.parallel {
+                walk(p, out);
+            }
+            if let Some(r) = &d.rest {
+                walk(r, out);
+            }
+        }
+        let w = random_workflow(&cfg(n, 5, seed));
+        let mut reached = Vec::new();
+        walk(&w.root, &mut reached);
+        reached.sort_unstable();
+        let want: Vec<TaskId> = w.dag.task_ids().collect();
+        prop_assert_eq!(reached, want);
+    }
+
+    /// Every linearizer emits a valid topological order of the full task
+    /// set.
+    #[test]
+    fn linearizers_are_topological(n in 1usize..100, seed: u64, lseed: u64) {
+        let w = random_workflow(&cfg(n, 4, seed));
+        let tasks = w.structural_order();
+        let r = topo_random(&w.dag, &tasks, lseed);
+        prop_assert!(is_topological_induced(&w.dag, &r));
+        prop_assert_eq!(r.len(), n);
+        let m = topo_min_volume(&w.dag, &tasks);
+        prop_assert!(is_topological_induced(&w.dag, &m));
+        prop_assert_eq!(m.len(), n);
+        prop_assert!(w.dag.is_topological(&tasks));
+    }
+
+    /// normalize() is idempotent and preserves the task multiset.
+    #[test]
+    fn normalize_idempotent(n in 1usize..60, seed: u64) {
+        let w = random_workflow(&cfg(n, 4, seed));
+        let once = normalize(w.root.clone());
+        let twice = normalize(once.clone());
+        prop_assert_eq!(&once, &twice);
+        let mut a = w.root.tasks();
+        let mut b = once.tasks();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The critical path is at most the total weight and at least the max
+    /// single task weight.
+    #[test]
+    fn critical_path_bounds(n in 1usize..100, seed: u64) {
+        let w = random_workflow(&cfg(n, 4, seed));
+        let cp = w.dag.critical_path();
+        let total = w.dag.total_weight();
+        let maxw = w
+            .dag
+            .task_ids()
+            .map(|t| w.dag.weight(t))
+            .fold(0.0f64, f64::max);
+        prop_assert!(cp <= total + 1e-9);
+        prop_assert!(cp >= maxw - 1e-9);
+    }
+
+    /// CCR scales linearly with file-size scaling.
+    #[test]
+    fn ccr_scaling(n in 1usize..60, seed: u64, factor in 0.01f64..100.0) {
+        let w = random_workflow(&cfg(n, 4, seed));
+        let bw = 1e6;
+        let before = w.ccr(bw);
+        let mut w2 = w.clone();
+        w2.dag.scale_file_sizes(factor);
+        let after = w2.ccr(bw);
+        prop_assert!((after - before * factor).abs() <= 1e-9 * before.max(after).max(1.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared construction helpers for the workflow generators.
+
+use mspg::{Dag, Mspg, TaskId};
+use rand::rngs::StdRng;
+
+use crate::profile::KindProfile;
+
+/// Incremental workflow builder: creates tasks from [`KindProfile`]s with
+/// seeded sampled runtimes and output sizes, tracking per-kind instance
+/// counters for unique names.
+pub struct Builder<'a> {
+    /// The DAG under construction.
+    pub dag: Dag,
+    rng: &'a mut StdRng,
+    counters: Vec<(String, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    /// New builder drawing randomness from `rng`.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        Builder { dag: Dag::new(), rng, counters: Vec::new() }
+    }
+
+    /// Adds one task of the given kind (with its primary output file) and
+    /// returns its atomic expression.
+    pub fn task(&mut self, profile: &KindProfile) -> Mspg {
+        Mspg::Task(self.task_id(profile))
+    }
+
+    /// Adds one task of the given kind and returns its id.
+    pub fn task_id(&mut self, profile: &KindProfile) -> TaskId {
+        let kind = self.dag.add_kind(profile.name);
+        let idx = {
+            match self.counters.iter_mut().find(|(n, _)| n == profile.name) {
+                Some((_, c)) => {
+                    *c += 1;
+                    *c - 1
+                }
+                None => {
+                    self.counters.push((profile.name.to_owned(), 1));
+                    0
+                }
+            }
+        };
+        let w = profile.sample_runtime(self.rng);
+        let s = profile.sample_output(self.rng);
+        self.dag
+            .add_task_with_output(&format!("{}_{idx}", profile.name), kind, w, s)
+    }
+
+    /// Adds `n` parallel tasks of one kind, returning the parallel
+    /// expression (or the single task when `n == 1`).
+    pub fn level(&mut self, profile: &KindProfile, n: usize) -> Mspg {
+        assert!(n >= 1);
+        let parts: Vec<Mspg> = (0..n).map(|_| self.task(profile)).collect();
+        Mspg::parallel(parts).expect("n >= 1")
+    }
+
+    /// Adds `n` parallel chains, each built by `chain` from this builder,
+    /// returning the parallel expression.
+    pub fn parallel_chains(
+        &mut self,
+        n: usize,
+        mut chain: impl FnMut(&mut Self) -> Mspg,
+    ) -> Mspg {
+        assert!(n >= 1);
+        let parts: Vec<Mspg> = (0..n).map(|_| chain(self)).collect();
+        Mspg::parallel(parts).expect("n >= 1")
+    }
+
+    /// Attaches a workflow-input file of `size` bytes to `t` (read from
+    /// stable storage before `t`'s first execution).
+    pub fn input(&mut self, t: TaskId, size: f64) {
+        let name = format!("{}.in", self.dag.task(t).name);
+        let f = self.dag.add_file(name, size, None);
+        self.dag.add_input_file(t, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::montage::{M_DIFF_FIT, M_PROJECT};
+    use mspg::Workflow;
+    use rand::SeedableRng;
+
+    #[test]
+    fn task_names_are_unique_and_numbered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Builder::new(&mut rng);
+        let t0 = b.task_id(&M_PROJECT);
+        let t1 = b.task_id(&M_PROJECT);
+        let t2 = b.task_id(&M_DIFF_FIT);
+        assert_eq!(b.dag.task(t0).name, "mProjectPP_0");
+        assert_eq!(b.dag.task(t1).name, "mProjectPP_1");
+        assert_eq!(b.dag.task(t2).name, "mDiffFit_0");
+    }
+
+    #[test]
+    fn level_builds_parallel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = Builder::new(&mut rng);
+        let lvl = b.level(&M_PROJECT, 3);
+        assert!(matches!(lvl, Mspg::Parallel(ref v) if v.len() == 3));
+        let single = b.level(&M_DIFF_FIT, 1);
+        assert!(matches!(single, Mspg::Task(_)));
+    }
+
+    #[test]
+    fn wiring_levels_gives_bipartite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = Builder::new(&mut rng);
+        let a = b.level(&M_PROJECT, 2);
+        let c = b.level(&M_DIFF_FIT, 3);
+        let root = Mspg::series([a, c]).unwrap();
+        let w = Workflow::new(b.dag, root);
+        assert_eq!(w.dag.n_edges(), 6);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn inputs_are_tracked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = Builder::new(&mut rng);
+        let t = b.task_id(&M_PROJECT);
+        b.input(t, 2e6);
+        assert_eq!(b.dag.input_files(t).len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Communication-to-Computation Ratio control (§VI-A).
+//!
+//! "We vary the CCR by scaling file data sizes by a factor": the CCR of a
+//! workflow is the total store time of all files (input, output and
+//! intermediate) at the stable-storage bandwidth, divided by the total
+//! failure-free compute time.
+
+use mspg::Workflow;
+
+/// Computes the CCR of `w` for stable-storage bandwidth `bw` (bytes/s).
+pub fn ccr(w: &Workflow, bw: f64) -> f64 {
+    w.ccr(bw)
+}
+
+/// Rescales every file size so that the workflow's CCR equals
+/// `target_ccr` at bandwidth `bw`. Returns the scaling factor applied.
+///
+/// # Panics
+/// Panics if the workflow has zero data volume (nothing to scale).
+pub fn scale_to_ccr(w: &mut Workflow, target_ccr: f64, bw: f64) -> f64 {
+    assert!(target_ccr > 0.0 && bw > 0.0);
+    let current = w.ccr(bw);
+    assert!(current > 0.0, "workflow has no file data to scale");
+    let factor = target_ccr / current;
+    w.dag.scale_file_sizes(factor);
+    factor
+}
+
+/// The log-spaced CCR grid used by the paper's figures: `points` values
+/// from `lo` to `hi` inclusive.
+pub fn ccr_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2 && lo > 0.0 && hi > lo);
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..points)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::fork_join;
+
+    #[test]
+    fn scaling_hits_target() {
+        let mut w = fork_join(3, 6, 1);
+        let bw = 1e8;
+        for target in [1e-4, 1e-2, 1.0] {
+            scale_to_ccr(&mut w, target, bw);
+            assert!((ccr(&w, bw) - target).abs() < 1e-9 * target);
+        }
+    }
+
+    #[test]
+    fn factor_is_ratio() {
+        let mut w = fork_join(2, 3, 2);
+        let bw = 1e8;
+        let before = ccr(&w, bw);
+        let f = scale_to_ccr(&mut w, 2.0 * before, bw);
+        assert!((f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_endpoints_and_monotone() {
+        let g = ccr_grid(1e-4, 1e-2, 9);
+        assert_eq!(g.len(), 9);
+        assert!((g[0] - 1e-4).abs() < 1e-12);
+        assert!((g[8] - 1e-2).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn weights_untouched_by_scaling() {
+        let mut w = fork_join(2, 3, 3);
+        let before = w.dag.total_weight();
+        scale_to_ccr(&mut w, 0.5, 1e8);
+        assert_eq!(w.dag.total_weight(), before);
+    }
+}

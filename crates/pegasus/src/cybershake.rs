@@ -1,0 +1,170 @@
+//! CyberShake (seismic hazard) workflow generator — an *extension* class.
+//!
+//! The paper evaluates on Genome, Montage and Ligo; CyberShake is the
+//! fourth application the Pegasus characterization studies profile
+//! (Bharathi et al. 2008, Juve et al. 2013) and exercises a different
+//! regime: **very large files** (strain Green tensors) with short
+//! post-processing tasks, i.e. CCR pressure concentrated on a few edges.
+//!
+//! Structure per site: two `ExtractSGT` tasks each fan out to `k`
+//! `SeismogramSynthesis → PeakValCalcOkaya` chains; the site's results are
+//! joined by `ZipSeismograms` and `ZipPeakSA` (modelled as a two-task
+//! level). Sites are independent (parallel composition).
+
+use mspg::{Mspg, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::Builder;
+use crate::profile::KindProfile;
+
+const MB: f64 = 1e6;
+
+/// Extraction of the strain Green tensor for one rupture variation.
+pub const EXTRACT_SGT: KindProfile = KindProfile {
+    name: "ExtractSGT",
+    runtime_mean: 110.0,
+    runtime_cv: 0.25,
+    output_mean: 300.0 * MB,
+    output_cv: 0.2,
+};
+
+/// Synthesis of one seismogram (dominant task count).
+pub const SEISMOGRAM_SYNTHESIS: KindProfile = KindProfile {
+    name: "SeismogramSynthesis",
+    runtime_mean: 48.0,
+    runtime_cv: 0.3,
+    output_mean: 0.2 * MB,
+    output_cv: 0.2,
+};
+
+/// Peak ground-motion extraction from one seismogram.
+pub const PEAK_VAL_CALC: KindProfile = KindProfile {
+    name: "PeakValCalcOkaya",
+    runtime_mean: 1.0,
+    runtime_cv: 0.3,
+    output_mean: 0.1 * MB,
+    output_cv: 0.2,
+};
+
+/// Seismogram archive task.
+pub const ZIP_SEIS: KindProfile = KindProfile {
+    name: "ZipSeismograms",
+    runtime_mean: 40.0,
+    runtime_cv: 0.2,
+    output_mean: 10.0 * MB,
+    output_cv: 0.2,
+};
+
+/// Peak-value archive task.
+pub const ZIP_PSA: KindProfile = KindProfile {
+    name: "ZipPeakSA",
+    runtime_mean: 38.0,
+    runtime_cv: 0.2,
+    output_mean: 5.0 * MB,
+    output_cv: 0.2,
+};
+
+/// Shape: `sites` independent sites, each with 2 SGT extractions fanning
+/// out to `k` synthesis chains.
+pub fn cybershake_shape(n_tasks: usize) -> (usize, usize) {
+    assert!(n_tasks >= 12, "CyberShake needs at least 12 tasks");
+    let sites = (n_tasks / 120).clamp(1, 6);
+    // Per site: 2·(1 + 2k) + 2 = 4k + 4.
+    let per_site = n_tasks / sites;
+    let k = ((per_site.saturating_sub(4)) / 4).max(1);
+    (sites, k)
+}
+
+/// Exact task count for a given request.
+pub fn actual_tasks(n_tasks: usize) -> usize {
+    let (sites, k) = cybershake_shape(n_tasks);
+    sites * (4 * k + 4)
+}
+
+/// Generates a CyberShake workflow with approximately `n_tasks` tasks.
+pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
+    let (sites, k) = cybershake_shape(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let site_exprs: Vec<Mspg> = (0..sites)
+        .map(|_| {
+            let halves = b.parallel_chains(2, |b| {
+                let sgt = b.task(&EXTRACT_SGT);
+                if let Mspg::Task(t) = sgt {
+                    b.input(t, 500.0 * MB); // master SGT volume from storage
+                }
+                let chains = b.parallel_chains(k, |b| {
+                    Mspg::series([
+                        b.task(&SEISMOGRAM_SYNTHESIS),
+                        b.task(&PEAK_VAL_CALC),
+                    ])
+                    .expect("chain")
+                });
+                Mspg::series([sgt, chains]).expect("half-site")
+            });
+            let zips = Mspg::parallel([b.task(&ZIP_SEIS), b.task(&ZIP_PSA)]).expect("zips");
+            Mspg::series([halves, zips]).expect("site")
+        })
+        .collect();
+    let root = Mspg::parallel(site_exprs).expect(">=1 site");
+    Workflow::new(b.dag, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::recognize;
+
+    #[test]
+    fn generates_mspg() {
+        for n in [50, 300, 1000] {
+            let w = generate(n, 31);
+            w.validate().unwrap();
+            recognize(&w.dag).expect("CyberShake must be an M-SPG");
+        }
+    }
+
+    #[test]
+    fn task_count_close_to_request() {
+        for n in [50, 300, 1000] {
+            let got = generate(n, 2).n_tasks();
+            assert_eq!(got, actual_tasks(n));
+            let err = (got as f64 - n as f64).abs() / n as f64;
+            assert!(err < 0.2, "requested {n}, got {got}");
+        }
+    }
+
+    #[test]
+    fn sgt_files_dominate_volume() {
+        // CyberShake's signature: a few huge SGT files dwarf everything.
+        let w = generate(300, 5);
+        let sgt_bytes: f64 = w
+            .dag
+            .task_ids()
+            .filter(|&t| w.dag.kind_name(w.dag.task(t).kind) == "ExtractSGT")
+            .flat_map(|t| w.dag.output_files(t).to_vec())
+            .map(|f| w.dag.file(f).size)
+            .sum();
+        assert!(sgt_bytes / w.dag.total_data_volume() > 0.3);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let a = generate(300, 9);
+        let b = generate(300, 9);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.dag.total_weight(), b.dag.total_weight());
+    }
+
+    #[test]
+    fn sites_are_parallel() {
+        let (sites, _) = cybershake_shape(1000);
+        assert!(sites > 1);
+        let w = generate(1000, 1);
+        match &w.root {
+            Mspg::Parallel(gs) => assert_eq!(gs.len(), sites),
+            _ => panic!("multi-site CyberShake root must be parallel"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Generic synthetic workflow families (tests, ablations, benches).
+
+use mspg::{Mspg, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::Builder;
+use crate::profile::KindProfile;
+
+/// A bland task profile for synthetic families.
+pub const GENERIC: KindProfile = KindProfile {
+    name: "task",
+    runtime_mean: 10.0,
+    runtime_cv: 0.3,
+    output_mean: 1e7,
+    output_cv: 0.2,
+};
+
+/// A pure chain of `n` tasks.
+pub fn chain(n: usize, seed: u64) -> Workflow {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let parts: Vec<Mspg> = (0..n).map(|_| b.task(&GENERIC)).collect();
+    let root = Mspg::series(parts).expect("n >= 1");
+    Workflow::new(b.dag, root)
+}
+
+/// A fork-join stack: `levels` alternating single tasks and parallel
+/// levels of `width` tasks, ending with a join task.
+pub fn fork_join(levels: usize, width: usize, seed: u64) -> Workflow {
+    assert!(levels >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let mut parts = Vec::with_capacity(2 * levels + 1);
+    for _ in 0..levels {
+        parts.push(b.task(&GENERIC));
+        parts.push(b.level(&GENERIC, width));
+    }
+    parts.push(b.task(&GENERIC));
+    let root = Mspg::series(parts).expect("non-empty");
+    Workflow::new(b.dag, root)
+}
+
+/// A two-level complete bipartite stage `a × b` with entry and exit tasks
+/// (the Figure 1(c) pattern).
+pub fn bipartite(a: usize, b_width: usize, seed: u64) -> Workflow {
+    assert!(a >= 1 && b_width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let root = Mspg::series([
+        b.task(&GENERIC),
+        b.level(&GENERIC, a),
+        b.level(&GENERIC, b_width),
+        b.task(&GENERIC),
+    ])
+    .expect("non-empty");
+    Workflow::new(b.dag, root)
+}
+
+/// `n` independent chains of `len` tasks each (embarrassingly parallel).
+pub fn independent_chains(n: usize, len: usize, seed: u64) -> Workflow {
+    assert!(n >= 1 && len >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let chains = b.parallel_chains(n, |b| {
+        let parts: Vec<Mspg> = (0..len).map(|_| b.task(&GENERIC)).collect();
+        Mspg::series(parts).expect("len >= 1")
+    });
+    Workflow::new(b.dag, chains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::recognize;
+
+    #[test]
+    fn families_are_valid_mspgs() {
+        for w in [
+            chain(10, 1),
+            fork_join(3, 5, 2),
+            bipartite(4, 6, 3),
+            independent_chains(5, 4, 4),
+        ] {
+            w.validate().unwrap();
+            recognize(&w.dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn expected_task_counts() {
+        assert_eq!(chain(10, 0).n_tasks(), 10);
+        assert_eq!(fork_join(3, 5, 0).n_tasks(), 3 * 6 + 1);
+        assert_eq!(bipartite(4, 6, 0).n_tasks(), 12);
+        assert_eq!(independent_chains(5, 4, 0).n_tasks(), 20);
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let w = chain(6, 0);
+        assert_eq!(w.dag.critical_path(), w.dag.total_weight());
+    }
+
+    #[test]
+    fn independent_chains_have_full_parallelism() {
+        let w = independent_chains(4, 3, 0);
+        assert!(w.dag.critical_path() < w.dag.total_weight() / 2.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Epigenomics ("Genome") workflow generator.
+//!
+//! Structure (Bharathi et al. 2008, PWG `Epigenomics`): per sequencing
+//! lane, a `fastqSplit` fans out to `k` parallel 4-task pipelines
+//! (`filterContams → sol2sanger → fastq2bfq → map`) joined by a `mapMerge`;
+//! lanes run in parallel and feed a global merge, then `maqIndex` and
+//! `pileup` finish sequentially. A pure nested fork-join — an M-SPG by
+//! construction.
+
+use mspg::{Mspg, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::Builder;
+use crate::profile::genome::*;
+
+/// Generates an Epigenomics workflow with approximately `n_tasks` tasks
+/// (the structure quantizes the count; see [`genome_shape`]).
+pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
+    let (lanes, k) = genome_shape(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let mut lane_exprs = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        let split = b.task(&FASTQ_SPLIT);
+        if let Mspg::Task(t) = split {
+            // Each lane starts by reading its raw FASTQ from storage.
+            b.input(t, 40e6);
+        }
+        let pipes = b.parallel_chains(k, |b| {
+            Mspg::series([
+                b.task(&FILTER_CONTAMS),
+                b.task(&SOL2SANGER),
+                b.task(&FASTQ2BFQ),
+                b.task(&MAP),
+            ])
+            .expect("4-task chain")
+        });
+        let merge = b.task(&MAP_MERGE);
+        lane_exprs.push(Mspg::series([split, pipes, merge]).expect("lane"));
+    }
+    let mut tail = vec![Mspg::parallel(lane_exprs).expect(">=1 lane")];
+    if lanes > 1 {
+        tail.push(b.task(&MAP_MERGE)); // global merge
+    }
+    tail.push(b.task(&MAQ_INDEX));
+    tail.push(b.task(&PILEUP));
+    let root = Mspg::series(tail).expect("non-empty");
+    Workflow::new(b.dag, root)
+}
+
+/// Chooses `(lanes, branches-per-lane)` so the task count
+/// `lanes·(2 + 4k) + extra` approximates `n_tasks` (extra = 2 finishing
+/// tasks, +1 global merge for multi-lane).
+pub fn genome_shape(n_tasks: usize) -> (usize, usize) {
+    assert!(n_tasks >= 8, "Genome needs at least 8 tasks");
+    // Lanes scale slowly with size (real runs use 2–8 lanes).
+    let lanes = match n_tasks {
+        0..=119 => 1,
+        120..=499 => 4,
+        _ => 8,
+    };
+    let extra = if lanes > 1 { 3 } else { 2 };
+    let per_lane = (n_tasks - extra) / lanes;
+    let k = ((per_lane.saturating_sub(2)) / 4).max(1);
+    (lanes, k)
+}
+
+/// Exact task count produced for a given `n_tasks` request.
+pub fn actual_tasks(n_tasks: usize) -> usize {
+    let (lanes, k) = genome_shape(n_tasks);
+    let extra = if lanes > 1 { 3 } else { 2 };
+    lanes * (2 + 4 * k) + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::recognize;
+
+    #[test]
+    fn generates_mspg() {
+        for n in [50, 300, 1000] {
+            let w = generate(n, 42);
+            w.validate().unwrap();
+            recognize(&w.dag).expect("Genome must be an M-SPG");
+        }
+    }
+
+    #[test]
+    fn task_count_close_to_request() {
+        for n in [50, 100, 300, 1000] {
+            let w = generate(n, 1);
+            let got = w.n_tasks();
+            assert_eq!(got, actual_tasks(n));
+            let err = (got as f64 - n as f64).abs() / n as f64;
+            assert!(err < 0.15, "requested {n}, got {got}");
+        }
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let a = generate(300, 7);
+        let b = generate(300, 7);
+        assert_eq!(a.root, b.root);
+        for t in a.dag.task_ids() {
+            assert_eq!(a.dag.weight(t), b.dag.weight(t));
+        }
+    }
+
+    #[test]
+    fn map_dominates_compute() {
+        // The mapping stage is the documented hot spot of Epigenomics.
+        let w = generate(300, 3);
+        let mut map_w = 0.0;
+        let mut total = 0.0;
+        for t in w.dag.task_ids() {
+            let tw = w.dag.weight(t);
+            total += tw;
+            if w.dag.kind_name(w.dag.task(t).kind) == "map" {
+                map_w += tw;
+            }
+        }
+        assert!(map_w / total > 0.7, "map fraction {}", map_w / total);
+    }
+
+    #[test]
+    fn multi_lane_structure_for_large_sizes() {
+        let (lanes, _) = genome_shape(1000);
+        assert_eq!(lanes, 8);
+        let (lanes, _) = genome_shape(50);
+        assert_eq!(lanes, 1);
+    }
+
+    #[test]
+    fn lane_inputs_exist() {
+        let w = generate(50, 9);
+        let has_input = w
+            .dag
+            .task_ids()
+            .any(|t| !w.dag.input_files(t).is_empty());
+        assert!(has_input, "fastqSplit tasks must read workflow inputs");
+    }
+}

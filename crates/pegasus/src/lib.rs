@@ -1,0 +1,135 @@
+//! # pegasus — synthetic Pegasus-like scientific workflow generators
+//!
+//! Workflow-instance substrate for *Checkpointing Workflows for Fail-Stop
+//! Errors* (Han et al., CLUSTER 2017). The paper evaluates on workflows
+//! from the Pegasus Workflow Generator (PWG); this crate substitutes
+//! structurally faithful synthetic generators for the three classes the
+//! paper uses — **Genome** (Epigenomics), **Montage** and **Ligo**
+//! (Inspiral) — calibrated against the published characterization studies
+//! (Bharathi et al. 2008; Juve et al. 2013). See DESIGN.md §3 for why this
+//! substitution preserves the experiments' behavior.
+//!
+//! All generators are deterministic in their `u64` seed, emit verified
+//! M-SPGs (the [`mspg::recognize`] round-trip is enforced by tests), and
+//! support the paper's CCR sweep via [`ccr::scale_to_ccr`].
+
+pub mod builder;
+pub mod ccr;
+pub mod cybershake;
+pub mod generic;
+pub mod genome;
+pub mod ligo;
+pub mod montage;
+pub mod profile;
+pub mod stats;
+pub mod textio;
+
+use mspg::Workflow;
+
+/// The three workflow classes of the paper's evaluation (§VI-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkflowClass {
+    /// Epigenomics: nested fork-join, `map` dominated (Figure 5).
+    Genome,
+    /// Montage: wide bipartite levels, I/O heavy (Figure 6).
+    Montage,
+    /// LIGO Inspiral: parallel groups of two-stage pipelines (Figure 7).
+    Ligo,
+    /// CyberShake (extension class, not in the paper's evaluation):
+    /// huge-file SGT extraction feeding wide synthesis fans.
+    Cybershake,
+}
+
+impl WorkflowClass {
+    /// The paper's three evaluation classes, in figure order
+    /// (CyberShake is an extension and deliberately not included).
+    pub const ALL: [WorkflowClass; 3] =
+        [WorkflowClass::Genome, WorkflowClass::Montage, WorkflowClass::Ligo];
+
+    /// All implemented classes, including extensions.
+    pub const ALL_EXTENDED: [WorkflowClass; 4] = [
+        WorkflowClass::Genome,
+        WorkflowClass::Montage,
+        WorkflowClass::Ligo,
+        WorkflowClass::Cybershake,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkflowClass::Genome => "genome",
+            WorkflowClass::Montage => "montage",
+            WorkflowClass::Ligo => "ligo",
+            WorkflowClass::Cybershake => "cybershake",
+        }
+    }
+
+    /// The CCR sweep range the paper uses for this class's figure.
+    pub fn ccr_range(self) -> (f64, f64) {
+        match self {
+            WorkflowClass::Genome => (1e-4, 1e-2),
+            WorkflowClass::Montage | WorkflowClass::Ligo | WorkflowClass::Cybershake => {
+                (1e-3, 1.0)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WorkflowClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for WorkflowClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "genome" | "epigenomics" => Ok(WorkflowClass::Genome),
+            "montage" => Ok(WorkflowClass::Montage),
+            "ligo" | "inspiral" => Ok(WorkflowClass::Ligo),
+            "cybershake" => Ok(WorkflowClass::Cybershake),
+            other => Err(format!("unknown workflow class `{other}`")),
+        }
+    }
+}
+
+/// Generates a workflow of the given class with approximately `n_tasks`
+/// tasks, deterministically in `seed`.
+pub fn generate(class: WorkflowClass, n_tasks: usize, seed: u64) -> Workflow {
+    match class {
+        WorkflowClass::Genome => genome::generate(n_tasks, seed),
+        WorkflowClass::Montage => montage::generate(n_tasks, seed),
+        WorkflowClass::Ligo => ligo::generate(n_tasks, seed),
+        WorkflowClass::Cybershake => cybershake::generate(n_tasks, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing() {
+        assert_eq!("genome".parse::<WorkflowClass>().unwrap(), WorkflowClass::Genome);
+        assert_eq!("Montage".parse::<WorkflowClass>().unwrap(), WorkflowClass::Montage);
+        assert_eq!("inspiral".parse::<WorkflowClass>().unwrap(), WorkflowClass::Ligo);
+        assert!("nope".parse::<WorkflowClass>().is_err());
+    }
+
+    #[test]
+    fn unified_generate_dispatch() {
+        for class in WorkflowClass::ALL {
+            let w = generate(class, 60, 5);
+            assert!(w.n_tasks() > 30, "{class}: {}", w.n_tasks());
+            w.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ccr_ranges_match_figures() {
+        assert_eq!(WorkflowClass::Genome.ccr_range(), (1e-4, 1e-2));
+        assert_eq!(WorkflowClass::Montage.ccr_range(), (1e-3, 1.0));
+    }
+}

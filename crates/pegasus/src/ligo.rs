@@ -1,0 +1,236 @@
+//! LIGO Inspiral workflow generator.
+//!
+//! Structure (Bharathi et al. 2008, PWG `Inspiral`): independent analysis
+//! groups run in parallel. Within a group, `k` parallel
+//! `TmpltBank → Inspiral` chains feed a level of `m` coincidence `Thinca`
+//! tasks, whose triggers drive `k` second-stage `TrigBank → Inspiral`
+//! chains joined by a final `Thinca`.
+//!
+//! The mainline generator wires consecutive levels completely (a true
+//! M-SPG). [`generate_incomplete`] reproduces the §VI-A footnote artifact:
+//! each first-stage `Thinca` reads only its own partition of the Inspiral
+//! outputs (an *incomplete* bipartite level, not an M-SPG), which the
+//! paper patches with dummy zero-size dependencies — see
+//! [`mspg::patch::complete_bipartite`] and experiment E8.
+
+use mspg::{Dag, Mspg, TaskId, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::Builder;
+use crate::profile::ligo::*;
+
+/// Shape of a Ligo instance: `groups` independent groups, each with `k`
+/// first-stage chains, `m` first-stage Thincas, and `k` second-stage
+/// chains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LigoShape {
+    /// Number of independent analysis groups.
+    pub groups: usize,
+    /// First/second-stage chains per group.
+    pub k: usize,
+    /// First-stage Thinca tasks per group.
+    pub m: usize,
+}
+
+/// Chooses the shape approximating `n_tasks` tasks.
+pub fn ligo_shape(n_tasks: usize) -> LigoShape {
+    assert!(n_tasks >= 12, "Ligo needs at least 12 tasks");
+    let groups = (n_tasks / 100).clamp(1, 8);
+    // Per group: 2k + m + 2k + 1 with m ≈ max(1, k/5).
+    let per_group = n_tasks / groups;
+    let mut k = ((per_group - 1) as f64 / 4.2).round() as usize;
+    k = k.max(2);
+    let m = (k / 5).max(1);
+    LigoShape { groups, k, m }
+}
+
+/// Exact task count for a shape.
+pub fn shape_tasks(s: LigoShape) -> usize {
+    s.groups * (4 * s.k + s.m + 1)
+}
+
+fn build_group(b: &mut Builder<'_>, k: usize, m: usize) -> Mspg {
+    let stage1 = b.parallel_chains(k, |b| {
+        let tb = b.task(&TMPLT_BANK);
+        if let Mspg::Task(t) = tb {
+            b.input(t, 1e6); // GW strain segment from storage
+        }
+        Mspg::series([tb, b.task(&INSPIRAL)]).expect("chain")
+    });
+    let thincas = b.level(&THINCA, m);
+    let stage2 = b.parallel_chains(k, |b| {
+        Mspg::series([b.task(&TRIG_BANK), b.task(&INSPIRAL)]).expect("chain")
+    });
+    let final_thinca = b.task(&THINCA);
+    Mspg::series([stage1, thincas, stage2, final_thinca]).expect("group")
+}
+
+/// Generates a (complete-bipartite, M-SPG) Ligo workflow with
+/// approximately `n_tasks` tasks.
+pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
+    let s = ligo_shape(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let groups: Vec<Mspg> = (0..s.groups).map(|_| build_group(&mut b, s.k, s.m)).collect();
+    let root = Mspg::parallel(groups).expect(">=1 group");
+    Workflow::new(b.dag, root)
+}
+
+/// An incomplete-bipartite Ligo instance (NOT an M-SPG when `m ≥ 2`):
+/// the same tasks as [`generate`], but each first-stage `Thinca` reads
+/// only its own `⌈k/m⌉`-chain partition of Inspiral outputs.
+///
+/// Returns the DAG plus the per-group `(inspiral-level, thinca-level)`
+/// task ids so callers can apply the paper's dummy-edge patch.
+pub struct IncompleteLigo {
+    /// The custom-wired DAG.
+    pub dag: Dag,
+    /// Per group: first-stage Inspiral tasks (the left side of the
+    /// incomplete level).
+    pub inspiral_level: Vec<Vec<TaskId>>,
+    /// Per group: first-stage Thinca tasks (the right side).
+    pub thinca_level: Vec<Vec<TaskId>>,
+}
+
+/// Generates the incomplete-bipartite variant (experiment E8).
+pub fn generate_incomplete(n_tasks: usize, seed: u64) -> IncompleteLigo {
+    let s = ligo_shape(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let mut inspiral_level = Vec::with_capacity(s.groups);
+    let mut thinca_level = Vec::with_capacity(s.groups);
+    for _ in 0..s.groups {
+        // Stage 1 chains, wired by hand.
+        let mut inspirals = Vec::with_capacity(s.k);
+        for _ in 0..s.k {
+            let tb = b.task_id(&TMPLT_BANK);
+            b.input(tb, 1e6);
+            let insp = b.task_id(&INSPIRAL);
+            let f = b.dag.primary_output(tb).unwrap();
+            b.dag.add_edge(insp, f);
+            inspirals.push(insp);
+        }
+        // Incomplete Thinca level: each Thinca reads one chunk of Inspiral
+        // outputs, overlapping its neighbour by one chain. The overlap is
+        // what makes the level neither complete (not a serial cut) nor
+        // partitioned (not a parallel split) — the PWG artifact the §VI-A
+        // footnote describes.
+        let mut thincas = Vec::with_capacity(s.m);
+        let chunk = s.k.div_ceil(s.m);
+        for j in 0..s.m {
+            let th = b.task_id(&THINCA);
+            let take = if j + 1 < s.m { chunk + 1 } else { chunk };
+            for &insp in inspirals.iter().skip(j * chunk).take(take) {
+                let f = b.dag.primary_output(insp).unwrap();
+                b.dag.add_edge(th, f);
+            }
+            thincas.push(th);
+        }
+        // Stage 2: complete from the Thinca level (every TrigBank reads
+        // all Thinca outputs, as in the mainline instance).
+        let mut stage2_inspirals = Vec::with_capacity(s.k);
+        for _ in 0..s.k {
+            let tb = b.task_id(&TRIG_BANK);
+            for &th in &thincas {
+                let f = b.dag.primary_output(th).unwrap();
+                b.dag.add_edge(tb, f);
+            }
+            let insp = b.task_id(&INSPIRAL);
+            let f = b.dag.primary_output(tb).unwrap();
+            b.dag.add_edge(insp, f);
+            stage2_inspirals.push(insp);
+        }
+        let final_th = b.task_id(&THINCA);
+        for &insp in &stage2_inspirals {
+            let f = b.dag.primary_output(insp).unwrap();
+            b.dag.add_edge(final_th, f);
+        }
+        inspiral_level.push(inspirals);
+        thinca_level.push(thincas);
+    }
+    IncompleteLigo { dag: b.dag, inspiral_level, thinca_level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::patch::complete_bipartite;
+    use mspg::recognize;
+
+    #[test]
+    fn generates_mspg() {
+        for n in [50, 300, 1000] {
+            let w = generate(n, 21);
+            w.validate().unwrap();
+            recognize(&w.dag).expect("mainline Ligo must be an M-SPG");
+        }
+    }
+
+    #[test]
+    fn task_count_close_to_request() {
+        for n in [50, 300, 1000] {
+            let got = generate(n, 2).n_tasks();
+            assert_eq!(got, shape_tasks(ligo_shape(n)));
+            let err = (got as f64 - n as f64).abs() / n as f64;
+            assert!(err < 0.2, "requested {n}, got {got}");
+        }
+    }
+
+    #[test]
+    fn incomplete_variant_is_not_mspg_but_patches() {
+        // 300 tasks → k large enough for m ≥ 2 Thincas per group.
+        let mut inc = generate_incomplete(300, 4);
+        let shape = ligo_shape(300);
+        assert!(shape.m >= 2, "need m >= 2 for the artifact");
+        assert!(recognize(&inc.dag).is_err(), "incomplete level must break M-SPG");
+        let before = inc.dag.total_data_volume();
+        for g in 0..shape.groups {
+            complete_bipartite(&mut inc.dag, &inc.inspiral_level[g], &inc.thinca_level[g]);
+        }
+        assert!(recognize(&inc.dag).is_ok(), "patched instance must be an M-SPG");
+        // "dummy dependencies carrying empty files": no data added.
+        assert_eq!(inc.dag.total_data_volume(), before);
+    }
+
+    #[test]
+    fn incomplete_and_complete_same_tasks() {
+        let w = generate(300, 4);
+        let inc = generate_incomplete(300, 4);
+        assert_eq!(w.n_tasks(), inc.dag.n_tasks());
+    }
+
+    #[test]
+    fn inspiral_dominates_compute() {
+        let w = generate(300, 6);
+        let mut insp = 0.0;
+        let mut total = 0.0;
+        for t in w.dag.task_ids() {
+            let tw = w.dag.weight(t);
+            total += tw;
+            if w.dag.kind_name(w.dag.task(t).kind) == "Inspiral" {
+                insp += tw;
+            }
+        }
+        assert!(insp / total > 0.8, "Inspiral fraction {}", insp / total);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let a = generate(300, 5);
+        let b = generate(300, 5);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.dag.total_weight(), b.dag.total_weight());
+    }
+
+    #[test]
+    fn groups_are_parallel_components() {
+        let s = ligo_shape(1000);
+        assert!(s.groups > 1);
+        let w = generate(1000, 3);
+        match &w.root {
+            Mspg::Parallel(gs) => assert_eq!(gs.len(), s.groups),
+            _ => panic!("multi-group Ligo root must be a parallel composition"),
+        }
+    }
+}

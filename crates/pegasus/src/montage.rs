@@ -1,0 +1,153 @@
+//! Montage (astronomy mosaicking) workflow generator.
+//!
+//! Structure (Bharathi et al. 2008, PWG `Montage`): a level of `m`
+//! `mProjectPP` re-projections, a level of `d` `mDiffFit` overlap fits, then
+//! the sequential tail `mConcatFit → mBgModel`, a level of `m`
+//! `mBackground` corrections, and the sequential finish
+//! `mImgtbl → mAdd → mShrink → mJPEG`.
+//!
+//! In the real application each `mDiffFit` reads *two* overlapping
+//! projected images. The M-SPG serial composition connects consecutive
+//! levels completely (Figure 1(c) of the paper); each projection produces
+//! a single file read by all fits, so data volumes are unchanged (a file
+//! feeding several successors is stored once). This is the
+//! M-SPG-ification the paper applies to production workflows.
+
+use mspg::{Mspg, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::Builder;
+use crate::profile::montage::*;
+
+/// Generates a Montage workflow with approximately `n_tasks` tasks.
+pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
+    let (m, d) = montage_shape(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(&mut rng);
+    let projections = b.level(&M_PROJECT, m);
+    // Every projection reads its raw image from storage.
+    for t in projections.tasks() {
+        b.input(t, 2e6);
+    }
+    let fits = b.level(&M_DIFF_FIT, d);
+    let concat = b.task(&M_CONCAT_FIT);
+    let bgmodel = b.task(&M_BG_MODEL);
+    let corrections = b.level(&M_BACKGROUND, m);
+    let imgtbl = b.task(&M_IMGTBL);
+    let add = b.task(&M_ADD);
+    let shrink = b.task(&M_SHRINK);
+    let jpeg = b.task(&M_JPEG);
+    let root = Mspg::series([
+        projections,
+        fits,
+        concat,
+        bgmodel,
+        corrections,
+        imgtbl,
+        add,
+        shrink,
+        jpeg,
+    ])
+    .expect("non-empty");
+    Workflow::new(b.dag, root)
+}
+
+/// Chooses `(m, d)`: `m` projections/corrections and `d = n - 2m - 6`
+/// difference fits (PWG's fit count grows roughly linearly with the image
+/// count).
+pub fn montage_shape(n_tasks: usize) -> (usize, usize) {
+    assert!(n_tasks >= 10, "Montage needs at least 10 tasks");
+    let m = ((n_tasks - 6) / 3).max(2);
+    let d = (n_tasks - 6 - 2 * m).max(1);
+    (m, d)
+}
+
+/// Exact task count produced for a given request.
+pub fn actual_tasks(n_tasks: usize) -> usize {
+    let (m, d) = montage_shape(n_tasks);
+    2 * m + d + 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspg::recognize;
+
+    #[test]
+    fn generates_mspg() {
+        for n in [50, 300, 1000] {
+            let w = generate(n, 11);
+            w.validate().unwrap();
+            recognize(&w.dag).expect("Montage must be an M-SPG");
+        }
+    }
+
+    #[test]
+    fn task_count_close_to_request() {
+        for n in [50, 300, 1000] {
+            let got = generate(n, 2).n_tasks();
+            assert_eq!(got, actual_tasks(n));
+            let err = (got as f64 - n as f64).abs() / n as f64;
+            assert!(err < 0.1, "requested {n}, got {got}");
+        }
+    }
+
+    #[test]
+    fn bipartite_level_is_complete() {
+        let w = generate(50, 5);
+        let (m, d) = montage_shape(50);
+        // Every mDiffFit must read all m projection files.
+        for t in w.dag.task_ids() {
+            if w.dag.kind_name(w.dag.task(t).kind) == "mDiffFit" {
+                assert_eq!(w.dag.preds(t).len(), m);
+            }
+        }
+        let _ = d;
+    }
+
+    #[test]
+    fn projection_file_stored_once() {
+        // m projections × d fits edges, but only one file per projection.
+        let w = generate(50, 5);
+        let (m, d) = montage_shape(50);
+        let mproject_files: usize = w
+            .dag
+            .task_ids()
+            .filter(|&t| w.dag.kind_name(w.dag.task(t).kind) == "mProjectPP")
+            .map(|t| w.dag.output_files(t).len())
+            .sum();
+        assert_eq!(mproject_files, m);
+        let fit_in_edges: usize = w
+            .dag
+            .task_ids()
+            .filter(|&t| w.dag.kind_name(w.dag.task(t).kind) == "mDiffFit")
+            .map(|t| w.dag.preds(t).len())
+            .sum();
+        assert_eq!(fit_in_edges, m * d);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let a = generate(300, 8);
+        let b = generate(300, 8);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.dag.total_weight(), b.dag.total_weight());
+    }
+
+    #[test]
+    fn sequential_tail_present() {
+        let w = generate(50, 1);
+        let kinds: Vec<&str> = ["mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"]
+            .into_iter()
+            .collect();
+        for k in kinds {
+            let count = w
+                .dag
+                .task_ids()
+                .filter(|&t| w.dag.kind_name(w.dag.task(t).kind) == k)
+                .count();
+            assert_eq!(count, 1, "{k}");
+        }
+    }
+}

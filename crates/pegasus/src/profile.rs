@@ -1,0 +1,272 @@
+//! Task-kind profiles: mean runtimes and output sizes per task type.
+//!
+//! The means are calibrated from the published Pegasus profiling study
+//! (Juve, Chervenak, Deelman, Bharathi, Mehta, Vahi — *Characterizing and
+//! profiling scientific workflows*, FGCS 2013) for the three applications
+//! the paper evaluates. Absolute values only anchor the *relative* mix of
+//! task weights and file sizes: the experiments normalize failure rates by
+//! the mean task weight (`pfail`) and sweep the CCR by rescaling all file
+//! sizes, exactly as §VI-A does.
+
+use rand::rngs::StdRng;
+
+use crate::stats::sample_around;
+
+/// Statistical profile of one task kind.
+#[derive(Clone, Copy, Debug)]
+pub struct KindProfile {
+    /// Task-type name (Pegasus executable name).
+    pub name: &'static str,
+    /// Mean failure-free runtime, seconds.
+    pub runtime_mean: f64,
+    /// Coefficient of variation of the runtime.
+    pub runtime_cv: f64,
+    /// Mean primary-output size, bytes.
+    pub output_mean: f64,
+    /// Coefficient of variation of the output size.
+    pub output_cv: f64,
+}
+
+impl KindProfile {
+    /// Draws a runtime for one task instance.
+    pub fn sample_runtime(&self, rng: &mut StdRng) -> f64 {
+        sample_around(rng, self.runtime_mean, self.runtime_cv)
+    }
+
+    /// Draws an output-file size for one task instance.
+    pub fn sample_output(&self, rng: &mut StdRng) -> f64 {
+        sample_around(rng, self.output_mean, self.output_cv)
+    }
+}
+
+const MB: f64 = 1e6;
+
+/// Montage (astronomy mosaic) task kinds.
+pub mod montage {
+    use super::{KindProfile, MB};
+
+    /// Re-projection of one input image.
+    pub const M_PROJECT: KindProfile = KindProfile {
+        name: "mProjectPP",
+        runtime_mean: 1.73,
+        runtime_cv: 0.25,
+        output_mean: 4.0 * MB,
+        output_cv: 0.1,
+    };
+    /// Difference fit between overlapping images.
+    pub const M_DIFF_FIT: KindProfile = KindProfile {
+        name: "mDiffFit",
+        runtime_mean: 0.66,
+        runtime_cv: 0.25,
+        output_mean: 0.64 * MB,
+        output_cv: 0.1,
+    };
+    /// Fit-plane concatenation (single task).
+    pub const M_CONCAT_FIT: KindProfile = KindProfile {
+        name: "mConcatFit",
+        runtime_mean: 143.0,
+        runtime_cv: 0.1,
+        output_mean: 1.0 * MB,
+        output_cv: 0.1,
+    };
+    /// Background model (single task).
+    pub const M_BG_MODEL: KindProfile = KindProfile {
+        name: "mBgModel",
+        runtime_mean: 384.0,
+        runtime_cv: 0.1,
+        output_mean: 0.1 * MB,
+        output_cv: 0.1,
+    };
+    /// Background correction of one image.
+    pub const M_BACKGROUND: KindProfile = KindProfile {
+        name: "mBackground",
+        runtime_mean: 1.72,
+        runtime_cv: 0.25,
+        output_mean: 4.0 * MB,
+        output_cv: 0.1,
+    };
+    /// Image-table construction (single task).
+    pub const M_IMGTBL: KindProfile = KindProfile {
+        name: "mImgtbl",
+        runtime_mean: 2.6,
+        runtime_cv: 0.2,
+        output_mean: 0.01 * MB,
+        output_cv: 0.1,
+    };
+    /// Mosaic co-addition (single task).
+    pub const M_ADD: KindProfile = KindProfile {
+        name: "mAdd",
+        runtime_mean: 282.0,
+        runtime_cv: 0.1,
+        output_mean: 165.0 * MB,
+        output_cv: 0.1,
+    };
+    /// Mosaic shrink (single task).
+    pub const M_SHRINK: KindProfile = KindProfile {
+        name: "mShrink",
+        runtime_mean: 66.0,
+        runtime_cv: 0.1,
+        output_mean: 25.0 * MB,
+        output_cv: 0.1,
+    };
+    /// JPEG rendering (single task).
+    pub const M_JPEG: KindProfile = KindProfile {
+        name: "mJPEG",
+        runtime_mean: 0.7,
+        runtime_cv: 0.2,
+        output_mean: 1.0 * MB,
+        output_cv: 0.1,
+    };
+}
+
+/// Epigenomics ("Genome") task kinds.
+pub mod genome {
+    use super::{KindProfile, MB};
+
+    /// Splits a FASTQ lane into chunks.
+    pub const FASTQ_SPLIT: KindProfile = KindProfile {
+        name: "fastqSplit",
+        runtime_mean: 35.0,
+        runtime_cv: 0.2,
+        output_mean: 20.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Removes contaminated reads from one chunk.
+    pub const FILTER_CONTAMS: KindProfile = KindProfile {
+        name: "filterContams",
+        runtime_mean: 2.5,
+        runtime_cv: 0.3,
+        output_mean: 6.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Converts Solexa to Sanger quality scores.
+    pub const SOL2SANGER: KindProfile = KindProfile {
+        name: "sol2sanger",
+        runtime_mean: 0.5,
+        runtime_cv: 0.3,
+        output_mean: 12.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Converts FASTQ to binary BFQ.
+    pub const FASTQ2BFQ: KindProfile = KindProfile {
+        name: "fastq2bfq",
+        runtime_mean: 1.5,
+        runtime_cv: 0.3,
+        output_mean: 3.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Maps reads against the reference genome (dominant cost).
+    pub const MAP: KindProfile = KindProfile {
+        name: "map",
+        runtime_mean: 201.0,
+        runtime_cv: 0.3,
+        output_mean: 1.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Merges mapped chunks of one lane.
+    pub const MAP_MERGE: KindProfile = KindProfile {
+        name: "mapMerge",
+        runtime_mean: 11.0,
+        runtime_cv: 0.2,
+        output_mean: 20.0 * MB,
+        output_cv: 0.15,
+    };
+    /// Indexes the merged alignments (single task).
+    pub const MAQ_INDEX: KindProfile = KindProfile {
+        name: "maqIndex",
+        runtime_mean: 43.0,
+        runtime_cv: 0.15,
+        output_mean: 60.0 * MB,
+        output_cv: 0.1,
+    };
+    /// Produces the final pileup (single task).
+    pub const PILEUP: KindProfile = KindProfile {
+        name: "pileup",
+        runtime_mean: 56.0,
+        runtime_cv: 0.15,
+        output_mean: 10.0 * MB,
+        output_cv: 0.1,
+    };
+}
+
+/// LIGO Inspiral task kinds.
+pub mod ligo {
+    use super::{KindProfile, MB};
+
+    /// Template-bank generation.
+    pub const TMPLT_BANK: KindProfile = KindProfile {
+        name: "TmpltBank",
+        runtime_mean: 18.1,
+        runtime_cv: 0.2,
+        output_mean: 0.9 * MB,
+        output_cv: 0.1,
+    };
+    /// Matched-filter inspiral analysis (dominant cost).
+    pub const INSPIRAL: KindProfile = KindProfile {
+        name: "Inspiral",
+        runtime_mean: 460.0,
+        runtime_cv: 0.3,
+        output_mean: 0.3 * MB,
+        output_cv: 0.15,
+    };
+    /// Coincidence analysis over a group of inspirals.
+    pub const THINCA: KindProfile = KindProfile {
+        name: "Thinca",
+        runtime_mean: 5.4,
+        runtime_cv: 0.25,
+        output_mean: 0.02 * MB,
+        output_cv: 0.15,
+    };
+    /// Trigger-bank extraction.
+    pub const TRIG_BANK: KindProfile = KindProfile {
+        name: "TrigBank",
+        runtime_mean: 5.1,
+        runtime_cv: 0.25,
+        output_mean: 0.6 * MB,
+        output_cv: 0.15,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_track_profile_means() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = montage::M_BG_MODEL;
+        let xs: Vec<f64> = (0..50_000).map(|_| p.sample_runtime(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - p.runtime_mean).abs() < 0.02 * p.runtime_mean);
+    }
+
+    #[test]
+    fn all_profiles_positive() {
+        for p in [
+            montage::M_PROJECT,
+            montage::M_DIFF_FIT,
+            montage::M_CONCAT_FIT,
+            montage::M_BG_MODEL,
+            montage::M_BACKGROUND,
+            montage::M_IMGTBL,
+            montage::M_ADD,
+            montage::M_SHRINK,
+            montage::M_JPEG,
+            genome::FASTQ_SPLIT,
+            genome::FILTER_CONTAMS,
+            genome::SOL2SANGER,
+            genome::FASTQ2BFQ,
+            genome::MAP,
+            genome::MAP_MERGE,
+            genome::MAQ_INDEX,
+            genome::PILEUP,
+            ligo::TMPLT_BANK,
+            ligo::INSPIRAL,
+            ligo::THINCA,
+            ligo::TRIG_BANK,
+        ] {
+            assert!(p.runtime_mean > 0.0 && p.output_mean > 0.0, "{}", p.name);
+        }
+    }
+}

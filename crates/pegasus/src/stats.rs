@@ -1,0 +1,136 @@
+//! From-scratch sampling of the distributions the generators need
+//! (no `rand_distr` dependency; see DESIGN.md's dependency policy).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via the Marsaglia polar method.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Gamma(shape, scale) sample via Marsaglia & Tsang (2000), with the
+/// standard boost `Gamma(k) = Gamma(k+1)·U^(1/k)` for `shape < 1`.
+pub fn gamma(rng: &mut StdRng, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma needs positive parameters");
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x * x * x * x
+            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+        {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Strictly positive sample with the given `mean` and coefficient of
+/// variation `cv` (std/mean), drawn from a Gamma with matching first two
+/// moments. `cv == 0` returns `mean` deterministically.
+///
+/// This is how task runtimes and file sizes are perturbed around their
+/// profiled means: positive, right-skewed, seed-reproducible — matching
+/// the character of the Pegasus profiling data (Juve et al. 2013).
+pub fn sample_around(rng: &mut StdRng, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    assert!(cv >= 0.0, "cv must be non-negative");
+    if cv == 0.0 {
+        return mean;
+    }
+    let shape = 1.0 / (cv * cv);
+    let scale = mean * cv * cv;
+    gamma(rng, shape, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut r = rng(2);
+        let (shape, scale) = (4.0, 2.5);
+        let xs: Vec<f64> = (0..200_000).map(|_| gamma(&mut r, shape, scale)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - shape * scale).abs() < 0.1, "mean {m}");
+        assert!((v - shape * scale * scale).abs() < 0.6, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut r = rng(3);
+        let (shape, scale) = (0.5, 3.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| gamma(&mut r, shape, scale)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 1.5).abs() < 0.05, "mean {m}");
+        assert!((v - 4.5).abs() < 0.4, "var {v}");
+    }
+
+    #[test]
+    fn sample_around_matches_mean_and_cv() {
+        let mut r = rng(4);
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_around(&mut r, 100.0, 0.3)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 100.0).abs() < 0.6, "mean {m}");
+        assert!((v.sqrt() - 30.0).abs() < 0.6, "std {}", v.sqrt());
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let mut r = rng(5);
+        assert_eq!(sample_around(&mut r, 42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a: Vec<f64> = {
+            let mut r = rng(6);
+            (0..100).map(|_| gamma(&mut r, 2.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(6);
+            (0..100).map(|_| gamma(&mut r, 2.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

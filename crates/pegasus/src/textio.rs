@@ -1,0 +1,281 @@
+//! Line-based text serialization of workflows.
+//!
+//! A deliberately small hermetic format (no serde; see DESIGN.md):
+//!
+//! ```text
+//! # ckpt-workflows v1
+//! kind <name>
+//! task <kind-index> <weight> <name>
+//! file <size> <producer-task|-> <name>
+//! primary <task> <file>
+//! edge <consumer-task> <file>
+//! input <task> <file>
+//! root <expr>         e.g. S(T0,P(T1,T2),T3)
+//! ```
+//!
+//! Indices are implicit (declaration order). The `root` expression uses
+//! `T<i>` for tasks, `S(...)` for series and `P(...)` for parallel.
+
+use mspg::{Dag, FileId, Mspg, TaskId, Workflow};
+
+/// Serialization/parsing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for expression-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a workflow to the text format.
+pub fn to_text(w: &Workflow) -> String {
+    let dag = &w.dag;
+    let mut out = String::with_capacity(64 * dag.n_tasks());
+    out.push_str("# ckpt-workflows v1\n");
+    // Kinds in index order.
+    for k in 0..dag.n_kinds() {
+        out.push_str(&format!("kind {}\n", dag.kind_name(mspg::KindId(k as u16))));
+    }
+    for t in dag.task_ids() {
+        let task = dag.task(t);
+        out.push_str(&format!("task {} {} {}\n", task.kind.0, task.weight, task.name));
+    }
+    for f in dag.file_ids() {
+        let file = dag.file(f);
+        let prod = match dag.producer(f) {
+            Some(t) => t.0.to_string(),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!("file {} {} {}\n", file.size, prod, file.name));
+    }
+    for t in dag.task_ids() {
+        if let Some(f) = dag.primary_output(t) {
+            out.push_str(&format!("primary {} {}\n", t.0, f.0));
+        }
+    }
+    for t in dag.task_ids() {
+        for &(_, f) in dag.preds(t) {
+            out.push_str(&format!("edge {} {}\n", t.0, f.0));
+        }
+        for &f in dag.input_files(t) {
+            out.push_str(&format!("input {} {}\n", t.0, f.0));
+        }
+    }
+    out.push_str("root ");
+    write_expr(&w.root, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_expr(e: &Mspg, out: &mut String) {
+    match e {
+        Mspg::Task(t) => out.push_str(&format!("T{}", t.0)),
+        Mspg::Series(cs) => {
+            out.push_str("S(");
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_expr(c, out);
+            }
+            out.push(')');
+        }
+        Mspg::Parallel(cs) => {
+            out.push_str("P(");
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_expr(c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Parses a workflow from the text format.
+pub fn from_text(text: &str) -> Result<Workflow, ParseError> {
+    let mut dag = Dag::new();
+    let mut root: Option<Mspg> = None;
+    let err = |line: usize, message: &str| ParseError { line, message: message.to_owned() };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').ok_or_else(|| err(line_no, "missing fields"))?;
+        match cmd {
+            "kind" => {
+                dag.add_kind(rest);
+            }
+            "task" => {
+                let mut it = rest.splitn(3, ' ');
+                let kind: u16 = parse_field(it.next(), line_no, "kind index")?;
+                let weight: f64 = parse_field(it.next(), line_no, "weight")?;
+                let name = it.next().ok_or_else(|| err(line_no, "missing task name"))?;
+                dag.add_task(name, mspg::KindId(kind), weight);
+            }
+            "file" => {
+                let mut it = rest.splitn(3, ' ');
+                let size: f64 = parse_field(it.next(), line_no, "size")?;
+                let prod_str = it.next().ok_or_else(|| err(line_no, "missing producer"))?;
+                let name = it.next().ok_or_else(|| err(line_no, "missing file name"))?;
+                let producer = if prod_str == "-" {
+                    None
+                } else {
+                    Some(TaskId(prod_str.parse().map_err(|_| err(line_no, "bad producer id"))?))
+                };
+                dag.add_file(name, size, producer);
+            }
+            "primary" => {
+                let (t, f) = two_ids(rest, line_no)?;
+                dag.set_primary_output(TaskId(t), FileId(f));
+            }
+            "edge" => {
+                let (t, f) = two_ids(rest, line_no)?;
+                dag.add_edge(TaskId(t), FileId(f));
+            }
+            "input" => {
+                let (t, f) = two_ids(rest, line_no)?;
+                dag.add_input_file(TaskId(t), FileId(f));
+            }
+            "root" => {
+                let (expr, used) = parse_expr(rest.as_bytes(), 0, line_no)?;
+                if used != rest.len() {
+                    return Err(err(line_no, "trailing characters after root expression"));
+                }
+                root = Some(expr);
+            }
+            other => return Err(err(line_no, &format!("unknown directive `{other}`"))),
+        }
+    }
+    let root = root.ok_or_else(|| err(0, "missing root expression"))?;
+    let w = Workflow::from_wired(dag, root);
+    w.validate().map_err(|e| err(0, &format!("invalid workflow: {e}")))?;
+    Ok(w)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    field
+        .ok_or_else(|| ParseError { line, message: format!("missing {what}") })?
+        .parse()
+        .map_err(|_| ParseError { line, message: format!("bad {what}") })
+}
+
+fn two_ids(rest: &str, line: usize) -> Result<(u32, u32), ParseError> {
+    let mut it = rest.split(' ');
+    let a = parse_field(it.next(), line, "first id")?;
+    let b = parse_field(it.next(), line, "second id")?;
+    Ok((a, b))
+}
+
+/// Recursive-descent parser for `T<i>`, `S(...)`, `P(...)`.
+fn parse_expr(s: &[u8], pos: usize, line: usize) -> Result<(Mspg, usize), ParseError> {
+    let err = |message: String| ParseError { line, message };
+    match s.get(pos) {
+        Some(b'T') => {
+            let mut j = pos + 1;
+            while j < s.len() && s[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j == pos + 1 {
+                return Err(err("expected task id after T".into()));
+            }
+            let id: u32 = std::str::from_utf8(&s[pos + 1..j])
+                .unwrap()
+                .parse()
+                .map_err(|_| err("bad task id".into()))?;
+            Ok((Mspg::Task(TaskId(id)), j))
+        }
+        Some(&c @ (b'S' | b'P')) => {
+            if s.get(pos + 1) != Some(&b'(') {
+                return Err(err("expected ( after composition".into()));
+            }
+            let mut parts = Vec::new();
+            let mut j = pos + 2;
+            loop {
+                let (part, nj) = parse_expr(s, j, line)?;
+                parts.push(part);
+                j = nj;
+                match s.get(j) {
+                    Some(b',') => j += 1,
+                    Some(b')') => {
+                        j += 1;
+                        break;
+                    }
+                    _ => return Err(err("expected , or ) in composition".into())),
+                }
+            }
+            let e = if c == b'S' { Mspg::series(parts) } else { Mspg::parallel(parts) };
+            Ok((e.ok_or_else(|| err("empty composition".into()))?, j))
+        }
+        _ => Err(err(format!("unexpected character at {pos}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{genome, ligo, montage};
+
+    #[test]
+    fn roundtrip_all_classes() {
+        for w in [genome::generate(50, 1), montage::generate(50, 2), ligo::generate(50, 3)] {
+            let text = to_text(&w);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back.root, w.root);
+            assert_eq!(back.dag.n_tasks(), w.dag.n_tasks());
+            assert_eq!(back.dag.n_edges(), w.dag.n_edges());
+            assert_eq!(back.dag.n_files(), w.dag.n_files());
+            for t in w.dag.task_ids() {
+                assert_eq!(back.dag.weight(t), w.dag.weight(t));
+                assert_eq!(back.dag.task(t).name, w.dag.task(t).name);
+            }
+            for f in w.dag.file_ids() {
+                assert_eq!(back.dag.file(f).size, w.dag.file(f).size);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let e = from_text("task nope").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = from_text("# ok\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let e = from_text("kind t\n").unwrap_err();
+        assert!(e.message.contains("root"));
+    }
+
+    #[test]
+    fn expr_parser_nested() {
+        let (e, used) = parse_expr(b"S(T0,P(T1,S(T2,T3)),T4)", 0, 1).unwrap();
+        assert_eq!(used, 23);
+        assert_eq!(e.n_tasks(), 5);
+        assert!(e.is_normalized());
+    }
+
+    #[test]
+    fn expr_parser_rejects_garbage() {
+        assert!(parse_expr(b"X(T0)", 0, 1).is_err());
+        assert!(parse_expr(b"S(T0", 0, 1).is_err());
+        assert!(parse_expr(b"T", 0, 1).is_err());
+    }
+}

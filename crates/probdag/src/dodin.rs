@@ -1,0 +1,169 @@
+//! Dodin's method: series-parallel propagation of discrete distributions.
+//!
+//! Dodin (1985) bounds the completion-time distribution of a PERT network
+//! by propagating discrete distributions through the DAG in topological
+//! order, treating the completion times of a node's predecessors as
+//! independent:
+//!
+//! ```text
+//! D(v) = w(v) ⊛ max{ D(u) : u ∈ pred(v) }      (⊛ = convolution)
+//! ```
+//!
+//! On series-parallel graphs this recursion is exact (it is exactly the
+//! SPG evaluation of Möhring / Canon–Jeannot that the paper cites); on
+//! general DAGs shared ancestors make the predecessor completions
+//! positively correlated, so the independent max *stochastically
+//! dominates* the true distribution and the method is an upper bound.
+//!
+//! Support sizes are capped (`max_support`) by the mean-preserving merge of
+//! [`Discrete::compress`], giving the pseudo-polynomial running time the
+//! paper observed to be far slower than PathApprox on large graphs.
+
+use crate::dist::Discrete;
+use crate::pdag::ProbDag;
+use crate::Evaluator;
+
+/// Dodin's series-parallel approximation.
+#[derive(Clone, Copy, Debug)]
+pub struct Dodin {
+    /// Maximum number of support points kept per intermediate
+    /// distribution.
+    pub max_support: usize,
+}
+
+impl Default for Dodin {
+    fn default() -> Self {
+        Dodin { max_support: 128 }
+    }
+}
+
+impl Dodin {
+    /// Full makespan distribution estimate (independence-propagated).
+    pub fn makespan_distribution(&self, dag: &ProbDag) -> Discrete {
+        assert!(dag.n_nodes() > 0, "empty DAG");
+        let order = dag.topo_order();
+        let mut completion: Vec<Option<Discrete>> = vec![None; dag.n_nodes()];
+        for &v in &order {
+            let mut start: Option<Discrete> = None;
+            for &u in dag.preds(v) {
+                let du = completion[u.index()].as_ref().expect("topo order");
+                start = Some(match start {
+                    None => du.clone(),
+                    Some(s) => s.max(du),
+                });
+            }
+            let mut d = match start {
+                None => dag.dist(v).to_discrete(),
+                Some(s) => s.convolve(&dag.dist(v).to_discrete()),
+            };
+            d.compress(self.max_support);
+            completion[v.index()] = Some(d);
+        }
+        let mut makespan: Option<Discrete> = None;
+        for v in dag.sink_nodes() {
+            let dv = completion[v.index()].as_ref().unwrap();
+            makespan = Some(match makespan {
+                None => dv.clone(),
+                Some(m) => {
+                    let mut m = m.max(dv);
+                    m.compress(self.max_support);
+                    m
+                }
+            });
+        }
+        makespan.expect("at least one sink")
+    }
+}
+
+impl Evaluator for Dodin {
+    fn name(&self) -> &'static str {
+        "Dodin"
+    }
+
+    fn expected_makespan(&self, dag: &ProbDag) -> f64 {
+        self.makespan_distribution(dag).mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdag::{NodeDist, ProbDag};
+
+    fn two(low: f64, high: f64, p: f64) -> NodeDist {
+        NodeDist::TwoState { low, high, p_high: p }
+    }
+
+    #[test]
+    fn chain_is_exact() {
+        // Series graphs involve only convolutions: Dodin is exact.
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 2.0, 0.5));
+        let b = g.add_node(two(10.0, 20.0, 0.25));
+        g.add_edge(a, b);
+        let d = Dodin::default();
+        let expect = (0.5 * 1.0 + 0.5 * 2.0) + (0.75 * 10.0 + 0.25 * 20.0);
+        assert!((d.expected_makespan(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_is_exact() {
+        // a → {b, c} with no join: makespan = a + max(b, c); b, c are
+        // independent given a, so independence propagation is exact.
+        let mut g = ProbDag::new();
+        let a = g.add_node(NodeDist::Certain(1.0));
+        let b = g.add_node(two(2.0, 4.0, 0.5));
+        let c = g.add_node(two(3.0, 3.5, 0.5));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        // max(b,c): values b∈{2,4}, c∈{3,3.5} each p=1/2 →
+        // max ∈ {3 (b=2,c=3): .25, 3.5 (b=2,c=3.5): .25, 4 (b=4): .5}.
+        let expect = 1.0 + (3.0 * 0.25 + 3.5 * 0.25 + 4.0 * 0.5);
+        let d = Dodin::default();
+        assert!((d.expected_makespan(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_ancestor_upper_bounds() {
+        // Diamond a → {b,c} → d: b and c completions share a's duration, so
+        // the independent max over-estimates. Compare against exhaustive
+        // enumeration.
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 10.0, 0.5));
+        let b = g.add_node(two(1.0, 2.0, 0.5));
+        let c = g.add_node(two(1.0, 2.0, 0.5));
+        let d = g.add_node(NodeDist::Certain(0.5));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let exact = crate::exact::ExactEnum.expected_makespan(&g);
+        let dodin = Dodin::default().expected_makespan(&g);
+        assert!(dodin >= exact - 1e-12, "dodin {dodin} < exact {exact}");
+        assert!(dodin > exact + 1e-6, "bound should be strict here");
+    }
+
+    #[test]
+    fn compression_controls_support() {
+        // A 24-node chain of 2-state nodes has 2^24 patterns; with
+        // compression the support stays bounded and the mean stays exact
+        // (convolution preserves means; compression is mean-preserving).
+        let mut g = ProbDag::new();
+        let mut prev = None;
+        let mut expect = 0.0;
+        for i in 0..24 {
+            let lo = 1.0 + (i as f64) * 0.1;
+            let hi = lo * 1.5;
+            let v = g.add_node(two(lo, hi, 0.3));
+            expect += 0.7 * lo + 0.3 * hi;
+            if let Some(p) = prev {
+                g.add_edge(p, v);
+            }
+            prev = Some(v);
+        }
+        let d = Dodin { max_support: 64 };
+        let got = d.expected_makespan(&g);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        assert!(d.makespan_distribution(&g).support_len() <= 64);
+    }
+}

@@ -1,0 +1,136 @@
+//! Exhaustive-enumeration oracle for small probabilistic DAGs.
+//!
+//! Enumerates all `2^k` high/low patterns of the (at most 30) stochastic
+//! nodes and computes the exact expected makespan. Exponential by design —
+//! the problem is #P-complete — so this exists purely to validate the
+//! estimators in tests and experiments on small instances.
+
+use crate::pdag::{NodeId, ProbDag};
+use crate::Evaluator;
+
+/// Exact expected makespan by exhaustive enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactEnum;
+
+impl ExactEnum {
+    /// Exact expected makespan.
+    ///
+    /// # Panics
+    /// Panics if the DAG has more than 30 stochastic (non-`Certain`)
+    /// nodes.
+    pub fn run(&self, dag: &ProbDag) -> f64 {
+        let stochastic: Vec<NodeId> = dag
+            .node_ids()
+            .filter(|&v| dag.dist(v).p_high() > 0.0)
+            .collect();
+        let k = stochastic.len();
+        assert!(k <= 30, "ExactEnum limited to 30 stochastic nodes, got {k}");
+        let order = dag.topo_order();
+        let n = dag.n_nodes();
+        let mut finish = vec![0.0f64; n];
+        let mut high = vec![false; n];
+        let mut acc = 0.0f64;
+        for mask in 0u64..(1u64 << k) {
+            let mut prob = 1.0f64;
+            for (bit, &v) in stochastic.iter().enumerate() {
+                let p = dag.dist(v).p_high();
+                if mask >> bit & 1 == 1 {
+                    high[v.index()] = true;
+                    prob *= p;
+                } else {
+                    high[v.index()] = false;
+                    prob *= 1.0 - p;
+                }
+            }
+            if prob == 0.0 {
+                continue;
+            }
+            let m = dag.makespan_with_order(
+                &order,
+                |v| {
+                    if high[v.index()] {
+                        dag.dist(v).high()
+                    } else {
+                        dag.dist(v).low()
+                    }
+                },
+                &mut finish,
+            );
+            acc += prob * m;
+        }
+        acc
+    }
+}
+
+impl Evaluator for ExactEnum {
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn expected_makespan(&self, dag: &ProbDag) -> f64 {
+        self.run(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdag::NodeDist;
+
+    fn two(low: f64, high: f64, p: f64) -> NodeDist {
+        NodeDist::TwoState { low, high, p_high: p }
+    }
+
+    #[test]
+    fn single_node() {
+        let mut g = ProbDag::new();
+        g.add_node(two(1.0, 3.0, 0.25));
+        assert!((ExactEnum.run(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_pair() {
+        let mut g = ProbDag::new();
+        g.add_node(two(1.0, 2.0, 0.5));
+        g.add_node(two(1.0, 2.0, 0.5));
+        // E[max] = 1·0.25 + 2·0.75 = 1.75.
+        assert!((ExactEnum.run(&g) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_nodes_do_not_count_against_limit() {
+        let mut g = ProbDag::new();
+        let mut prev = None;
+        for _ in 0..64 {
+            let v = g.add_node(NodeDist::Certain(1.0));
+            if let Some(p) = prev {
+                g.add_edge(p, v);
+            }
+            prev = Some(v);
+        }
+        assert_eq!(ExactEnum.run(&g), 64.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_diamond() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 1.5, 0.5));
+        let b = g.add_node(two(2.0, 3.0, 0.5));
+        let c = g.add_node(two(2.5, 2.6, 0.5));
+        let d = g.add_node(NodeDist::Certain(1.0));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        // Enumerate by hand: makespan = a + max(b, c) + 1.
+        let mut expect = 0.0;
+        for (pa, va) in [(0.5, 1.0), (0.5, 1.5)] {
+            for (pb, vb) in [(0.5, 2.0), (0.5, 3.0)] {
+                for (pc, vc) in [(0.5, 2.5), (0.5, 2.6)] {
+                    expect += pa * pb * pc * (va + f64::max(vb, vc) + 1.0);
+                }
+            }
+        }
+        assert!((ExactEnum.run(&g) - expect).abs() < 1e-12);
+    }
+}

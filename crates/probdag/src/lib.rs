@@ -1,0 +1,46 @@
+//! # probdag — expected makespan of probabilistic DAGs
+//!
+//! Evaluation substrate for *Checkpointing Workflows for Fail-Stop Errors*
+//! (Han et al., CLUSTER 2017), §II-B: computing the expected makespan of a
+//! DAG whose node durations are independent random variables — in the
+//! paper's use, **2-state** variables produced by the first-order
+//! approximation of checkpointed task/segment execution times
+//! (Eq. (1)/(2)).
+//!
+//! Computing this expectation exactly is #P-complete (Hagstrom), so the
+//! paper compares four estimators, all implemented here:
+//!
+//! * [`montecarlo`] — sampling ground truth (the paper uses 300 000 trials);
+//! * [`dodin`] — series-parallel/independence propagation of discrete
+//!   distributions (Dodin's network bound);
+//! * [`normal`] — Sculli's method: normal approximations combined with
+//!   Clark's moment formulas for the maximum;
+//! * [`pathapprox`] — the first-order longest-path method of
+//!   Casanova, Herrmann & Robert (P2S2 2016), the paper's method of choice.
+//!
+//! [`exact`] provides an exhaustive-enumeration oracle for small DAGs, used
+//! by the test suite to validate the estimators.
+
+pub mod dist;
+pub mod dodin;
+pub mod exact;
+pub mod montecarlo;
+pub mod normal;
+pub mod pathapprox;
+pub mod pdag;
+
+pub use dist::Discrete;
+pub use dodin::Dodin;
+pub use exact::ExactEnum;
+pub use montecarlo::{McResult, MonteCarlo};
+pub use normal::NormalSculli;
+pub use pathapprox::PathApprox;
+pub use pdag::{NodeDist, NodeId, ProbDag};
+
+/// A makespan estimator for probabilistic DAGs.
+pub trait Evaluator {
+    /// Human-readable name (matches the paper's nomenclature).
+    fn name(&self) -> &'static str;
+    /// Estimated expected makespan of `dag`.
+    fn expected_makespan(&self, dag: &ProbDag) -> f64;
+}

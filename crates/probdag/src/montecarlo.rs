@@ -1,0 +1,193 @@
+//! Monte Carlo estimation of the expected makespan (the paper's ground
+//! truth, §VI-B: 300 000 trials).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pdag::{NodeDist, ProbDag};
+use crate::Evaluator;
+
+/// Monte Carlo estimator: samples every node duration independently and
+/// takes the longest path, `trials` times.
+///
+/// Trials are distributed over `threads` OS threads (fork-join via
+/// `std::thread::scope`; each thread owns an independent RNG stream derived
+/// from `seed`, so results are deterministic for a fixed
+/// `(seed, threads)`).
+#[derive(Clone, Debug)]
+pub struct MonteCarlo {
+    /// Number of sampled executions.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = use all available cores).
+    pub threads: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo { trials: 300_000, seed: 0x5EED, threads: 0 }
+    }
+}
+
+/// Monte Carlo result with sampling-error estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct McResult {
+    /// Sample mean of the makespan.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl MonteCarlo {
+    /// Runs the estimator, returning mean and standard error.
+    pub fn run(&self, dag: &ProbDag) -> McResult {
+        assert!(self.trials > 0);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let threads = threads.min(self.trials);
+        let order = dag.topo_order();
+        // Pre-extract the sampling parameters into flat arrays: the trial
+        // loop then touches only contiguous memory.
+        let n = dag.n_nodes();
+        let mut low = vec![0.0f64; n];
+        let mut high = vec![0.0f64; n];
+        let mut p = vec![0.0f64; n];
+        for v in dag.node_ids() {
+            match *dag.dist(v) {
+                NodeDist::Certain(x) => {
+                    low[v.index()] = x;
+                    high[v.index()] = x;
+                    p[v.index()] = 0.0;
+                }
+                NodeDist::TwoState { low: l, high: h, p_high } => {
+                    low[v.index()] = l;
+                    high[v.index()] = h;
+                    p[v.index()] = p_high;
+                }
+            }
+        }
+        let chunk = self.trials / threads;
+        let extra = self.trials % threads;
+        let (sum, sum_sq) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let my_trials = chunk + usize::from(w < extra);
+                let order = &order;
+                let (low, high, p) = (&low, &high, &p);
+                let seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                handles.push(scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut finish = vec![0.0f64; n];
+                    let mut sample = vec![0.0f64; n];
+                    let mut s = 0.0f64;
+                    let mut s2 = 0.0f64;
+                    for _ in 0..my_trials {
+                        for i in 0..n {
+                            sample[i] = if p[i] > 0.0 && rng.gen::<f64>() < p[i] {
+                                high[i]
+                            } else {
+                                low[i]
+                            };
+                        }
+                        let mut best = 0.0f64;
+                        for &v in order.iter() {
+                            let vi = v.index();
+                            let mut start = 0.0f64;
+                            for u in dag.preds(v) {
+                                let f = finish[u.index()];
+                                if f > start {
+                                    start = f;
+                                }
+                            }
+                            let f = start + sample[vi];
+                            finish[vi] = f;
+                            if f > best {
+                                best = f;
+                            }
+                        }
+                        s += best;
+                        s2 += best * best;
+                    }
+                    (s, s2)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("MC worker panicked"))
+                .fold((0.0, 0.0), |(a, b), (s, s2)| (a + s, b + s2))
+        });
+        let nf = self.trials as f64;
+        let mean = sum / nf;
+        let var = (sum_sq / nf - mean * mean).max(0.0);
+        McResult { mean, stderr: (var / nf).sqrt(), trials: self.trials }
+    }
+}
+
+impl Evaluator for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn expected_makespan(&self, dag: &ProbDag) -> f64 {
+        self.run(dag).mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdag::NodeDist;
+
+    fn two(low: f64, high: f64, p: f64) -> NodeDist {
+        NodeDist::TwoState { low, high, p_high: p }
+    }
+
+    #[test]
+    fn single_node_mean() {
+        let mut g = ProbDag::new();
+        g.add_node(two(10.0, 15.0, 0.3));
+        let mc = MonteCarlo { trials: 200_000, seed: 1, threads: 2 };
+        let r = mc.run(&g);
+        let expect = 0.7 * 10.0 + 0.3 * 15.0;
+        assert!((r.mean - expect).abs() < 5.0 * r.stderr.max(1e-3), "{} vs {expect}", r.mean);
+    }
+
+    #[test]
+    fn deterministic_nodes_have_zero_stderr() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(NodeDist::Certain(3.0));
+        let b = g.add_node(NodeDist::Certain(4.0));
+        g.add_edge(a, b);
+        let mc = MonteCarlo { trials: 1000, seed: 2, threads: 1 };
+        let r = mc.run(&g);
+        assert_eq!(r.mean, 7.0);
+        assert_eq!(r.stderr, 0.0);
+    }
+
+    #[test]
+    fn seed_reproducibility() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 2.0, 0.5));
+        let b = g.add_node(two(1.0, 2.0, 0.5));
+        g.add_edge(a, b);
+        let mc = MonteCarlo { trials: 10_000, seed: 7, threads: 3 };
+        assert_eq!(mc.run(&g).mean, mc.run(&g).mean);
+    }
+
+    #[test]
+    fn parallel_max_of_independents() {
+        // Two independent nodes {1 or 2, p=0.5}: E[max] = 1·0.25 + 2·0.75.
+        let mut g = ProbDag::new();
+        g.add_node(two(1.0, 2.0, 0.5));
+        g.add_node(two(1.0, 2.0, 0.5));
+        let mc = MonteCarlo { trials: 400_000, seed: 3, threads: 4 };
+        let r = mc.run(&g);
+        assert!((r.mean - 1.75).abs() < 5.0 * r.stderr.max(1e-3));
+    }
+}

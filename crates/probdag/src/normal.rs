@@ -1,0 +1,211 @@
+//! Sculli's method: normal-approximation evaluation with Clark's maximum.
+//!
+//! Sculli (1983) propagates `(mean, variance)` pairs through the DAG,
+//! treating every completion time as normally distributed:
+//!
+//! * addition: means and variances add;
+//! * maximum: Clark's (1961) first two moments of the maximum of two
+//!   (assumed independent here, as in Sculli) normal variables.
+//!
+//! The method is `O(V + E)` but biased when durations are far from normal —
+//! exactly the low-`p` 2-state distributions the paper's pipeline produces,
+//! which is why §VI-B finds it less accurate than PathApprox.
+
+use crate::pdag::ProbDag;
+use crate::Evaluator;
+
+/// Standard normal PDF.
+fn phi(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf polynomial
+/// (|error| < 1.5e-7, ample for moment propagation).
+fn cap_phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Clark's first two moments of `max(X, Y)` for independent normals
+/// `X ~ N(m1, v1)`, `Y ~ N(m2, v2)`.
+fn clark_max(m1: f64, v1: f64, m2: f64, v2: f64) -> (f64, f64) {
+    clark_max_corr(m1, v1, m2, v2, 0.0)
+}
+
+/// Clark's moments of `max(X, Y)` for jointly normal `X`, `Y` with
+/// covariance `cov` (Clark 1961, eqs. 4–5). Used by PathApprox, where
+/// candidate paths share nodes and are therefore positively correlated.
+pub(crate) fn clark_max_corr(m1: f64, v1: f64, m2: f64, v2: f64, cov: f64) -> (f64, f64) {
+    let a2 = (v1 + v2 - 2.0 * cov).max(0.0);
+    if a2 <= 1e-300 {
+        // Equal (or deterministic) branches: max is the larger mean with
+        // the variance of the dominant branch.
+        return if m1 >= m2 { (m1, v1) } else { (m2, v2) };
+    }
+    let a = a2.sqrt();
+    let alpha = (m1 - m2) / a;
+    let cdf = cap_phi(alpha);
+    let pdf = phi(alpha);
+    let mean = m1 * cdf + m2 * (1.0 - cdf) + a * pdf;
+    let second = (m1 * m1 + v1) * cdf + (m2 * m2 + v2) * (1.0 - cdf) + (m1 + m2) * a * pdf;
+    let var = (second - mean * mean).max(0.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod corr_tests {
+    use super::*;
+
+    #[test]
+    fn full_correlation_equal_vars_is_plain_max() {
+        // X = Y a.s. → max = X.
+        let (m, v) = clark_max_corr(5.0, 2.0, 5.0, 2.0, 2.0);
+        assert_eq!((m, v), (5.0, 2.0));
+    }
+
+    #[test]
+    fn positive_correlation_reduces_max_mean() {
+        let (m_ind, _) = clark_max_corr(10.0, 4.0, 10.0, 4.0, 0.0);
+        let (m_cor, _) = clark_max_corr(10.0, 4.0, 10.0, 4.0, 3.0);
+        assert!(m_cor < m_ind);
+        assert!(m_cor >= 10.0);
+    }
+}
+
+/// Sculli's normal-approximation estimator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NormalSculli;
+
+impl NormalSculli {
+    /// Estimated `(mean, variance)` of the makespan.
+    pub fn makespan_moments(&self, dag: &ProbDag) -> (f64, f64) {
+        assert!(dag.n_nodes() > 0, "empty DAG");
+        let order = dag.topo_order();
+        let n = dag.n_nodes();
+        let mut mean = vec![0.0f64; n];
+        let mut var = vec![0.0f64; n];
+        for &v in &order {
+            let mut sm = 0.0f64;
+            let mut sv = 0.0f64;
+            let mut first = true;
+            for &u in dag.preds(v) {
+                if first {
+                    sm = mean[u.index()];
+                    sv = var[u.index()];
+                    first = false;
+                } else {
+                    let (m, vv) = clark_max(sm, sv, mean[u.index()], var[u.index()]);
+                    sm = m;
+                    sv = vv;
+                }
+            }
+            mean[v.index()] = sm + dag.dist(v).mean();
+            var[v.index()] = sv + dag.dist(v).variance();
+        }
+        let mut out: Option<(f64, f64)> = None;
+        for v in dag.sink_nodes() {
+            out = Some(match out {
+                None => (mean[v.index()], var[v.index()]),
+                Some((m, vv)) => clark_max(m, vv, mean[v.index()], var[v.index()]),
+            });
+        }
+        out.expect("at least one sink")
+    }
+}
+
+impl Evaluator for NormalSculli {
+    fn name(&self) -> &'static str {
+        "Normal"
+    }
+
+    fn expected_makespan(&self, dag: &ProbDag) -> f64 {
+        self.makespan_moments(dag).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdag::{NodeDist, ProbDag};
+
+    fn two(low: f64, high: f64, p: f64) -> NodeDist {
+        NodeDist::TwoState { low, high, p_high: p }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // The A&S polynomial's coefficients sum to 1 - 1e-9, so erf(0) is
+        // ~1e-9 rather than exactly 0.
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((cap_phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((cap_phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((cap_phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clark_max_identical_normals() {
+        // E[max of two iid N(0,1)] = 1/√π.
+        let (m, _) = clark_max(0.0, 1.0, 0.0, 1.0);
+        assert!((m - 1.0 / std::f64::consts::PI.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clark_max_dominant_branch() {
+        // When one branch dominates by many sigmas, max ≈ dominant.
+        let (m, v) = clark_max(100.0, 1.0, 0.0, 1.0);
+        assert!((m - 100.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chain_means_add_exactly() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 2.0, 0.5));
+        let b = g.add_node(two(10.0, 20.0, 0.25));
+        g.add_edge(a, b);
+        let (m, v) = NormalSculli.makespan_moments(&g);
+        assert!((m - (1.5 + 12.5)).abs() < 1e-12);
+        let expect_var = 0.25 * 1.0 + 0.25 * 0.75 * 100.0;
+        assert!((v - expect_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_dag_is_exact() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(NodeDist::Certain(3.0));
+        let b = g.add_node(NodeDist::Certain(4.0));
+        let c = g.add_node(NodeDist::Certain(2.0));
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        assert!((NormalSculli.expected_makespan(&g) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reasonable_on_parallel_two_state() {
+        // max of two iid {1,2 @ p=.5}: exact mean 1.75. The normal
+        // approximation is biased but should land within ~15%.
+        let mut g = ProbDag::new();
+        g.add_node(two(1.0, 2.0, 0.5));
+        g.add_node(two(1.0, 2.0, 0.5));
+        let m = NormalSculli.expected_makespan(&g);
+        assert!((m - 1.75).abs() < 0.15 * 1.75, "normal approx {m}");
+    }
+}

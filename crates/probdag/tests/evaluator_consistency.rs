@@ -1,0 +1,123 @@
+//! Cross-evaluator consistency: the four estimators of §II-B/§VI-B must
+//! agree with the exact oracle (and each other) within their documented
+//! error regimes on randomly generated 2-state DAGs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use probdag::{Dodin, Evaluator, ExactEnum, MonteCarlo, NodeDist, NormalSculli, PathApprox, ProbDag};
+
+/// Random layered 2-state DAG with `n` nodes and edge probability `q`
+/// between consecutive layers (always acyclic: edges go id-upward).
+fn random_two_state_dag(n: usize, q: f64, p_high: f64, seed: u64) -> ProbDag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbDag::new();
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let low = rng.gen_range(1.0..20.0);
+        let high = 1.5 * low;
+        ids.push(g.add_node(NodeDist::TwoState { low, high, p_high }));
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen::<f64>() < q {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PathApprox agrees with the exact oracle to O(p²·n²·CP) on small
+    /// graphs with small p.
+    #[test]
+    fn pathapprox_near_exact_small_p(seed: u64, n in 2usize..12) {
+        let p = 0.01;
+        let g = random_two_state_dag(n, 0.3, p, seed);
+        let exact = ExactEnum.expected_makespan(&g);
+        let pa = PathApprox::default().expected_makespan(&g);
+        // Errors come from the normal/Clark approximations and neglected
+        // low-mean paths. Worst case is tiny graphs with near-tied
+        // single-node parallel paths, where a 2-state spike is poorly
+        // modelled by a normal: ~2% there, ~0.1% on realistic coalesced
+        // workflow DAGs (see pathapprox_is_most_accurate_in_paper_regime).
+        let tol = 0.025 * exact + 1e-9;
+        prop_assert!((pa - exact).abs() <= tol, "pa={pa} exact={exact} tol={tol}");
+    }
+
+    /// Dodin's independence propagation upper-bounds the exact expectation.
+    #[test]
+    fn dodin_upper_bounds_exact(seed: u64, n in 2usize..12) {
+        let g = random_two_state_dag(n, 0.4, 0.2, seed);
+        let exact = ExactEnum.expected_makespan(&g);
+        let dodin = Dodin::default().expected_makespan(&g);
+        prop_assert!(dodin >= exact - 1e-9, "dodin={dodin} exact={exact}");
+    }
+
+    /// All estimators sit between the all-low and all-high makespans.
+    #[test]
+    fn estimators_bracketed(seed: u64, n in 2usize..14, p in 0.0f64..0.5) {
+        let g = random_two_state_dag(n, 0.3, p, seed);
+        let lo = g.makespan_low();
+        let hi = g.makespan_high();
+        for e in [
+            PathApprox::default().expected_makespan(&g),
+            Dodin::default().expected_makespan(&g),
+            NormalSculli.expected_makespan(&g),
+        ] {
+            prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{e} not in [{lo}, {hi}]");
+        }
+    }
+
+    /// Monte Carlo converges to the exact oracle within 6 standard errors.
+    #[test]
+    fn montecarlo_matches_exact(seed in 0u64..1000, n in 2usize..10) {
+        let g = random_two_state_dag(n, 0.3, 0.1, seed);
+        let exact = ExactEnum.expected_makespan(&g);
+        let mc = MonteCarlo { trials: 60_000, seed, threads: 2 };
+        let r = mc.run(&g);
+        prop_assert!(
+            (r.mean - exact).abs() <= 6.0 * r.stderr + 1e-9,
+            "mc={} exact={exact} stderr={}", r.mean, r.stderr
+        );
+    }
+}
+
+/// §VI-B shape check: on moderately sized 2-state DAGs in the paper's
+/// small-p_high regime, PathApprox tracks the Monte Carlo ground truth more
+/// closely than Dodin and Normal *in aggregate* (per-instance wins against
+/// Normal are coin flips when both errors are ~0.01%, but Normal degrades
+/// by an order of magnitude on some instances while PathApprox stays
+/// uniformly tight — the paper's conclusion).
+#[test]
+fn pathapprox_is_most_accurate_in_paper_regime() {
+    let (mut pa_sum, mut dd_sum, mut nn_sum) = (0.0f64, 0.0f64, 0.0f64);
+    for seed in 0..12 {
+        let g = random_two_state_dag(40, 0.12, 0.01, seed);
+        let truth = MonteCarlo { trials: 150_000, seed: 99, threads: 0 }.run(&g).mean;
+        let pa = (PathApprox::default().expected_makespan(&g) - truth).abs();
+        let dd = (Dodin::default().expected_makespan(&g) - truth).abs();
+        let nn = (NormalSculli.expected_makespan(&g) - truth).abs();
+        // PathApprox must stay uniformly tight: within 0.25% of truth.
+        assert!(pa <= 0.0025 * truth, "seed {seed}: pa error {pa} vs truth {truth}");
+        pa_sum += pa;
+        dd_sum += dd;
+        nn_sum += nn;
+    }
+    assert!(pa_sum < dd_sum, "PathApprox aggregate {pa_sum} vs Dodin {dd_sum}");
+    assert!(pa_sum < nn_sum, "PathApprox aggregate {pa_sum} vs Normal {nn_sum}");
+}
+
+/// Evaluator names match the paper's nomenclature (used in reports).
+#[test]
+fn evaluator_names() {
+    assert_eq!(PathApprox::default().name(), "PathApprox");
+    assert_eq!(Dodin::default().name(), "Dodin");
+    assert_eq!(NormalSculli.name(), "Normal");
+    assert_eq!(MonteCarlo::default().name(), "MonteCarlo");
+    assert_eq!(ExactEnum.name(), "Exact");
+}
