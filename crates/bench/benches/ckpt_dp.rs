@@ -13,7 +13,11 @@ fn bench_dp(c: &mut Criterion) {
         }
         let w = pegasus::generic::chain(n, 3);
         let chain: Vec<TaskId> = w.dag.task_ids().collect();
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e8 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-4,
+            bandwidth: 1e8,
+        };
         group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, chain| {
             b.iter(|| optimal_checkpoints(&ctx, chain))
         });
@@ -27,7 +31,11 @@ fn bench_dp_superchain(c: &mut Criterion) {
     group.sample_size(20);
     let w = pegasus::generic::bipartite(40, 40, 5);
     let sched = ckpt_core::allocate(&w, 1, &ckpt_core::AllocateConfig::default());
-    let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e8 };
+    let ctx = CostCtx {
+        dag: &w.dag,
+        lambda: 1e-4,
+        bandwidth: 1e8,
+    };
     let biggest = sched
         .superchains
         .iter()

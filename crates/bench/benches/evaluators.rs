@@ -25,7 +25,11 @@ fn bench_evaluators(c: &mut Criterion) {
     });
     group.sample_size(10);
     group.bench_function("montecarlo-10k", |b| {
-        let mc = MonteCarlo { trials: 10_000, seed: 1, threads: 0 };
+        let mc = MonteCarlo {
+            trials: 10_000,
+            seed: 1,
+            threads: 0,
+        };
         b.iter(|| mc.run(&pdag).mean)
     });
     group.finish();

@@ -11,11 +11,9 @@ fn bench_allocate(c: &mut Criterion) {
         for &size in &[50usize, 300, 1000] {
             let w = pegasus::generate(class, size, 42);
             let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
-            group.bench_with_input(
-                BenchmarkId::new(class.name(), size),
-                &w,
-                |b, w| b.iter(|| allocate(w, procs, &AllocateConfig::default())),
-            );
+            group.bench_with_input(BenchmarkId::new(class.name(), size), &w, |b, w| {
+                b.iter(|| allocate(w, procs, &AllocateConfig::default()))
+            });
         }
     }
     group.finish();

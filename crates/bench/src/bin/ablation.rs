@@ -40,18 +40,32 @@ fn main() {
     }
 }
 
-fn assess(w: &Workflow, procs: usize, pfail: f64, lin: Linearizer, seed: u64, strategy: Strategy) -> f64 {
+fn assess(
+    w: &Workflow,
+    procs: usize,
+    pfail: f64,
+    lin: Linearizer,
+    seed: u64,
+    strategy: Strategy,
+) -> f64 {
     let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
     let platform = Platform::new(procs, lambda, BANDWIDTH);
-    let cfg = AllocateConfig { linearizer: lin, seed };
+    let cfg = AllocateConfig {
+        linearizer: lin,
+        seed,
+    };
     let pipe = Pipeline::new(w, platform, &cfg);
-    pipe.assess(strategy, &PathApprox::default()).expected_makespan
+    pipe.assess(strategy, &PathApprox::default())
+        .expected_makespan
 }
 
 /// E6: linearizer comparison inside CkptSome.
 fn linearization(seed: u64, out_dir: &str) {
     println!("# E6 linearization ablation (CkptSome expected makespan)");
-    println!("{:8} {:9} {:>10} {:>12} {:>12} {:>12} {:>12}", "class", "ccr", "pfail", "random", "minvolume", "structural", "mv_gain_pct");
+    println!(
+        "{:8} {:9} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "class", "ccr", "pfail", "random", "minvolume", "structural", "mv_gain_pct"
+    );
     let mut lines = Vec::new();
     for class in [WorkflowClass::Montage, WorkflowClass::Genome] {
         let (lo, hi) = class.ccr_range();
@@ -59,31 +73,71 @@ fn linearization(seed: u64, out_dir: &str) {
             for &pfail in &[0.01, 0.001] {
                 let mut w = pegasus::generate(class, 300, seed);
                 scale_to_ccr(&mut w, ccr, BANDWIDTH);
-                let rnd = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
-                let mv = assess(&w, 18, pfail, Linearizer::MinVolume, seed, Strategy::CkptSome);
-                let st = assess(&w, 18, pfail, Linearizer::Structural, seed, Strategy::CkptSome);
+                let rnd = assess(
+                    &w,
+                    18,
+                    pfail,
+                    Linearizer::RandomTopo,
+                    seed,
+                    Strategy::CkptSome,
+                );
+                let mv = assess(
+                    &w,
+                    18,
+                    pfail,
+                    Linearizer::MinVolume,
+                    seed,
+                    Strategy::CkptSome,
+                );
+                let st = assess(
+                    &w,
+                    18,
+                    pfail,
+                    Linearizer::Structural,
+                    seed,
+                    Strategy::CkptSome,
+                );
                 let gain = 100.0 * (rnd - mv) / rnd;
                 println!(
                     "{:8} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-                    class.name(), ccr, pfail, rnd, mv, st, gain
+                    class.name(),
+                    ccr,
+                    pfail,
+                    rnd,
+                    mv,
+                    st,
+                    gain
                 );
                 lines.push(format!(
                     "{},{:.6e},{},{:.4},{:.4},{:.4},{:.3}",
-                    class.name(), ccr, pfail, rnd, mv, st, gain
+                    class.name(),
+                    ccr,
+                    pfail,
+                    rnd,
+                    mv,
+                    st,
+                    gain
                 ));
             }
         }
     }
     let path = std::path::Path::new(out_dir).join("ablation_linearization.csv");
-    write_csv(&path, "class,ccr,pfail,em_random,em_minvolume,em_structural,minvolume_gain_pct", &lines)
-        .expect("write CSV");
+    write_csv(
+        &path,
+        "class,ccr,pfail,em_random,em_minvolume,em_structural,minvolume_gain_pct",
+        &lines,
+    )
+    .expect("write CSV");
     eprintln!("wrote {}", path.display());
 }
 
 /// E7: exit-only checkpoints (naive coalescing) vs the DP.
 fn naive_coalesce(seed: u64, out_dir: &str) {
     println!("# E7 naive-coalescing ablation (ExitOnly vs CkptSome)");
-    println!("{:8} {:5} {:9} {:>10} {:>12} {:>12} {:>10}", "class", "size", "ccr", "pfail", "exit_only", "ckptsome", "ratio");
+    println!(
+        "{:8} {:5} {:9} {:>10} {:>12} {:>12} {:>10}",
+        "class", "size", "ccr", "pfail", "exit_only", "ckptsome", "ratio"
+    );
     let mut lines = Vec::new();
     for class in WorkflowClass::ALL {
         let (lo, hi) = class.ccr_range();
@@ -93,23 +147,54 @@ fn naive_coalesce(seed: u64, out_dir: &str) {
                     let mut w = pegasus::generate(class, size, seed);
                     scale_to_ccr(&mut w, ccr, BANDWIDTH);
                     let procs = Platform::paper_proc_counts(size)[1];
-                    let exit = assess(&w, procs, pfail, Linearizer::RandomTopo, seed, Strategy::ExitOnly);
-                    let some = assess(&w, procs, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
+                    let exit = assess(
+                        &w,
+                        procs,
+                        pfail,
+                        Linearizer::RandomTopo,
+                        seed,
+                        Strategy::ExitOnly,
+                    );
+                    let some = assess(
+                        &w,
+                        procs,
+                        pfail,
+                        Linearizer::RandomTopo,
+                        seed,
+                        Strategy::CkptSome,
+                    );
                     let ratio = exit / some;
                     println!(
                         "{:8} {:5} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>10.4}",
-                        class.name(), size, ccr, pfail, exit, some, ratio
+                        class.name(),
+                        size,
+                        ccr,
+                        pfail,
+                        exit,
+                        some,
+                        ratio
                     );
                     lines.push(format!(
                         "{},{},{:.6e},{},{:.4},{:.4},{:.4}",
-                        class.name(), size, ccr, pfail, exit, some, ratio
+                        class.name(),
+                        size,
+                        ccr,
+                        pfail,
+                        exit,
+                        some,
+                        ratio
                     ));
                 }
             }
         }
     }
     let path = std::path::Path::new(out_dir).join("ablation_naive_coalesce.csv");
-    write_csv(&path, "class,size,ccr,pfail,em_exit_only,em_ckptsome,ratio", &lines).expect("write CSV");
+    write_csv(
+        &path,
+        "class,size,ccr,pfail,em_exit_only,em_ckptsome,ratio",
+        &lines,
+    )
+    .expect("write CSV");
     eprintln!("wrote {}", path.display());
 }
 
@@ -120,7 +205,10 @@ fn naive_coalesce(seed: u64, out_dir: &str) {
 /// few CCR points.
 fn ligo_footnote(seed: u64, out_dir: &str) {
     println!("# E8 Ligo incomplete-bipartite footnote");
-    println!("{:9} {:>10} {:>14} {:>14} {:>14}", "ccr", "pfail", "relall_main", "relall_patched", "sync_penalty");
+    println!(
+        "{:9} {:>10} {:>14} {:>14} {:>14}",
+        "ccr", "pfail", "relall_main", "relall_patched", "sync_penalty"
+    );
     let mut lines = Vec::new();
     // Mainline (complete-bipartite) Ligo.
     let mainline = pegasus::ligo::generate(300, seed);
@@ -128,11 +216,7 @@ fn ligo_footnote(seed: u64, out_dir: &str) {
     let mut inc = pegasus::ligo::generate_incomplete(300, seed);
     let shape = pegasus::ligo::ligo_shape(300);
     for g in 0..shape.groups {
-        mspg::patch::complete_bipartite(
-            &mut inc.dag,
-            &inc.inspiral_level[g],
-            &inc.thinca_level[g],
-        );
+        mspg::patch::complete_bipartite(&mut inc.dag, &inc.inspiral_level[g], &inc.thinca_level[g]);
     }
     let root = mspg::recognize(&inc.dag).expect("patched Ligo must be an M-SPG");
     let patched = Workflow::from_wired(inc.dag, root);
@@ -144,8 +228,22 @@ fn ligo_footnote(seed: u64, out_dir: &str) {
             let run = |w: &Workflow| -> f64 {
                 let mut w = w.clone();
                 scale_to_ccr(&mut w, ccr, BANDWIDTH);
-                let all = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptAll);
-                let some = assess(&w, 18, pfail, Linearizer::RandomTopo, seed, Strategy::CkptSome);
+                let all = assess(
+                    &w,
+                    18,
+                    pfail,
+                    Linearizer::RandomTopo,
+                    seed,
+                    Strategy::CkptAll,
+                );
+                let some = assess(
+                    &w,
+                    18,
+                    pfail,
+                    Linearizer::RandomTopo,
+                    seed,
+                    Strategy::CkptSome,
+                );
                 all / some
             };
             let rel_main = run(&mainline);
@@ -162,7 +260,11 @@ fn ligo_footnote(seed: u64, out_dir: &str) {
         }
     }
     let path = std::path::Path::new(out_dir).join("ablation_ligo_footnote.csv");
-    write_csv(&path, "ccr,pfail,rel_all_mainline,rel_all_patched,sync_penalty", &lines)
-        .expect("write CSV");
+    write_csv(
+        &path,
+        "ccr,pfail,rel_all_mainline,rel_all_patched,sync_penalty",
+        &lines,
+    )
+    .expect("write CSV");
     eprintln!("wrote {}", path.display());
 }

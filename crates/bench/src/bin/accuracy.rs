@@ -38,7 +38,11 @@ fn main() {
             let pipe = pipeline_for(&w, procs, pfail, seed);
             for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
                 let sg = pipe.segment_graph(strategy);
-                let mc = MonteCarlo { trials, seed, threads: 0 };
+                let mc = MonteCarlo {
+                    trials,
+                    seed,
+                    threads: 0,
+                };
                 let t0 = std::time::Instant::now();
                 let truth = mc.run(&sg.pdag);
                 let mc_time = t0.elapsed().as_secs_f64();

@@ -17,7 +17,8 @@ use failsim::{montecarlo_none, montecarlo_segments, SimConfig};
 use pegasus::WorkflowClass;
 use probdag::PathApprox;
 
-const HEADER: &str = "class,size,pfail,strategy,model,model_em,sim_em,sim_stderr,rel_err_pct,diverged";
+const HEADER: &str =
+    "class,size,pfail,strategy,model,model_em,sim_em,sim_stderr,rel_err_pct,diverged";
 
 fn main() {
     let args = Args::parse();
@@ -41,37 +42,70 @@ fn main() {
                 let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
                 let pipe = pipeline_for(&w, procs, pfail, seed);
                 let lambda = pipe.platform.lambda;
-                let cfg = SimConfig { runs, seed, ..Default::default() };
+                let cfg = SimConfig {
+                    runs,
+                    seed,
+                    ..Default::default()
+                };
                 // Checkpointed strategies: Eq. (2) model vs renewal sim.
                 for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
-                    let model = pipe.assess(strategy, &PathApprox::default()).expected_makespan;
+                    let model = pipe
+                        .assess(strategy, &PathApprox::default())
+                        .expected_makespan;
                     let sg = pipe.segment_graph(strategy);
                     let sim = montecarlo_segments(&sg, lambda, &cfg);
                     let err = 100.0 * (model - sim.mean_makespan).abs() / sim.mean_makespan;
                     println!(
                         "{:8} {:5} {:7} {:9} {:>10} {:>12.2} {:>12.2} {:>9.3}",
-                        class.name(), size, pfail, strategy.name(), "Eq2+PA", model,
-                        sim.mean_makespan, err
+                        class.name(),
+                        size,
+                        pfail,
+                        strategy.name(),
+                        "Eq2+PA",
+                        model,
+                        sim.mean_makespan,
+                        err
                     );
                     lines.push(format!(
                         "{},{},{},{},Eq2+PathApprox,{:.4},{:.4},{:.4},{:.3},0",
-                        class.name(), size, pfail, strategy.name(), model,
-                        sim.mean_makespan, sim.stderr, err
+                        class.name(),
+                        size,
+                        pfail,
+                        strategy.name(),
+                        model,
+                        sim.mean_makespan,
+                        sim.stderr,
+                        err
                     ));
                 }
                 // CkptNone: Theorem 1 vs cascade simulation.
-                let model = pipe.assess(Strategy::CkptNone, &PathApprox::default()).expected_makespan;
+                let model = pipe
+                    .assess(Strategy::CkptNone, &PathApprox::default())
+                    .expected_makespan;
                 let sim = montecarlo_none(&w.dag, &pipe.schedule, lambda, &cfg);
                 let err = 100.0 * (model - sim.stats.mean_makespan).abs() / sim.stats.mean_makespan;
                 println!(
                     "{:8} {:5} {:7} {:9} {:>10} {:>12.2} {:>12.2} {:>9.3}  (diverged {})",
-                    class.name(), size, pfail, "CkptNone", "Theorem1", model,
-                    sim.stats.mean_makespan, err, sim.diverged
+                    class.name(),
+                    size,
+                    pfail,
+                    "CkptNone",
+                    "Theorem1",
+                    model,
+                    sim.stats.mean_makespan,
+                    err,
+                    sim.diverged
                 );
                 lines.push(format!(
                     "{},{},{},CkptNone,Theorem1,{:.4},{:.4},{:.4},{:.3},{}",
-                    class.name(), size, pfail, model, sim.stats.mean_makespan,
-                    sim.stats.stderr, err, sim.diverged
+                    class.name(),
+                    size,
+                    pfail,
+                    model,
+                    sim.stats.mean_makespan,
+                    sim.stats.stderr,
+                    err,
+                    sim.diverged
                 ));
             }
         }

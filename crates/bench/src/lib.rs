@@ -84,7 +84,10 @@ pub fn figure_cell(
         scale_to_ccr(&mut w, ccr, BANDWIDTH);
         let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
         let platform = Platform::new(procs, lambda, BANDWIDTH);
-        let cfg = AllocateConfig { seed, ..Default::default() };
+        let cfg = AllocateConfig {
+            seed,
+            ..Default::default()
+        };
         let pipe = Pipeline::new(&w, platform, &cfg);
         let some = pipe.assess(Strategy::CkptSome, &evaluator);
         let all = pipe.assess(Strategy::CkptAll, &evaluator);
@@ -179,15 +182,13 @@ pub fn instance(class: WorkflowClass, size: usize, ccr: f64, seed: u64) -> Workf
 }
 
 /// Builds the evaluation pipeline for an instance.
-pub fn pipeline_for<'a>(
-    w: &'a Workflow,
-    procs: usize,
-    pfail: f64,
-    seed: u64,
-) -> Pipeline<'a> {
+pub fn pipeline_for<'a>(w: &'a Workflow, procs: usize, pfail: f64, seed: u64) -> Pipeline<'a> {
     let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
     let platform = Platform::new(procs, lambda, BANDWIDTH);
-    let cfg = AllocateConfig { seed, ..Default::default() };
+    let cfg = AllocateConfig {
+        seed,
+        ..Default::default()
+    };
     Pipeline::new(w, platform, &cfg)
 }
 
@@ -223,12 +224,17 @@ impl Args {
 
     /// The value of `--key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Parses `--key` as `T`, with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -255,7 +261,12 @@ mod tests {
 
     #[test]
     fn args_parser() {
-        let args = Args { pairs: vec![("workflow".into(), "ligo".into()), ("points".into(), "5".into())] };
+        let args = Args {
+            pairs: vec![
+                ("workflow".into(), "ligo".into()),
+                ("points".into(), "5".into()),
+            ],
+        };
         assert_eq!(args.get("workflow"), Some("ligo"));
         assert_eq!(args.get_or("points", 9usize), 5);
         assert_eq!(args.get_or("instances", 3usize), 3);

@@ -25,7 +25,10 @@ pub struct AllocateConfig {
 
 impl Default for AllocateConfig {
     fn default() -> Self {
-        AllocateConfig { linearizer: Linearizer::RandomTopo, seed: 0 }
+        AllocateConfig {
+            linearizer: Linearizer::RandomTopo,
+            seed: 0,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ fn alloc(
     let d = decompose(expr);
     // Line 4: the head chain C runs on P[0]. A chain is already linear.
     if !d.chain.is_empty() {
-        out.push(Superchain { proc: procs[0], tasks: d.chain });
+        out.push(Superchain {
+            proc: procs[0],
+            tasks: d.chain,
+        });
     }
     if !d.parallel.is_empty() {
         if procs.len() == 1 {
@@ -101,7 +107,10 @@ mod tests {
     use pegasus::{generate, WorkflowClass};
 
     fn cfg() -> AllocateConfig {
-        AllocateConfig { linearizer: Linearizer::RandomTopo, seed: 42 }
+        AllocateConfig {
+            linearizer: Linearizer::RandomTopo,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -193,7 +202,10 @@ mod tests {
     #[test]
     fn structural_linearizer_matches_expression_order() {
         let w = pegasus::generic::fork_join(2, 4, 1);
-        let c = AllocateConfig { linearizer: Linearizer::Structural, seed: 0 };
+        let c = AllocateConfig {
+            linearizer: Linearizer::Structural,
+            seed: 0,
+        };
         let s = allocate(&w, 1, &c);
         let all: Vec<TaskId> = (0..s.n_procs).flat_map(|p| s.proc_task_order(p)).collect();
         assert!(w.dag.is_topological(&all));

@@ -82,8 +82,7 @@ pub fn segment_cost(ctx: &CostCtx<'_>, chain: &[TaskId], lo: usize, hi: usize) -
         // Workflow inputs and transitive reads (GSPG support): read from
         // storage unless the producer is inside the segment.
         for &f in dag.input_files(t) {
-            let produced_inside =
-                dag.producer(f).is_some_and(|u| in_segment[u.index()]);
+            let produced_inside = dag.producer(f).is_some_and(|u| in_segment[u.index()]);
             if !produced_inside && !read_files.contains(&f) {
                 read_files.push(f);
             }
@@ -137,7 +136,10 @@ pub fn optimal_checkpoints(ctx: &CostCtx<'_>, chain: &[TaskId]) -> CheckpointCho
         cur = last[cur];
         ckpt_after[cur] = true;
     }
-    CheckpointChoice { ckpt_after, expected_time: etime[n - 1] }
+    CheckpointChoice {
+        ckpt_after,
+        expected_time: etime[n - 1],
+    }
 }
 
 /// The naive coalescing of §II-C (ablation E7): checkpoint only at the end
@@ -210,9 +212,9 @@ impl<'a> SegmentTable<'a> {
                 // Workflow inputs and transitive reads (GSPG support).
                 for &f in dag.input_files(t) {
                     let fp = f.index();
-                    let u_inside = dag.producer(f).is_some_and(|u| {
-                        pos[u.index()] != usize::MAX && pos[u.index()] >= i
-                    });
+                    let u_inside = dag
+                        .producer(f)
+                        .is_some_and(|u| pos[u.index()] != usize::MAX && pos[u.index()] >= i);
                     if u_inside {
                         if stamp[fp] == i && outside_consumers[fp] > 0 {
                             outside_consumers[fp] -= 1;
@@ -301,7 +303,11 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8] {
             for lambda in [1e-4, 1e-2, 0.1] {
                 let (w, ids) = unit_chain(n, 5.0);
-                let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 10.0 };
+                let ctx = CostCtx {
+                    dag: &w.dag,
+                    lambda,
+                    bandwidth: 10.0,
+                };
                 let dp = optimal_checkpoints(&ctx, &ids);
                 let (bf_time, _) = brute_force(&ctx, &ids);
                 assert!(
@@ -318,7 +324,11 @@ mod tests {
         let w = pegasus::generic::fork_join(2, 4, 3);
         let sched = crate::allocate::allocate(&w, 1, &crate::allocate::AllocateConfig::default());
         for lambda in [1e-3, 0.05] {
-            let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 1e6 };
+            let ctx = CostCtx {
+                dag: &w.dag,
+                lambda,
+                bandwidth: 1e6,
+            };
             for sc in &sched.superchains {
                 if sc.tasks.len() > 14 {
                     continue;
@@ -339,7 +349,11 @@ mod tests {
         // Zero-size files: splitting is free and λ > 0 makes smaller
         // segments strictly better.
         let (w, ids) = unit_chain(6, 0.0);
-        let ctx = CostCtx { dag: &w.dag, lambda: 0.1, bandwidth: 1.0 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 0.1,
+            bandwidth: 1.0,
+        };
         let dp = optimal_checkpoints(&ctx, &ids);
         assert!(dp.ckpt_after.iter().all(|&c| c), "{:?}", dp.ckpt_after);
     }
@@ -349,7 +363,11 @@ mod tests {
         // Huge files, tiny λ: any interior checkpoint costs more than the
         // re-execution risk it saves.
         let (w, ids) = unit_chain(6, 1e9);
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-9, bandwidth: 1e6 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-9,
+            bandwidth: 1e6,
+        };
         let dp = optimal_checkpoints(&ctx, &ids);
         let interior: usize = dp.ckpt_after[..5].iter().filter(|&&c| c).count();
         assert_eq!(interior, 0, "{:?}", dp.ckpt_after);
@@ -360,7 +378,11 @@ mod tests {
     fn last_task_always_checkpointed() {
         for lambda in [0.0, 1e-3, 0.5] {
             let (w, ids) = unit_chain(4, 3.0);
-            let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 1.0 };
+            let ctx = CostCtx {
+                dag: &w.dag,
+                lambda,
+                bandwidth: 1.0,
+            };
             let dp = optimal_checkpoints(&ctx, &ids);
             assert!(dp.ckpt_after[3]);
         }
@@ -379,7 +401,11 @@ mod tests {
         dag.add_edge(b, fa);
         dag.add_edge(c, fa);
         let chain = [b, c];
-        let ctx = CostCtx { dag: &dag, lambda: 0.0, bandwidth: 1.0 };
+        let ctx = CostCtx {
+            dag: &dag,
+            lambda: 0.0,
+            bandwidth: 1.0,
+        };
         let cost = segment_cost(&ctx, &chain, 0, 1);
         // fa read once, not twice.
         assert_eq!(cost.r, 100.0);
@@ -402,7 +428,11 @@ mod tests {
             let file = dag.primary_output(t[u]).unwrap();
             dag.add_edge(t[v], file);
         }
-        let ctx = CostCtx { dag: &dag, lambda: 0.0, bandwidth: 1.0 };
+        let ctx = CostCtx {
+            dag: &dag,
+            lambda: 0.0,
+            bandwidth: 1.0,
+        };
         // Segment [T3, T4] (indices 2..=3): checkpoint must save T3's
         // output (needed by T5) and T4's output (needed by T5): C = 20.
         let cost = segment_cost(&ctx, &t, 2, 3);
@@ -414,9 +444,12 @@ mod tests {
     #[test]
     fn incremental_table_matches_direct_costs() {
         let w = pegasus::generate(pegasus::WorkflowClass::Montage, 60, 5);
-        let sched =
-            crate::allocate::allocate(&w, 3, &crate::allocate::AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-4, bandwidth: 1e7 };
+        let sched = crate::allocate::allocate(&w, 3, &crate::allocate::AllocateConfig::default());
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-4,
+            bandwidth: 1e7,
+        };
         for sc in &sched.superchains {
             let table = SegmentTable::build(&ctx, &sc.tasks);
             let n = sc.tasks.len();
@@ -438,7 +471,11 @@ mod tests {
     fn zero_failure_rate_still_checkpoints_last_only() {
         // λ = 0: interior checkpoints only add cost.
         let (w, ids) = unit_chain(5, 10.0);
-        let ctx = CostCtx { dag: &w.dag, lambda: 0.0, bandwidth: 1.0 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 0.0,
+            bandwidth: 1.0,
+        };
         let dp = optimal_checkpoints(&ctx, &ids);
         let interior: usize = dp.ckpt_after[..4].iter().filter(|&&c| c).count();
         assert_eq!(interior, 0);

@@ -88,7 +88,12 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
                 for &x in &tasks {
                     task_segment[x.index()] = seg_idx;
                 }
-                segments.push(Segment { superchain: sc_idx, proc: sc.proc, tasks, cost });
+                segments.push(Segment {
+                    superchain: sc_idx,
+                    proc: sc.proc,
+                    tasks,
+                    cost,
+                });
                 lo = k + 1;
             }
         }
@@ -101,7 +106,11 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
         let dist = if base == 0.0 || p_high == 0.0 {
             NodeDist::Certain(base)
         } else {
-            NodeDist::TwoState { low: base, high: 1.5 * base, p_high }
+            NodeDist::TwoState {
+                low: base,
+                high: 1.5 * base,
+                p_high,
+            }
         };
         pdag.add_node(dist);
     }
@@ -132,7 +141,11 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
             }
         }
     }
-    SegmentGraph { pdag, segments, task_segment }
+    SegmentGraph {
+        pdag,
+        segments,
+        task_segment,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +156,9 @@ mod tests {
     use pegasus::{generate, WorkflowClass};
 
     fn plan_all(dag: &mspg::Dag) -> CheckpointPlan {
-        CheckpointPlan { ckpt_after: vec![true; dag.n_tasks()] }
+        CheckpointPlan {
+            ckpt_after: vec![true; dag.n_tasks()],
+        }
     }
 
     fn plan_some(ctx: &CostCtx<'_>, sched: &Schedule) -> CheckpointPlan {
@@ -161,7 +176,11 @@ mod tests {
     fn ckptall_has_one_segment_per_task() {
         let w = generate(WorkflowClass::Genome, 50, 1);
         let sched = allocate(&w, 3, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-5, bandwidth: 1e7 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-5,
+            bandwidth: 1e7,
+        };
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         assert_eq!(sg.segments.len(), w.n_tasks());
         assert_eq!(sg.pdag.n_nodes(), w.n_tasks());
@@ -171,7 +190,11 @@ mod tests {
     fn segment_graph_is_acyclic_and_covers_tasks() {
         let w = generate(WorkflowClass::Montage, 300, 2);
         let sched = allocate(&w, 18, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-6, bandwidth: 1e7 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-6,
+            bandwidth: 1e7,
+        };
         let sg = coalesce(&ctx, &sched, &plan_some(&ctx, &sched));
         // Topological sort must succeed (panics on cycle).
         let order = sg.pdag.topo_order();
@@ -189,7 +212,11 @@ mod tests {
         // Moderate failure rate, expensive I/O: CkptSome should skip many
         // checkpoints.
         let lambda = crate::pfail::lambda_from_pfail(0.001, w.dag.mean_weight());
-        let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: 1e5 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda,
+            bandwidth: 1e5,
+        };
         let some = plan_some(&ctx, &sched);
         assert!(some.n_checkpoints() < w.n_tasks());
         assert!(some.n_checkpoints() >= sched.superchains.len());
@@ -199,7 +226,11 @@ mod tests {
     fn segment_distributions_follow_eq2() {
         let w = pegasus::generic::chain(4, 1);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-3, bandwidth: 1e7 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-3,
+            bandwidth: 1e7,
+        };
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         for (seg, v) in sg.segments.iter().zip(sg.pdag.node_ids()) {
             let base = seg.cost.base();
@@ -219,8 +250,14 @@ mod tests {
     fn missing_final_checkpoint_panics() {
         let w = pegasus::generic::chain(3, 1);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 1e-3, bandwidth: 1e7 };
-        let plan = CheckpointPlan { ckpt_after: vec![false; w.dag.n_tasks()] };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 1e-3,
+            bandwidth: 1e7,
+        };
+        let plan = CheckpointPlan {
+            ckpt_after: vec![false; w.dag.n_tasks()],
+        };
         coalesce(&ctx, &sched, &plan);
     }
 
@@ -228,7 +265,11 @@ mod tests {
     fn serialization_edges_chain_processor_segments() {
         let w = pegasus::generic::chain(5, 2);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 0.0, bandwidth: 1e7 };
+        let ctx = CostCtx {
+            dag: &w.dag,
+            lambda: 0.0,
+            bandwidth: 1e7,
+        };
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         // 5 segments in a row: 4 serialization/data edges.
         assert_eq!(sg.pdag.n_edges(), 4);

@@ -86,7 +86,11 @@ impl<'a> Pipeline<'a> {
     /// Schedules `workflow` on `platform` with `Allocate`.
     pub fn new(workflow: &'a Workflow, platform: Platform, cfg: &AllocateConfig) -> Self {
         let schedule = allocate(workflow, platform.n_procs, cfg);
-        Pipeline { workflow, platform, schedule }
+        Pipeline {
+            workflow,
+            platform,
+            schedule,
+        }
     }
 
     fn ctx(&self) -> CostCtx<'_> {

@@ -23,7 +23,11 @@ impl Platform {
         assert!(n_procs >= 1, "need at least one processor");
         assert!(lambda >= 0.0 && lambda.is_finite(), "bad failure rate");
         assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bad bandwidth");
-        Platform { n_procs, lambda, bandwidth }
+        Platform {
+            n_procs,
+            lambda,
+            bandwidth,
+        }
     }
 
     /// Time to read or write `bytes` from/to stable storage.

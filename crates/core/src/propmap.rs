@@ -45,7 +45,10 @@ pub fn propmap(dag: &Dag, components: Vec<Mspg>, p: usize) -> PropMapResult {
             .map(|b| Mspg::parallel(b).expect("non-empty bin"))
             .collect();
         let counts = vec![1usize; graphs.len()];
-        PropMapResult { graphs, proc_counts: counts }
+        PropMapResult {
+            graphs,
+            proc_counts: counts,
+        }
     } else {
         let mut weights: Vec<f64> = indexed.iter().map(|(w, _)| *w).collect();
         let graphs: Vec<Mspg> = indexed.into_iter().map(|(_, g)| g).collect();
@@ -57,7 +60,10 @@ pub fn propmap(dag: &Dag, components: Vec<Mspg>, p: usize) -> PropMapResult {
             weights[j] *= 1.0 - 1.0 / counts[j] as f64;
             spare -= 1;
         }
-        PropMapResult { graphs, proc_counts: counts }
+        PropMapResult {
+            graphs,
+            proc_counts: counts,
+        }
     }
 }
 

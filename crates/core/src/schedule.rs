@@ -25,8 +25,7 @@ impl Superchain {
             .iter()
             .copied()
             .filter(|&t| {
-                dag.succs(t).iter().any(|&(v, _)| !member[v.index()])
-                    || dag.succs(t).is_empty()
+                dag.succs(t).iter().any(|&(v, _)| !member[v.index()]) || dag.succs(t).is_empty()
             })
             .collect()
     }
@@ -39,8 +38,7 @@ impl Superchain {
             .iter()
             .copied()
             .filter(|&t| {
-                dag.preds(t).iter().any(|&(u, _)| !member[u.index()])
-                    || dag.preds(t).is_empty()
+                dag.preds(t).iter().any(|&(u, _)| !member[u.index()]) || dag.preds(t).is_empty()
             })
             .collect()
     }
@@ -97,11 +95,7 @@ impl std::error::Error for ScheduleError {}
 
 impl Schedule {
     /// Builds a schedule from superchains (used by `allocate`).
-    pub fn from_superchains(
-        dag: &Dag,
-        n_procs: usize,
-        superchains: Vec<Superchain>,
-    ) -> Self {
+    pub fn from_superchains(dag: &Dag, n_procs: usize, superchains: Vec<Superchain>) -> Self {
         let mut proc_chains = vec![Vec::new(); n_procs];
         let mut task_proc = vec![u32::MAX; dag.n_tasks()];
         let mut task_sc = vec![u32::MAX; dag.n_tasks()];
@@ -112,7 +106,13 @@ impl Schedule {
                 task_sc[t.index()] = i as u32;
             }
         }
-        Schedule { n_procs, superchains, proc_chains, task_proc, task_sc }
+        Schedule {
+            n_procs,
+            superchains,
+            proc_chains,
+            task_proc,
+            task_sc,
+        }
     }
 
     /// The full task order on processor `p` (concatenated superchains).
@@ -150,8 +150,7 @@ impl Schedule {
                 indeg[v.index()] += 1;
             }
         }
-        let mut ready: Vec<TaskId> =
-            dag.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        let mut ready: Vec<TaskId> = dag.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut finish = vec![0.0f64; n];
         let mut done = 0usize;
         let mut best = 0.0f64;
@@ -230,8 +229,7 @@ impl Schedule {
                 indeg[v.index()] += 1;
             }
         }
-        let mut ready: Vec<TaskId> =
-            dag.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        let mut ready: Vec<TaskId> = dag.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut done = 0usize;
         while let Some(t) = ready.pop() {
             done += 1;
@@ -259,7 +257,11 @@ fn finish_serial_pred(finish: &[f64], t: TaskId, sched: &Schedule, dag: &Dag) ->
     // processor.
     let sc_idx = sched.task_sc[t.index()] as usize;
     let sc = &sched.superchains[sc_idx];
-    let pos = sc.tasks.iter().position(|&x| x == t).expect("task in its superchain");
+    let pos = sc
+        .tasks
+        .iter()
+        .position(|&x| x == t)
+        .expect("task in its superchain");
     if pos > 0 {
         return finish[sc.tasks[pos - 1].index()];
     }
@@ -299,10 +301,22 @@ mod tests {
         .unwrap();
         let w = Workflow::new(dag, root);
         let scs = vec![
-            Superchain { proc: 0, tasks: vec![a] },
-            Superchain { proc: 0, tasks: vec![b] },
-            Superchain { proc: 1, tasks: vec![c] },
-            Superchain { proc: 0, tasks: vec![d] },
+            Superchain {
+                proc: 0,
+                tasks: vec![a],
+            },
+            Superchain {
+                proc: 0,
+                tasks: vec![b],
+            },
+            Superchain {
+                proc: 1,
+                tasks: vec![c],
+            },
+            Superchain {
+                proc: 0,
+                tasks: vec![d],
+            },
         ];
         let sched = Schedule::from_superchains(&w.dag, 2, scs);
         (w, sched)
@@ -326,14 +340,20 @@ mod tests {
         assert!(sched.validate(&w.dag).is_ok());
         let mut bad = sched.clone();
         bad.superchains[1].tasks.clear();
-        assert!(matches!(bad.validate(&w.dag), Err(ScheduleError::BadCover(_))));
+        assert!(matches!(
+            bad.validate(&w.dag),
+            Err(ScheduleError::BadCover(_))
+        ));
     }
 
     #[test]
     fn validate_rejects_bad_order() {
         let (w, mut sched) = manual_schedule();
         // Merge b and d into one superchain in the wrong order.
-        sched.superchains[1] = Superchain { proc: 0, tasks: vec![TaskId(3), TaskId(1)] };
+        sched.superchains[1] = Superchain {
+            proc: 0,
+            tasks: vec![TaskId(3), TaskId(1)],
+        };
         sched.superchains.remove(3);
         sched = Schedule::from_superchains(&w.dag, 2, sched.superchains);
         assert!(matches!(
@@ -364,7 +384,10 @@ mod tests {
     #[test]
     fn proc_task_order_concatenates() {
         let (_, sched) = manual_schedule();
-        assert_eq!(sched.proc_task_order(0), vec![TaskId(0), TaskId(1), TaskId(3)]);
+        assert_eq!(
+            sched.proc_task_order(0),
+            vec![TaskId(0), TaskId(1), TaskId(3)]
+        );
         assert_eq!(sched.proc_task_order(1), vec![TaskId(2)]);
     }
 }

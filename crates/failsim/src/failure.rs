@@ -22,7 +22,10 @@ impl ExpFailures {
     /// Creates the process with the given rate and seed.
     pub fn new(lambda: f64, seed: u64) -> Self {
         assert!(lambda >= 0.0 && lambda.is_finite());
-        ExpFailures { lambda, rng: StdRng::seed_from_u64(seed) }
+        ExpFailures {
+            lambda,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws one exponential inter-arrival time.
@@ -79,8 +82,7 @@ mod tests {
     fn exp_mean_matches_rate() {
         let mut src = ExpFailures::new(0.5, 1);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| src.sample_interarrival()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| src.sample_interarrival()).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
     }
 

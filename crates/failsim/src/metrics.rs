@@ -58,8 +58,18 @@ mod tests {
     #[test]
     fn aggregation() {
         let runs = [
-            ExecStats { makespan: 10.0, n_failures: 1, wasted_time: 2.0, n_reexecs: 1 },
-            ExecStats { makespan: 14.0, n_failures: 3, wasted_time: 6.0, n_reexecs: 2 },
+            ExecStats {
+                makespan: 10.0,
+                n_failures: 1,
+                wasted_time: 2.0,
+                n_reexecs: 1,
+            },
+            ExecStats {
+                makespan: 14.0,
+                n_failures: 3,
+                wasted_time: 6.0,
+                n_reexecs: 2,
+            },
         ];
         let agg = McStats::from_runs(&runs);
         assert_eq!(agg.mean_makespan, 12.0);

@@ -24,7 +24,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { runs: 1000, seed: 0xF00D, threads: 0, max_failures: 1_000_000 }
+        SimConfig {
+            runs: 1000,
+            seed: 0xF00D,
+            threads: 0,
+            max_failures: 1_000_000,
+        }
     }
 }
 
@@ -37,7 +42,9 @@ where
     F: Fn(usize) -> ExecStats + Sync,
 {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     }
@@ -82,12 +89,7 @@ pub struct NoneMcStats {
 }
 
 /// Monte Carlo over CkptNone executions.
-pub fn montecarlo_none(
-    dag: &Dag,
-    sched: &Schedule,
-    lambda: f64,
-    cfg: &SimConfig,
-) -> NoneMcStats {
+pub fn montecarlo_none(dag: &Dag, sched: &Schedule, lambda: f64, cfg: &SimConfig) -> NoneMcStats {
     let marker = f64::INFINITY;
     let runs = parallel_map(cfg.runs, cfg.threads, |i| {
         let mut src = ExpFailures::new(lambda, run_seed(cfg.seed, i));
@@ -101,11 +103,17 @@ pub fn montecarlo_none(
             },
         }
     });
-    let converged: Vec<ExecStats> =
-        runs.iter().copied().filter(|r| r.makespan.is_finite()).collect();
+    let converged: Vec<ExecStats> = runs
+        .iter()
+        .copied()
+        .filter(|r| r.makespan.is_finite())
+        .collect();
     let diverged = runs.len() - converged.len();
     assert!(!converged.is_empty(), "all CkptNone runs diverged");
-    NoneMcStats { stats: McStats::from_runs(&converged), diverged }
+    NoneMcStats {
+        stats: McStats::from_runs(&converged),
+        diverged,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +132,14 @@ mod tests {
         let platform = Platform::new(5, lambda, 1e7);
         let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
         let sg = pipe.segment_graph(Strategy::CkptSome);
-        let mc = montecarlo_segments(&sg, lambda, &SimConfig { runs: 4000, ..Default::default() });
+        let mc = montecarlo_segments(
+            &sg,
+            lambda,
+            &SimConfig {
+                runs: 4000,
+                ..Default::default()
+            },
+        );
         let pa = pipe
             .assess(Strategy::CkptSome, &probdag::PathApprox::default())
             .expected_makespan;
@@ -146,7 +161,10 @@ mod tests {
             &w.dag,
             &sched,
             lambda,
-            &SimConfig { runs: 200, ..Default::default() },
+            &SimConfig {
+                runs: 200,
+                ..Default::default()
+            },
         );
         assert_eq!(r.diverged, 0);
         assert!(r.stats.mean_makespan >= sched.failure_free_parallel_time(&w.dag) - 1e-6);
@@ -159,7 +177,12 @@ mod tests {
         let platform = Platform::new(3, lambda, 1e7);
         let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
         let sg = pipe.segment_graph(Strategy::CkptAll);
-        let cfg = SimConfig { runs: 500, seed: 11, threads: 2, max_failures: 1000 };
+        let cfg = SimConfig {
+            runs: 500,
+            seed: 11,
+            threads: 2,
+            max_failures: 1000,
+        };
         let a = montecarlo_segments(&sg, lambda, &cfg);
         let b = montecarlo_segments(&sg, lambda, &cfg);
         assert_eq!(a.mean_makespan, b.mean_makespan);

@@ -37,7 +37,11 @@ pub struct Diverged {
 
 impl std::fmt::Display for Diverged {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CkptNone simulation exceeded {} failures", self.n_failures)
+        write!(
+            f,
+            "CkptNone simulation exceeded {} failures",
+            self.n_failures
+        )
     }
 }
 
@@ -119,13 +123,11 @@ pub fn simulate_none(
     let mut epoch = vec![0u64; p];
     let mut events: BinaryHeap<Reverse<(Key, EventBox)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let push = |events: &mut BinaryHeap<Reverse<(Key, EventBox)>>,
-                    seq: &mut u64,
-                    time: f64,
-                    ev: Event| {
-        *seq += 1;
-        events.push(Reverse((Key(time, *seq), EventBox(ev))));
-    };
+    let push =
+        |events: &mut BinaryHeap<Reverse<(Key, EventBox)>>, seq: &mut u64, time: f64, ev: Event| {
+            *seq += 1;
+            events.push(Reverse((Key(time, *seq), EventBox(ev))));
+        };
     for q in 0..p {
         let t = failures.next_failure(q, 0.0);
         if t.is_finite() {
@@ -173,8 +175,7 @@ pub fn simulate_none(
                                 // this same instant.
                                 state[u.index()] = TState::Queued;
                                 stats.n_reexecs += 1;
-                                queues[proc_of[u.index()]]
-                                    .push(Reverse((pos_of[u.index()], u.0)));
+                                queues[proc_of[u.index()]].push(Reverse((pos_of[u.index()], u.0)));
                                 ready = false;
                                 progressed = true;
                             }
@@ -225,7 +226,9 @@ pub fn simulate_none(
             Event::Fail(q) => {
                 stats.n_failures += 1;
                 if stats.n_failures > max_failures {
-                    return Err(Diverged { n_failures: stats.n_failures });
+                    return Err(Diverged {
+                        n_failures: stats.n_failures,
+                    });
                 }
                 // Abort the running task.
                 if let Some((t, started)) = current[q].take() {
@@ -251,7 +254,10 @@ pub fn simulate_none(
     // Event queue drained: with no more failures scheduled everything
     // still queued would have started; reaching here with sinks pending
     // means a blocked demand was never satisfied — a bug.
-    assert_eq!(remaining_sinks, 0, "simulation stalled with {remaining_sinks} sinks left");
+    assert_eq!(
+        remaining_sinks, 0,
+        "simulation stalled with {remaining_sinks} sinks left"
+    );
     Ok(stats)
 }
 
@@ -296,8 +302,14 @@ mod tests {
         let root = Mspg::chain([a, b]).unwrap();
         let w = Workflow::new(dag, root);
         let scs = vec![
-            ckpt_core::Superchain { proc: 0, tasks: vec![a] },
-            ckpt_core::Superchain { proc: 1, tasks: vec![b] },
+            ckpt_core::Superchain {
+                proc: 0,
+                tasks: vec![a],
+            },
+            ckpt_core::Superchain {
+                proc: 1,
+                tasks: vec![b],
+            },
         ];
         let sched = ckpt_core::Schedule::from_superchains(&w.dag, 2, scs);
         (w, sched)

@@ -52,12 +52,7 @@ pub fn simulate_segments_downtime(
 
 /// Renewal sampling of one segment's wall-clock duration: attempts of span
 /// `base` repeat until no failure strikes within the attempt.
-fn sample_duration(
-    base: f64,
-    downtime: f64,
-    src: &mut ExpFailures,
-    stats: &mut ExecStats,
-) -> f64 {
+fn sample_duration(base: f64, downtime: f64, src: &mut ExpFailures, stats: &mut ExecStats) -> f64 {
     if base == 0.0 {
         return 0.0;
     }

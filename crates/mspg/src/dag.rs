@@ -81,7 +81,11 @@ impl Dag {
     pub fn add_task(&mut self, name: impl Into<String>, kind: KindId, weight: f64) -> TaskId {
         assert!(self.tasks.len() < u32::MAX as usize, "too many tasks");
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task { name: name.into(), kind, weight });
+        self.tasks.push(Task {
+            name: name.into(),
+            kind,
+            weight,
+        });
         self.succ.push(Vec::new());
         self.pred.push(Vec::new());
         self.inputs.push(Vec::new());
@@ -100,7 +104,10 @@ impl Dag {
     ) -> FileId {
         assert!(self.files.len() < u32::MAX as usize, "too many files");
         let id = FileId(self.files.len() as u32);
-        self.files.push(DataFile { name: name.into(), size });
+        self.files.push(DataFile {
+            name: name.into(),
+            size,
+        });
         self.producer.push(producer);
         self.consumers.push(Vec::new());
         if let Some(t) = producer {
@@ -177,7 +184,11 @@ impl Dag {
 
     /// Sets the primary output file of `t` (must be produced by `t`).
     pub fn set_primary_output(&mut self, t: TaskId, file: FileId) {
-        assert_eq!(self.producer[file.index()], Some(t), "file not produced by task");
+        assert_eq!(
+            self.producer[file.index()],
+            Some(t),
+            "file not produced by task"
+        );
         self.primary_out[t.index()] = Some(file);
     }
 
@@ -311,12 +322,16 @@ impl Dag {
 
     /// Tasks with no incoming edge (workflow-input files do not count).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.pred[t.index()].is_empty()).collect()
+        self.task_ids()
+            .filter(|t| self.pred[t.index()].is_empty())
+            .collect()
     }
 
     /// Tasks with no outgoing edge.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.succ[t.index()].is_empty()).collect()
+        self.task_ids()
+            .filter(|t| self.succ[t.index()].is_empty())
+            .collect()
     }
 
     /// In-degree of `t` counting *distinct* predecessor tasks.
@@ -342,8 +357,7 @@ impl Dag {
         }
         // A binary heap keyed on Reverse(id) would be O(E log V); a sorted
         // ready list is fine at our scales and keeps the order canonical.
-        let mut ready: Vec<u32> =
-            (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
         ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest from the back
         let mut order = Vec::with_capacity(n);
         while let Some(t) = ready.pop() {
@@ -352,9 +366,7 @@ impl Dag {
                 indeg[v.index()] -= 1;
                 if indeg[v.index()] == 0 {
                     // Insert keeping the descending sort.
-                    let pos = ready
-                        .binary_search_by(|x| v.0.cmp(x))
-                        .unwrap_or_else(|e| e);
+                    let pos = ready.binary_search_by(|x| v.0.cmp(x)).unwrap_or_else(|e| e);
                     ready.insert(pos, v.0);
                 }
             }

@@ -38,9 +38,16 @@ impl Decomposition {
 /// # Panics
 /// Panics (in debug builds) if the expression is not in normal form.
 pub fn decompose(expr: &Mspg) -> Decomposition {
-    debug_assert!(expr.is_normalized(), "decompose requires a normalized M-SPG");
+    debug_assert!(
+        expr.is_normalized(),
+        "decompose requires a normalized M-SPG"
+    );
     match expr {
-        Mspg::Task(t) => Decomposition { chain: vec![*t], parallel: Vec::new(), rest: None },
+        Mspg::Task(t) => Decomposition {
+            chain: vec![*t],
+            parallel: Vec::new(),
+            rest: None,
+        },
         Mspg::Parallel(cs) => Decomposition {
             chain: Vec::new(),
             parallel: cs.clone(),
@@ -72,7 +79,11 @@ pub fn decompose(expr: &Mspg) -> Decomposition {
                 let rest = Mspg::series(cs[i + 1..].iter().cloned());
                 (parallel, rest)
             };
-            Decomposition { chain, parallel, rest }
+            Decomposition {
+                chain,
+                parallel,
+                rest,
+            }
         }
     }
 }
@@ -118,13 +129,7 @@ mod tests {
     #[test]
     fn fork_join() {
         // (0 ⊳ 1) ⊳ (2 ∥ 3) ⊳ 4
-        let e = Mspg::series([
-            t(0),
-            t(1),
-            Mspg::parallel([t(2), t(3)]).unwrap(),
-            t(4),
-        ])
-        .unwrap();
+        let e = Mspg::series([t(0), t(1), Mspg::parallel([t(2), t(3)]).unwrap(), t(4)]).unwrap();
         let d = decompose(&e);
         assert_eq!(d.chain, vec![id(0), id(1)]);
         assert_eq!(d.parallel, vec![t(2), t(3)]);

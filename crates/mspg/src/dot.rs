@@ -15,7 +15,11 @@ pub fn to_dot(dag: &Dag, checkpointed: Option<&[bool]>) -> String {
         let shaded = checkpointed
             .map(|c| c.get(t.index()).copied().unwrap_or(false))
             .unwrap_or(false);
-        let style = if shaded { ", style=filled, fillcolor=gray80" } else { "" };
+        let style = if shaded {
+            ", style=filled, fillcolor=gray80"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  {} [label=\"{}\\nw={:.2}\"{}];\n",
             t.0, task.name, task.weight, style

@@ -94,9 +94,7 @@ impl Mspg {
     pub fn weight(&self, dag: &Dag) -> f64 {
         match self {
             Mspg::Task(t) => dag.weight(*t),
-            Mspg::Series(cs) | Mspg::Parallel(cs) => {
-                cs.iter().map(|c| c.weight(dag)).sum()
-            }
+            Mspg::Series(cs) | Mspg::Parallel(cs) => cs.iter().map(|c| c.weight(dag)).sum(),
         }
     }
 
@@ -153,12 +151,7 @@ mod tests {
     #[test]
     fn sources_and_sinks_fork_join() {
         // (0 ⊳ (1 ∥ 2) ⊳ 3)
-        let e = Mspg::series([
-            t(0),
-            Mspg::parallel([t(1), t(2)]).unwrap(),
-            t(3),
-        ])
-        .unwrap();
+        let e = Mspg::series([t(0), Mspg::parallel([t(1), t(2)]).unwrap(), t(3)]).unwrap();
         assert_eq!(e.source_tasks(), vec![TaskId(0)]);
         assert_eq!(e.sink_tasks(), vec![TaskId(3)]);
         assert!(e.is_normalized());
@@ -167,11 +160,7 @@ mod tests {
 
     #[test]
     fn parallel_sources_concatenate() {
-        let e = Mspg::parallel([
-            Mspg::chain([TaskId(0), TaskId(1)]).unwrap(),
-            t(2),
-        ])
-        .unwrap();
+        let e = Mspg::parallel([Mspg::chain([TaskId(0), TaskId(1)]).unwrap(), t(2)]).unwrap();
         assert_eq!(e.source_tasks(), vec![TaskId(0), TaskId(2)]);
         assert_eq!(e.sink_tasks(), vec![TaskId(1), TaskId(2)]);
     }
@@ -188,11 +177,7 @@ mod tests {
 
     #[test]
     fn structural_task_order_is_depth_first() {
-        let e = Mspg::series([
-            Mspg::parallel([t(3), t(1)]).unwrap(),
-            t(0),
-        ])
-        .unwrap();
+        let e = Mspg::series([Mspg::parallel([t(3), t(1)]).unwrap(), t(0)]).unwrap();
         assert_eq!(e.tasks(), vec![TaskId(3), TaskId(1), TaskId(0)]);
     }
 }

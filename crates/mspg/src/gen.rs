@@ -55,8 +55,10 @@ fn build(dag: &mut Dag, rng: &mut StdRng, cfg: &GenConfig, budget: usize, root: 
     // Split the budget into k parts of at least one task each.
     let k = rng.gen_range(2..=cfg.max_branch.min(budget));
     let parts = split_budget(rng, budget, k);
-    let children: Vec<Mspg> =
-        parts.into_iter().map(|b| build(dag, rng, cfg, b, false)).collect();
+    let children: Vec<Mspg> = parts
+        .into_iter()
+        .map(|b| build(dag, rng, cfg, b, false))
+        .collect();
     // Root leans serial so the workflow has global structure; inner nodes
     // pick uniformly. The smart constructors keep everything normalized.
     let serial = if root { true } else { rng.gen_bool(0.5) };
@@ -91,7 +93,11 @@ mod tests {
     #[test]
     fn exact_task_count() {
         for n in [1, 2, 7, 50, 333] {
-            let w = random_workflow(&GenConfig { n_tasks: n, seed: 1, ..Default::default() });
+            let w = random_workflow(&GenConfig {
+                n_tasks: n,
+                seed: 1,
+                ..Default::default()
+            });
             assert_eq!(w.n_tasks(), n);
         }
     }
@@ -99,15 +105,27 @@ mod tests {
     #[test]
     fn generated_workflows_validate() {
         for seed in 0..10 {
-            let w = random_workflow(&GenConfig { n_tasks: 64, seed, ..Default::default() });
+            let w = random_workflow(&GenConfig {
+                n_tasks: 64,
+                seed,
+                ..Default::default()
+            });
             w.validate().unwrap();
         }
     }
 
     #[test]
     fn seed_determinism() {
-        let a = random_workflow(&GenConfig { n_tasks: 30, seed: 9, ..Default::default() });
-        let b = random_workflow(&GenConfig { n_tasks: 30, seed: 9, ..Default::default() });
+        let a = random_workflow(&GenConfig {
+            n_tasks: 30,
+            seed: 9,
+            ..Default::default()
+        });
+        let b = random_workflow(&GenConfig {
+            n_tasks: 30,
+            seed: 9,
+            ..Default::default()
+        });
         assert_eq!(a.root, b.root);
         assert_eq!(a.dag.n_edges(), b.dag.n_edges());
         for t in a.dag.task_ids() {
@@ -117,22 +135,41 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_workflow(&GenConfig { n_tasks: 30, seed: 1, ..Default::default() });
-        let b = random_workflow(&GenConfig { n_tasks: 30, seed: 2, ..Default::default() });
-        assert!(a.root != b.root || a.dag.weight(crate::task::TaskId(0)) != b.dag.weight(crate::task::TaskId(0)));
+        let a = random_workflow(&GenConfig {
+            n_tasks: 30,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_workflow(&GenConfig {
+            n_tasks: 30,
+            seed: 2,
+            ..Default::default()
+        });
+        assert!(
+            a.root != b.root
+                || a.dag.weight(crate::task::TaskId(0)) != b.dag.weight(crate::task::TaskId(0))
+        );
     }
 
     #[test]
     fn normalized_structure() {
         for seed in 0..10 {
-            let w = random_workflow(&GenConfig { n_tasks: 40, seed, ..Default::default() });
+            let w = random_workflow(&GenConfig {
+                n_tasks: 40,
+                seed,
+                ..Default::default()
+            });
             assert!(w.root.is_normalized());
         }
     }
 
     #[test]
     fn structural_order_is_topological() {
-        let w = random_workflow(&GenConfig { n_tasks: 100, seed: 3, ..Default::default() });
+        let w = random_workflow(&GenConfig {
+            n_tasks: 100,
+            seed: 3,
+            ..Default::default()
+        });
         assert!(w.dag.is_topological(&w.structural_order()));
     }
 }

@@ -56,8 +56,11 @@ pub fn topo_random(dag: &Dag, tasks: &[TaskId], seed: u64) -> Vec<TaskId> {
     let mut rng = StdRng::seed_from_u64(seed);
     let member = membership(dag, tasks);
     let mut indeg = internal_indegrees(dag, tasks, &member);
-    let mut ready: Vec<TaskId> =
-        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    let mut ready: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
     let mut order = Vec::with_capacity(tasks.len());
     while !ready.is_empty() {
         let i = rng.gen_range(0..ready.len());
@@ -65,7 +68,11 @@ pub fn topo_random(dag: &Dag, tasks: &[TaskId], seed: u64) -> Vec<TaskId> {
         order.push(t);
         release(dag, t, &member, &mut indeg, &mut ready);
     }
-    assert_eq!(order.len(), tasks.len(), "topo_random: cyclic induced subgraph");
+    assert_eq!(
+        order.len(),
+        tasks.len(),
+        "topo_random: cyclic induced subgraph"
+    );
     order
 }
 
@@ -88,17 +95,18 @@ pub fn topo_min_volume(dag: &Dag, tasks: &[TaskId]) -> Vec<TaskId> {
             }
         }
     }
-    let mut ready: Vec<TaskId> =
-        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    let mut ready: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
     let mut order = Vec::with_capacity(tasks.len());
     while !ready.is_empty() {
         let mut best = 0usize;
         let mut best_delta = f64::INFINITY;
         for (i, &t) in ready.iter().enumerate() {
             let delta = volume_delta(dag, t, &member, &remaining);
-            if delta < best_delta
-                || (delta == best_delta && t < ready[best])
-            {
+            if delta < best_delta || (delta == best_delta && t < ready[best]) {
                 best = i;
                 best_delta = delta;
             }
@@ -116,7 +124,11 @@ pub fn topo_min_volume(dag: &Dag, tasks: &[TaskId]) -> Vec<TaskId> {
         }
         release(dag, t, &member, &mut indeg, &mut ready);
     }
-    assert_eq!(order.len(), tasks.len(), "topo_min_volume: cyclic induced subgraph");
+    assert_eq!(
+        order.len(),
+        tasks.len(),
+        "topo_min_volume: cyclic induced subgraph"
+    );
     order
 }
 
@@ -146,13 +158,7 @@ fn volume_delta(dag: &Dag, t: TaskId, member: &[bool], remaining: &[usize]) -> f
     delta
 }
 
-fn release(
-    dag: &Dag,
-    t: TaskId,
-    member: &[bool],
-    indeg: &mut [usize],
-    ready: &mut Vec<TaskId>,
-) {
+fn release(dag: &Dag, t: TaskId, member: &[bool], indeg: &mut [usize], ready: &mut Vec<TaskId>) {
     let mut seen: Vec<TaskId> = Vec::new();
     for &(v, _) in dag.succs(t) {
         if member[v.index()] && !seen.contains(&v) {
@@ -187,12 +193,7 @@ pub fn is_topological_induced(dag: &Dag, order: &[TaskId]) -> bool {
 
 /// Dispatches on the chosen [`Linearizer`]. `structural` must be the
 /// depth-first expression order of exactly the same task set.
-pub fn linearize(
-    dag: &Dag,
-    structural: Vec<TaskId>,
-    how: Linearizer,
-    seed: u64,
-) -> Vec<TaskId> {
+pub fn linearize(dag: &Dag, structural: Vec<TaskId>, how: Linearizer, seed: u64) -> Vec<TaskId> {
     match how {
         Linearizer::Structural => structural,
         Linearizer::RandomTopo => topo_random(dag, &structural, seed),
@@ -253,7 +254,10 @@ mod tests {
         let tasks = w.structural_order();
         let distinct: std::collections::HashSet<Vec<TaskId>> =
             (0..32).map(|s| topo_random(&w.dag, &tasks, s)).collect();
-        assert!(distinct.len() > 1, "32 seeds should produce >1 distinct order");
+        assert!(
+            distinct.len() > 1,
+            "32 seeds should produce >1 distinct order"
+        );
     }
 
     #[test]
@@ -273,11 +277,7 @@ mod tests {
         let w = fork_join_x2();
         let tasks = w.structural_order();
         let o = topo_min_volume(&w.dag, &tasks);
-        let pos = |name: &str| {
-            o.iter()
-                .position(|&t| w.dag.task(t).name == name)
-                .unwrap()
-        };
+        let pos = |name: &str| o.iter().position(|&t| w.dag.task(t).name == name).unwrap();
         assert!(pos("c") > pos("b"));
         assert!(pos("c") > pos("d"));
     }

@@ -50,9 +50,7 @@ pub fn parallel(parts: impl IntoIterator<Item = Mspg>) -> Option<Mspg> {
 pub fn normalize(e: Mspg) -> Mspg {
     match e {
         Mspg::Task(t) => Mspg::Task(t),
-        Mspg::Series(cs) => {
-            series(cs.into_iter().map(normalize)).expect("series of >=1 parts")
-        }
+        Mspg::Series(cs) => series(cs.into_iter().map(normalize)).expect("series of >=1 parts"),
         Mspg::Parallel(cs) => {
             parallel(cs.into_iter().map(normalize)).expect("parallel of >=1 parts")
         }
@@ -116,11 +114,7 @@ mod tests {
         assert!(n.is_normalized());
         assert_eq!(
             n,
-            Mspg::Series(vec![
-                t(0),
-                Mspg::Parallel(vec![t(1), t(2), t(3)]),
-                t(4),
-            ])
+            Mspg::Series(vec![t(0), Mspg::Parallel(vec![t(1), t(2), t(3)]), t(4),])
         );
     }
 

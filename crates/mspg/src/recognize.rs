@@ -34,7 +34,10 @@ impl std::fmt::Display for NotMspg {
             f,
             "not an M-SPG: {} connected tasks admit no serial cut (first: {})",
             self.witness.len(),
-            self.witness.first().map(|t| t.to_string()).unwrap_or_default()
+            self.witness
+                .first()
+                .map(|t| t.to_string())
+                .unwrap_or_default()
         )
     }
 }
@@ -79,7 +82,9 @@ pub fn recognize_set(dag: &Dag, tasks: &[TaskId]) -> Result<Mspg, NotMspg> {
             None => {
                 if parts.is_empty() {
                     // Connected, >1 task, no serial cut anywhere.
-                    return Err(NotMspg { witness: rest.to_vec() });
+                    return Err(NotMspg {
+                        witness: rest.to_vec(),
+                    });
                 }
                 parts.push(recognize_set(dag, rest)?);
                 rest = &[];
@@ -156,8 +161,11 @@ fn induced_topo(dag: &Dag, tasks: &[TaskId]) -> Vec<TaskId> {
             indeg[t.index()] += 1;
         }
     }
-    let mut ready: Vec<TaskId> =
-        tasks.iter().copied().filter(|t| indeg[t.index()] == 0).collect();
+    let mut ready: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
     ready.sort_unstable_by(|a, b| b.cmp(a));
     let mut order = Vec::with_capacity(tasks.len());
     while let Some(t) = ready.pop() {
@@ -214,16 +222,17 @@ fn smallest_serial_cut(dag: &Dag, order: &[TaskId]) -> Option<usize> {
     let mut succ_in_b = vec![0usize; n_all]; // for tasks in A
     let mut pred_in_a = vec![0usize; n_all]; // for tasks in B
     let mut sinks = 0usize; // |sinks(A)|
-    let mut sources = order
-        .iter()
-        .filter(|t| dpred[t.index()] == 0)
-        .count(); // |sources(B)|, A empty initially
+    let mut sources = order.iter().filter(|t| dpred[t.index()] == 0).count(); // |sources(B)|, A empty initially
     let mut open_pairs = 0usize;
 
     for k in 1..n {
         let v = order[k - 1];
         // Move v from B to A.
-        debug_assert_eq!(pred_in_a[v.index()], dpred[v.index()], "topo order violated");
+        debug_assert_eq!(
+            pred_in_a[v.index()],
+            dpred[v.index()],
+            "topo order violated"
+        );
         sources -= 1; // v was a source of B (all its preds already in A)
         open_pairs -= dpred[v.index()];
         open_pairs += dsucc[v.index()];
@@ -246,8 +255,16 @@ fn smallest_serial_cut(dag: &Dag, order: &[TaskId]) -> Option<usize> {
         if open_pairs == sinks * sources
             && open_pairs > 0
             && verify_cut(
-                dag, &order[..k], &member, &in_a, &succ_in_b, &dsucc, &pred_in_a, &dpred,
-                sources, open_pairs,
+                dag,
+                &order[..k],
+                &member,
+                &in_a,
+                &succ_in_b,
+                &dsucc,
+                &pred_in_a,
+                &dpred,
+                sources,
+                open_pairs,
             )
         {
             return Some(k);
@@ -381,8 +398,7 @@ mod tests {
                 size_range: (1.0, 10.0),
                 seed,
             });
-            let e = recognize(&w.dag)
-                .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+            let e = recognize(&w.dag).unwrap_or_else(|err| panic!("seed {seed}: {err}"));
             // The recovered structure must cover all tasks exactly once…
             let mut got = e.tasks();
             got.sort_unstable();
@@ -393,19 +409,12 @@ mod tests {
             let mut rebuilt = Dag::new();
             let k = rebuilt.add_kind("t");
             for t in w.dag.task_ids() {
-                rebuilt.add_task_with_output(
-                    &w.dag.task(t).name,
-                    k,
-                    w.dag.weight(t),
-                    1.0,
-                );
+                rebuilt.add_task_with_output(&w.dag.task(t).name, k, w.dag.weight(t), 1.0);
             }
             let w2 = Workflow::new(rebuilt, e);
             for t in w.dag.task_ids() {
-                let mut s1: Vec<TaskId> =
-                    w.dag.succs(t).iter().map(|&(v, _)| v).collect();
-                let mut s2: Vec<TaskId> =
-                    w2.dag.succs(t).iter().map(|&(v, _)| v).collect();
+                let mut s1: Vec<TaskId> = w.dag.succs(t).iter().map(|&(v, _)| v).collect();
+                let mut s2: Vec<TaskId> = w2.dag.succs(t).iter().map(|&(v, _)| v).collect();
                 s1.sort_unstable();
                 s1.dedup();
                 s2.sort_unstable();

@@ -85,9 +85,9 @@ pub fn transitive_reduction(dag: &Dag) -> Reduced {
         // *different* direct predecessor of v is reachable from u).
         let preds = dag.preds(v);
         for &(u, f) in preds {
-            let redundant = preds.iter().any(|&(w, _)| {
-                w != u && has_bit(&reach[u.index()], w.index())
-            });
+            let redundant = preds
+                .iter()
+                .any(|&(w, _)| w != u && has_bit(&reach[u.index()], w.index()));
             if redundant {
                 out.add_transitive_read(v, f);
                 dropped += 1;

@@ -18,7 +18,11 @@ pub struct Builder<'a> {
 impl<'a> Builder<'a> {
     /// New builder drawing randomness from `rng`.
     pub fn new(rng: &'a mut StdRng) -> Self {
-        Builder { dag: Dag::new(), rng, counters: Vec::new() }
+        Builder {
+            dag: Dag::new(),
+            rng,
+            counters: Vec::new(),
+        }
     }
 
     /// Adds one task of the given kind (with its primary output file) and
@@ -58,11 +62,7 @@ impl<'a> Builder<'a> {
 
     /// Adds `n` parallel chains, each built by `chain` from this builder,
     /// returning the parallel expression.
-    pub fn parallel_chains(
-        &mut self,
-        n: usize,
-        mut chain: impl FnMut(&mut Self) -> Mspg,
-    ) -> Mspg {
+    pub fn parallel_chains(&mut self, n: usize, mut chain: impl FnMut(&mut Self) -> Mspg) -> Mspg {
         assert!(n >= 1);
         let parts: Vec<Mspg> = (0..n).map(|_| chain(self)).collect();
         Mspg::parallel(parts).expect("n >= 1")

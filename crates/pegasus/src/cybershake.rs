@@ -95,11 +95,8 @@ pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
                     b.input(t, 500.0 * MB); // master SGT volume from storage
                 }
                 let chains = b.parallel_chains(k, |b| {
-                    Mspg::series([
-                        b.task(&SEISMOGRAM_SYNTHESIS),
-                        b.task(&PEAK_VAL_CALC),
-                    ])
-                    .expect("chain")
+                    Mspg::series([b.task(&SEISMOGRAM_SYNTHESIS), b.task(&PEAK_VAL_CALC)])
+                        .expect("chain")
                 });
                 Mspg::series([sgt, chains]).expect("half-site")
             });

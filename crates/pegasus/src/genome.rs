@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn lane_inputs_exist() {
         let w = generate(50, 9);
-        let has_input = w
-            .dag
-            .task_ids()
-            .any(|t| !w.dag.input_files(t).is_empty());
+        let has_input = w.dag.task_ids().any(|t| !w.dag.input_files(t).is_empty());
         assert!(has_input, "fastqSplit tasks must read workflow inputs");
     }
 }

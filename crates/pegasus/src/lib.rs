@@ -43,8 +43,11 @@ pub enum WorkflowClass {
 impl WorkflowClass {
     /// The paper's three evaluation classes, in figure order
     /// (CyberShake is an extension and deliberately not included).
-    pub const ALL: [WorkflowClass; 3] =
-        [WorkflowClass::Genome, WorkflowClass::Montage, WorkflowClass::Ligo];
+    pub const ALL: [WorkflowClass; 3] = [
+        WorkflowClass::Genome,
+        WorkflowClass::Montage,
+        WorkflowClass::Ligo,
+    ];
 
     /// All implemented classes, including extensions.
     pub const ALL_EXTENDED: [WorkflowClass; 4] = [
@@ -68,9 +71,7 @@ impl WorkflowClass {
     pub fn ccr_range(self) -> (f64, f64) {
         match self {
             WorkflowClass::Genome => (1e-4, 1e-2),
-            WorkflowClass::Montage | WorkflowClass::Ligo | WorkflowClass::Cybershake => {
-                (1e-3, 1.0)
-            }
+            WorkflowClass::Montage | WorkflowClass::Ligo | WorkflowClass::Cybershake => (1e-3, 1.0),
         }
     }
 }
@@ -112,9 +113,18 @@ mod tests {
 
     #[test]
     fn class_parsing() {
-        assert_eq!("genome".parse::<WorkflowClass>().unwrap(), WorkflowClass::Genome);
-        assert_eq!("Montage".parse::<WorkflowClass>().unwrap(), WorkflowClass::Montage);
-        assert_eq!("inspiral".parse::<WorkflowClass>().unwrap(), WorkflowClass::Ligo);
+        assert_eq!(
+            "genome".parse::<WorkflowClass>().unwrap(),
+            WorkflowClass::Genome
+        );
+        assert_eq!(
+            "Montage".parse::<WorkflowClass>().unwrap(),
+            WorkflowClass::Montage
+        );
+        assert_eq!(
+            "inspiral".parse::<WorkflowClass>().unwrap(),
+            WorkflowClass::Ligo
+        );
         assert!("nope".parse::<WorkflowClass>().is_err());
     }
 

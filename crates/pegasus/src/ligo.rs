@@ -72,7 +72,9 @@ pub fn generate(n_tasks: usize, seed: u64) -> Workflow {
     let s = ligo_shape(n_tasks);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Builder::new(&mut rng);
-    let groups: Vec<Mspg> = (0..s.groups).map(|_| build_group(&mut b, s.k, s.m)).collect();
+    let groups: Vec<Mspg> = (0..s.groups)
+        .map(|_| build_group(&mut b, s.k, s.m))
+        .collect();
     let root = Mspg::parallel(groups).expect(">=1 group");
     Workflow::new(b.dag, root)
 }
@@ -149,7 +151,11 @@ pub fn generate_incomplete(n_tasks: usize, seed: u64) -> IncompleteLigo {
         inspiral_level.push(inspirals);
         thinca_level.push(thincas);
     }
-    IncompleteLigo { dag: b.dag, inspiral_level, thinca_level }
+    IncompleteLigo {
+        dag: b.dag,
+        inspiral_level,
+        thinca_level,
+    }
 }
 
 #[cfg(test)]
@@ -183,12 +189,18 @@ mod tests {
         let mut inc = generate_incomplete(300, 4);
         let shape = ligo_shape(300);
         assert!(shape.m >= 2, "need m >= 2 for the artifact");
-        assert!(recognize(&inc.dag).is_err(), "incomplete level must break M-SPG");
+        assert!(
+            recognize(&inc.dag).is_err(),
+            "incomplete level must break M-SPG"
+        );
         let before = inc.dag.total_data_volume();
         for g in 0..shape.groups {
             complete_bipartite(&mut inc.dag, &inc.inspiral_level[g], &inc.thinca_level[g]);
         }
-        assert!(recognize(&inc.dag).is_ok(), "patched instance must be an M-SPG");
+        assert!(
+            recognize(&inc.dag).is_ok(),
+            "patched instance must be an M-SPG"
+        );
         // "dummy dependencies carrying empty files": no data added.
         assert_eq!(inc.dag.total_data_volume(), before);
     }

@@ -138,9 +138,16 @@ mod tests {
     #[test]
     fn sequential_tail_present() {
         let w = generate(50, 1);
-        let kinds: Vec<&str> = ["mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"]
-            .into_iter()
-            .collect();
+        let kinds: Vec<&str> = [
+            "mConcatFit",
+            "mBgModel",
+            "mImgtbl",
+            "mAdd",
+            "mShrink",
+            "mJPEG",
+        ]
+        .into_iter()
+        .collect();
         for k in kinds {
             let count = w
                 .dag

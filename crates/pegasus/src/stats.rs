@@ -19,7 +19,10 @@ pub fn standard_normal(rng: &mut StdRng) -> f64 {
 /// Gamma(shape, scale) sample via Marsaglia & Tsang (2000), with the
 /// standard boost `Gamma(k) = Gamma(k+1)·U^(1/k)` for `shape < 1`.
 pub fn gamma(rng: &mut StdRng, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma needs positive parameters");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma needs positive parameters"
+    );
     if shape < 1.0 {
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
@@ -34,9 +37,7 @@ pub fn gamma(rng: &mut StdRng, shape: f64, scale: f64) -> f64 {
         }
         let v = v * v * v;
         let u: f64 = rng.gen();
-        if u < 1.0 - 0.0331 * x * x * x * x
-            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-        {
+        if u < 1.0 - 0.0331 * x * x * x * x || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
             return d * v * scale;
         }
     }
@@ -108,7 +109,9 @@ mod tests {
     #[test]
     fn sample_around_matches_mean_and_cv() {
         let mut r = rng(4);
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_around(&mut r, 100.0, 0.3)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_around(&mut r, 100.0, 0.3))
+            .collect();
         let (m, v) = moments(&xs);
         assert!((m - 100.0).abs() < 0.6, "mean {m}");
         assert!((v.sqrt() - 30.0).abs() < 0.6, "std {}", v.sqrt());

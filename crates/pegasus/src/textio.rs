@@ -46,7 +46,10 @@ pub fn to_text(w: &Workflow) -> String {
     }
     for t in dag.task_ids() {
         let task = dag.task(t);
-        out.push_str(&format!("task {} {} {}\n", task.kind.0, task.weight, task.name));
+        out.push_str(&format!(
+            "task {} {} {}\n",
+            task.kind.0, task.weight, task.name
+        ));
     }
     for f in dag.file_ids() {
         let file = dag.file(f);
@@ -105,14 +108,19 @@ fn write_expr(e: &Mspg, out: &mut String) {
 pub fn from_text(text: &str) -> Result<Workflow, ParseError> {
     let mut dag = Dag::new();
     let mut root: Option<Mspg> = None;
-    let err = |line: usize, message: &str| ParseError { line, message: message.to_owned() };
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_owned(),
+    };
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (cmd, rest) = line.split_once(' ').ok_or_else(|| err(line_no, "missing fields"))?;
+        let (cmd, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err(line_no, "missing fields"))?;
         match cmd {
             "kind" => {
                 dag.add_kind(rest);
@@ -132,7 +140,11 @@ pub fn from_text(text: &str) -> Result<Workflow, ParseError> {
                 let producer = if prod_str == "-" {
                     None
                 } else {
-                    Some(TaskId(prod_str.parse().map_err(|_| err(line_no, "bad producer id"))?))
+                    Some(TaskId(
+                        prod_str
+                            .parse()
+                            .map_err(|_| err(line_no, "bad producer id"))?,
+                    ))
                 };
                 dag.add_file(name, size, producer);
             }
@@ -160,7 +172,8 @@ pub fn from_text(text: &str) -> Result<Workflow, ParseError> {
     }
     let root = root.ok_or_else(|| err(0, "missing root expression"))?;
     let w = Workflow::from_wired(dag, root);
-    w.validate().map_err(|e| err(0, &format!("invalid workflow: {e}")))?;
+    w.validate()
+        .map_err(|e| err(0, &format!("invalid workflow: {e}")))?;
     Ok(w)
 }
 
@@ -170,9 +183,15 @@ fn parse_field<T: std::str::FromStr>(
     what: &str,
 ) -> Result<T, ParseError> {
     field
-        .ok_or_else(|| ParseError { line, message: format!("missing {what}") })?
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing {what}"),
+        })?
         .parse()
-        .map_err(|_| ParseError { line, message: format!("bad {what}") })
+        .map_err(|_| ParseError {
+            line,
+            message: format!("bad {what}"),
+        })
 }
 
 fn two_ids(rest: &str, line: usize) -> Result<(u32, u32), ParseError> {
@@ -219,7 +238,11 @@ fn parse_expr(s: &[u8], pos: usize, line: usize) -> Result<(Mspg, usize), ParseE
                     _ => return Err(err("expected , or ) in composition".into())),
                 }
             }
-            let e = if c == b'S' { Mspg::series(parts) } else { Mspg::parallel(parts) };
+            let e = if c == b'S' {
+                Mspg::series(parts)
+            } else {
+                Mspg::parallel(parts)
+            };
             Ok((e.ok_or_else(|| err("empty composition".into()))?, j))
         }
         _ => Err(err(format!("unexpected character at {pos}"))),
@@ -233,7 +256,11 @@ mod tests {
 
     #[test]
     fn roundtrip_all_classes() {
-        for w in [genome::generate(50, 1), montage::generate(50, 2), ligo::generate(50, 3)] {
+        for w in [
+            genome::generate(50, 1),
+            montage::generate(50, 2),
+            ligo::generate(50, 3),
+        ] {
             let text = to_text(&w);
             let back = from_text(&text).unwrap();
             assert_eq!(back.root, w.root);

@@ -17,13 +17,18 @@ impl Discrete {
     /// The distribution concentrated on `v`.
     pub fn certain(v: f64) -> Self {
         assert!(v.is_finite());
-        Discrete { points: vec![(v, 1.0)] }
+        Discrete {
+            points: vec![(v, 1.0)],
+        }
     }
 
     /// The paper's 2-state distribution: `low` with probability
     /// `1 - p_high`, `high` with probability `p_high`.
     pub fn two_state(low: f64, high: f64, p_high: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_high), "p_high must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_high),
+            "p_high must be a probability"
+        );
         assert!(low.is_finite() && high.is_finite());
         if p_high == 0.0 {
             Discrete::certain(low)
@@ -76,7 +81,10 @@ impl Discrete {
     /// Variance.
     pub fn variance(&self) -> f64 {
         let m = self.mean();
-        self.points.iter().map(|&(v, p)| p * (v - m) * (v - m)).sum()
+        self.points
+            .iter()
+            .map(|&(v, p)| p * (v - m) * (v - m))
+            .sum()
     }
 
     /// Largest support value.
@@ -249,9 +257,7 @@ mod tests {
 
     #[test]
     fn compress_preserves_mean_and_mass() {
-        let mut d = Discrete::from_points(
-            (0..50).map(|i| (i as f64, 1.0 / 50.0)).collect(),
-        );
+        let mut d = Discrete::from_points((0..50).map(|i| (i as f64, 1.0 / 50.0)).collect());
         let mean = d.mean();
         d.compress(8);
         assert_eq!(d.support_len(), 8);

@@ -91,7 +91,11 @@ mod tests {
     use crate::pdag::{NodeDist, ProbDag};
 
     fn two(low: f64, high: f64, p: f64) -> NodeDist {
-        NodeDist::TwoState { low, high, p_high: p }
+        NodeDist::TwoState {
+            low,
+            high,
+            p_high: p,
+        }
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct MonteCarlo {
 
 impl Default for MonteCarlo {
     fn default() -> Self {
-        MonteCarlo { trials: 300_000, seed: 0x5EED, threads: 0 }
+        MonteCarlo {
+            trials: 300_000,
+            seed: 0x5EED,
+            threads: 0,
+        }
     }
 }
 
@@ -46,7 +50,9 @@ impl MonteCarlo {
     pub fn run(&self, dag: &ProbDag) -> McResult {
         assert!(self.trials > 0);
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.threads
         };
@@ -65,7 +71,11 @@ impl MonteCarlo {
                     high[v.index()] = x;
                     p[v.index()] = 0.0;
                 }
-                NodeDist::TwoState { low: l, high: h, p_high } => {
+                NodeDist::TwoState {
+                    low: l,
+                    high: h,
+                    p_high,
+                } => {
                     low[v.index()] = l;
                     high[v.index()] = h;
                     p[v.index()] = p_high;
@@ -80,7 +90,9 @@ impl MonteCarlo {
                 let my_trials = chunk + usize::from(w < extra);
                 let order = &order;
                 let (low, high, p) = (&low, &high, &p);
-                let seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                let seed = self
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
                 handles.push(scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut finish = vec![0.0f64; n];
@@ -125,7 +137,11 @@ impl MonteCarlo {
         let nf = self.trials as f64;
         let mean = sum / nf;
         let var = (sum_sq / nf - mean * mean).max(0.0);
-        McResult { mean, stderr: (var / nf).sqrt(), trials: self.trials }
+        McResult {
+            mean,
+            stderr: (var / nf).sqrt(),
+            trials: self.trials,
+        }
     }
 }
 
@@ -145,17 +161,29 @@ mod tests {
     use crate::pdag::NodeDist;
 
     fn two(low: f64, high: f64, p: f64) -> NodeDist {
-        NodeDist::TwoState { low, high, p_high: p }
+        NodeDist::TwoState {
+            low,
+            high,
+            p_high: p,
+        }
     }
 
     #[test]
     fn single_node_mean() {
         let mut g = ProbDag::new();
         g.add_node(two(10.0, 15.0, 0.3));
-        let mc = MonteCarlo { trials: 200_000, seed: 1, threads: 2 };
+        let mc = MonteCarlo {
+            trials: 200_000,
+            seed: 1,
+            threads: 2,
+        };
         let r = mc.run(&g);
         let expect = 0.7 * 10.0 + 0.3 * 15.0;
-        assert!((r.mean - expect).abs() < 5.0 * r.stderr.max(1e-3), "{} vs {expect}", r.mean);
+        assert!(
+            (r.mean - expect).abs() < 5.0 * r.stderr.max(1e-3),
+            "{} vs {expect}",
+            r.mean
+        );
     }
 
     #[test]
@@ -164,7 +192,11 @@ mod tests {
         let a = g.add_node(NodeDist::Certain(3.0));
         let b = g.add_node(NodeDist::Certain(4.0));
         g.add_edge(a, b);
-        let mc = MonteCarlo { trials: 1000, seed: 2, threads: 1 };
+        let mc = MonteCarlo {
+            trials: 1000,
+            seed: 2,
+            threads: 1,
+        };
         let r = mc.run(&g);
         assert_eq!(r.mean, 7.0);
         assert_eq!(r.stderr, 0.0);
@@ -176,7 +208,11 @@ mod tests {
         let a = g.add_node(two(1.0, 2.0, 0.5));
         let b = g.add_node(two(1.0, 2.0, 0.5));
         g.add_edge(a, b);
-        let mc = MonteCarlo { trials: 10_000, seed: 7, threads: 3 };
+        let mc = MonteCarlo {
+            trials: 10_000,
+            seed: 7,
+            threads: 3,
+        };
         assert_eq!(mc.run(&g).mean, mc.run(&g).mean);
     }
 
@@ -186,7 +222,11 @@ mod tests {
         let mut g = ProbDag::new();
         g.add_node(two(1.0, 2.0, 0.5));
         g.add_node(two(1.0, 2.0, 0.5));
-        let mc = MonteCarlo { trials: 400_000, seed: 3, threads: 4 };
+        let mc = MonteCarlo {
+            trials: 400_000,
+            seed: 3,
+            threads: 4,
+        };
         let r = mc.run(&g);
         assert!((r.mean - 1.75).abs() < 5.0 * r.stderr.max(1e-3));
     }

@@ -161,17 +161,16 @@ impl ProbDag {
 
     /// Nodes without successors.
     pub fn sink_nodes(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|v| self.succ[v.index()].is_empty()).collect()
+        self.node_ids()
+            .filter(|v| self.succ[v.index()].is_empty())
+            .collect()
     }
 
     /// A deterministic topological order. Panics on cycles.
     pub fn topo_order(&self) -> Vec<NodeId> {
         let n = self.n_nodes();
         let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
-        let mut ready: Vec<NodeId> = self
-            .node_ids()
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut ready: Vec<NodeId> = self.node_ids().filter(|v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = ready.pop() {
             order.push(v);
@@ -236,7 +235,11 @@ mod tests {
     use super::*;
 
     fn two(low: f64, high: f64, p: f64) -> NodeDist {
-        NodeDist::TwoState { low, high, p_high: p }
+        NodeDist::TwoState {
+            low,
+            high,
+            p_high: p,
+        }
     }
 
     /// a → {b, c} → d diamond.
@@ -301,7 +304,13 @@ mod tests {
         let mut scratch = vec![0.0; 4];
         // Only b at high: path a-b-d = 1 + 3 + 1 = 5 < a-c-d = 6.
         let m = g.makespan_with(
-            |v| if v == b { g.dist(v).high() } else { g.dist(v).low() },
+            |v| {
+                if v == b {
+                    g.dist(v).high()
+                } else {
+                    g.dist(v).low()
+                }
+            },
             &mut scratch,
         );
         assert_eq!(m, 6.0);

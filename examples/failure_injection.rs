@@ -31,7 +31,11 @@ fn main() {
         let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
         let platform = Platform::new(18, lambda, bw);
         let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
-        let cfg = SimConfig { runs, seed: 5, ..Default::default() };
+        let cfg = SimConfig {
+            runs,
+            seed: 5,
+            ..Default::default()
+        };
         for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
             let model = pipe
                 .assess(strategy, &PathApprox::default())

@@ -38,12 +38,7 @@ fn main() {
         Mspg::parallel([task(11), task(12)]).unwrap(),
     ])
     .unwrap();
-    let root = Mspg::series([
-        task(1),
-        Mspg::parallel([left, right]).unwrap(),
-        task(13),
-    ])
-    .unwrap();
+    let root = Mspg::series([task(1), Mspg::parallel([left, right]).unwrap(), task(13)]).unwrap();
     let workflow = Workflow::new(dag, root);
     workflow.validate().expect("valid M-SPG workflow");
     println!(
@@ -57,7 +52,10 @@ fn main() {
     let lambda = lambda_from_pfail(0.01, workflow.dag.mean_weight());
     let platform = Platform::new(2, lambda, 1e8);
     let pipe = Pipeline::new(&workflow, platform, &AllocateConfig::default());
-    println!("\nSchedule ({} superchains):", pipe.schedule.superchains.len());
+    println!(
+        "\nSchedule ({} superchains):",
+        pipe.schedule.superchains.len()
+    );
     for (i, sc) in pipe.schedule.superchains.iter().enumerate() {
         let names: Vec<&str> = sc
             .tasks
@@ -79,7 +77,10 @@ fn main() {
 
     // ----- Expected makespans ------------------------------------------
     let evaluator = PathApprox::default();
-    println!("\n{:10} {:>18} {:>13} {:>10}", "strategy", "expected makespan", "checkpoints", "segments");
+    println!(
+        "\n{:10} {:>18} {:>13} {:>10}",
+        "strategy", "expected makespan", "checkpoints", "segments"
+    );
     for strategy in [Strategy::CkptAll, Strategy::CkptSome, Strategy::CkptNone] {
         let a = pipe.assess(strategy, &evaluator);
         println!(

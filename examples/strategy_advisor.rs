@@ -46,16 +46,23 @@ fn main() {
         let a = pipe.assess(strategy, &evaluator);
         results.push((strategy, a.expected_makespan, a.n_checkpoints));
     }
-    println!("{:10} {:>18} {:>13}", "strategy", "expected makespan", "checkpoints");
+    println!(
+        "{:10} {:>18} {:>13}",
+        "strategy", "expected makespan", "checkpoints"
+    );
     for (s, em, ck) in &results {
         println!("{:10} {:>17.0}s {:>13}", s.name(), em, ck);
     }
-    let (best, em, _) = results
+    let (best, em, _) = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    let (_, some_em, _) = results
         .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .find(|(s, ..)| *s == Strategy::CkptSome)
         .unwrap();
-    let (_, some_em, _) = results.iter().find(|(s, ..)| *s == Strategy::CkptSome).unwrap();
-    println!("\nRecommendation: {} (expected makespan {:.0}s)", best.name(), em);
+    println!(
+        "\nRecommendation: {} (expected makespan {:.0}s)",
+        best.name(),
+        em
+    );
     if *best == Strategy::CkptNone {
         println!(
             "Note: CkptNone wins here because checkpoints are expensive and/or\n\

@@ -46,9 +46,8 @@ pub use probdag;
 /// One-stop imports for the common pipeline.
 pub mod prelude {
     pub use ckpt_core::{
-        allocate, lambda_from_pfail, optimal_checkpoints, theorem1, AllocateConfig,
-        Assessment, CheckpointPlan, CostCtx, Pipeline, Platform, Schedule, SegmentGraph,
-        Strategy, Superchain,
+        allocate, lambda_from_pfail, optimal_checkpoints, theorem1, AllocateConfig, Assessment,
+        CheckpointPlan, CostCtx, Pipeline, Platform, Schedule, SegmentGraph, Strategy, Superchain,
     };
     pub use failsim::{simulate_none, simulate_segments, ExpFailures, SimConfig};
     pub use mspg::{Dag, Mspg, TaskId, Workflow};

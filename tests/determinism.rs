@@ -1,0 +1,142 @@
+//! Seeded runs are bit-for-bit reproducible: generators, the scheduling
+//! pipeline, the Monte Carlo evaluator, and the discrete-event simulators
+//! must all be pure functions of their seeds. This is what makes the
+//! figure experiments, the proptest streams, and CI itself reproducible.
+
+use ckpt_workflows::prelude::*;
+use pegasus::ccr::scale_to_ccr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BW: f64 = 1e8;
+
+fn build(class: WorkflowClass, seed: u64) -> (Workflow, Platform) {
+    let mut w = pegasus::generate(class, 100, seed);
+    scale_to_ccr(&mut w, 0.01, BW);
+    let lambda = lambda_from_pfail(0.001, w.dag.mean_weight());
+    (w, Platform::new(5, lambda, BW))
+}
+
+#[test]
+fn generators_are_bitwise_deterministic() {
+    for class in WorkflowClass::ALL_EXTENDED {
+        let a = pegasus::generate(class, 100, 12345);
+        let b = pegasus::generate(class, 100, 12345);
+        // Text serialization captures every task, file, edge, and weight.
+        assert_eq!(
+            pegasus::textio::to_text(&a),
+            pegasus::textio::to_text(&b),
+            "{class}: two same-seed generations must serialize identically"
+        );
+        let c = pegasus::generate(class, 100, 12346);
+        assert_ne!(
+            pegasus::textio::to_text(&a),
+            pegasus::textio::to_text(&c),
+            "{class}: different seeds must differ"
+        );
+    }
+}
+
+#[test]
+fn stdrng_streams_are_reproducible() {
+    let mut a = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b = StdRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..1000 {
+        let (x, y): (f64, f64) = (a.gen(), b.gen());
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn pipeline_assessments_are_bitwise_deterministic() {
+    let run = |seed: u64| {
+        let (w, platform) = build(WorkflowClass::Genome, seed);
+        let cfg = AllocateConfig {
+            seed,
+            ..Default::default()
+        };
+        let pipe = Pipeline::new(&w, platform, &cfg);
+        [
+            Strategy::CkptAll,
+            Strategy::CkptSome,
+            Strategy::CkptNone,
+            Strategy::ExitOnly,
+        ]
+        .map(|s| pipe.assess(s, &PathApprox::default()))
+    };
+    let a = run(7);
+    let b = run(7);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            x.expected_makespan.to_bits(),
+            y.expected_makespan.to_bits(),
+            "{}: expected makespan must be bit-identical",
+            x.strategy
+        );
+        assert_eq!(x.n_checkpoints, y.n_checkpoints);
+        assert_eq!(x.n_segments, y.n_segments);
+    }
+}
+
+#[test]
+fn montecarlo_evaluator_is_bitwise_deterministic() {
+    let (w, platform) = build(WorkflowClass::Montage, 3);
+    let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+    let sg = pipe.segment_graph(Strategy::CkptSome);
+    // Pin the thread count: trials are partitioned over workers, so the
+    // per-worker RNG streams (and the fold order) depend on it.
+    let mc = MonteCarlo {
+        trials: 20_000,
+        seed: 99,
+        threads: 2,
+    };
+    let a = mc.run(&sg.pdag);
+    let b = mc.run(&sg.pdag);
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+    assert_eq!(a.stderr.to_bits(), b.stderr.to_bits());
+}
+
+#[test]
+fn simulators_are_bitwise_deterministic() {
+    let (w, platform) = build(WorkflowClass::Ligo, 11);
+    let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+    let sg = pipe.segment_graph(Strategy::CkptAll);
+
+    let a = simulate_segments(&sg, platform.lambda, 21);
+    let b = simulate_segments(&sg, platform.lambda, 21);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.n_failures, b.n_failures);
+    assert_eq!(a.wasted_time.to_bits(), b.wasted_time.to_bits());
+
+    let run_none = || {
+        let mut src = ExpFailures::new(platform.lambda, 5);
+        simulate_none(&w.dag, &pipe.schedule, &mut src, 100_000).unwrap()
+    };
+    let (x, y) = (run_none(), run_none());
+    assert_eq!(x.makespan.to_bits(), y.makespan.to_bits());
+    assert_eq!(x.n_failures, y.n_failures);
+
+    let cfg = SimConfig {
+        runs: 500,
+        seed: 17,
+        threads: 2,
+        ..Default::default()
+    };
+    let ma = failsim::montecarlo_segments(&sg, platform.lambda, &cfg);
+    let mb = failsim::montecarlo_segments(&sg, platform.lambda, &cfg);
+    assert_eq!(ma.mean_makespan.to_bits(), mb.mean_makespan.to_bits());
+    assert_eq!(ma.stderr.to_bits(), mb.stderr.to_bits());
+    assert_eq!(ma.mean_failures.to_bits(), mb.mean_failures.to_bits());
+}
+
+#[test]
+fn figure_cells_are_bitwise_deterministic() {
+    // The top of the experiment stack: a full figure cell twice.
+    let a = ckpt_bench::figure_cell(WorkflowClass::Genome, 50, 5, 0.001, 1e-3, 2, 42);
+    let b = ckpt_bench::figure_cell(WorkflowClass::Genome, 50, 5, 0.001, 1e-3, 2, 42);
+    assert_eq!(a.em_some.to_bits(), b.em_some.to_bits());
+    assert_eq!(a.em_all.to_bits(), b.em_all.to_bits());
+    assert_eq!(a.em_none.to_bits(), b.em_none.to_bits());
+    assert_eq!(a.ckpts_some, b.ckpts_some);
+    assert_eq!(ckpt_bench::figure_csv(&a), ckpt_bench::figure_csv(&b));
+}

@@ -1,0 +1,32 @@
+//! Collection strategies (`prop::collection`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `Vec` strategy: lengths uniform in `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
