@@ -1,0 +1,42 @@
+//! Criterion bench: scenario-engine overhead and cache payoff on a tiny
+//! figure grid (one class, one size, 2 CCR points — small enough that
+//! the enumeration/pool/sink machinery is a visible fraction).
+
+use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
+use ckpt_bench::scenarios::FigureScenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pegasus::WorkflowClass;
+
+fn tiny_scenario() -> FigureScenario {
+    FigureScenario {
+        class: WorkflowClass::Genome,
+        sizes: vec![50],
+        ccr_points: 2,
+        instances: 1,
+        base_seed: 42,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let scenario = tiny_scenario();
+    let mut group = c.benchmark_group("engine-genome50");
+    group.sample_size(10);
+    group.bench_function("run-serial", |b| {
+        b.iter(|| engine::run(&scenario, &EngineConfig::with_threads(1), &mut NullSink).unwrap())
+    });
+    group.bench_function("run-2-workers", |b| {
+        b.iter(|| engine::run(&scenario, &EngineConfig::with_threads(2), &mut NullSink).unwrap())
+    });
+    group.bench_function("run-with-csv-sink", |b| {
+        b.iter(|| {
+            let mut sink = StringSink::new();
+            engine::run(&scenario, &EngineConfig::with_threads(1), &mut sink).unwrap();
+            sink.csv.len()
+        })
+    });
+    group.bench_function("cell-enumeration", |b| b.iter(|| scenario.cells().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

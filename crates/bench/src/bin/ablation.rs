@@ -1,4 +1,4 @@
-//! E6/E7/E8 — ablation studies:
+//! E6/E7/E8 — ablation studies, all driven through the scenario engine:
 //!
 //! * `--study linearization` (E6): random topological sort vs the
 //!   volume-minimizing sum-cut heuristic (§VIII future work) vs the
@@ -10,261 +10,109 @@
 //!   can beat CkptSome on Ligo/300).
 //!
 //! ```text
-//! cargo run -p ckpt-bench --release --bin ablation [-- --study all]
-//!     [--seed 42] [--out results]
+//! cargo run -p ckpt_bench --release --bin ablation [-- --study all]
+//!     [--seed 42] [--threads 0] [--out results]
 //! ```
 
-use ckpt_bench::{write_csv, Args, BANDWIDTH};
-use ckpt_core::{lambda_from_pfail, AllocateConfig, Pipeline, Platform, Strategy};
-use mspg::linearize::Linearizer;
-use mspg::Workflow;
-use pegasus::ccr::{ccr_grid, scale_to_ccr};
-use pegasus::WorkflowClass;
-use probdag::PathApprox;
+use ckpt_bench::engine::{self, CsvFileSink, EngineConfig, Scenario};
+use ckpt_bench::scenarios::{LigoFootnoteScenario, LinearizationScenario, NaiveCoalesceScenario};
+use ckpt_bench::summary::EndpointSummary;
+use ckpt_bench::Args;
 
 fn main() {
     let args = Args::parse();
     let seed: u64 = args.get_or("seed", 42);
+    let threads: usize = args.get_or("threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let study: String = args.get_or("study", "all".to_owned());
+    let cfg = EngineConfig::with_threads(threads);
     match study.as_str() {
-        "linearization" => linearization(seed, &out_dir),
-        "naive-coalesce" => naive_coalesce(seed, &out_dir),
-        "ligo-footnote" => ligo_footnote(seed, &out_dir),
+        "linearization" => linearization(seed, &out_dir, &cfg),
+        "naive-coalesce" => naive_coalesce(seed, &out_dir, &cfg),
+        "ligo-footnote" => ligo_footnote(seed, &out_dir, &cfg),
         "all" => {
-            linearization(seed, &out_dir);
-            naive_coalesce(seed, &out_dir);
-            ligo_footnote(seed, &out_dir);
+            linearization(seed, &out_dir, &cfg);
+            naive_coalesce(seed, &out_dir, &cfg);
+            ligo_footnote(seed, &out_dir, &cfg);
         }
         other => panic!("unknown study `{other}`"),
     }
 }
 
-fn assess(
-    w: &Workflow,
-    procs: usize,
-    pfail: f64,
-    lin: Linearizer,
-    seed: u64,
-    strategy: Strategy,
-) -> f64 {
-    let lambda = lambda_from_pfail(pfail, w.dag.mean_weight());
-    let platform = Platform::new(procs, lambda, BANDWIDTH);
-    let cfg = AllocateConfig {
-        linearizer: lin,
-        seed,
-    };
-    let pipe = Pipeline::new(w, platform, &cfg);
-    pipe.assess(strategy, &PathApprox::default())
-        .expected_makespan
+fn run_study<S: Scenario>(
+    scenario: &S,
+    cfg: &EngineConfig,
+    out_dir: &str,
+    file: &str,
+) -> Vec<S::Row> {
+    let path = std::path::Path::new(out_dir).join(file);
+    let mut sink = CsvFileSink::new(&path);
+    let report = engine::run(scenario, cfg, &mut sink).expect("write CSV");
+    eprintln!(
+        "wrote {} rows to {} in {:.1}s ({} workers)",
+        sink.rows_written(),
+        path.display(),
+        report.wall,
+        report.workers
+    );
+    report.rows
 }
 
 /// E6: linearizer comparison inside CkptSome.
-fn linearization(seed: u64, out_dir: &str) {
+fn linearization(seed: u64, out_dir: &str, cfg: &EngineConfig) {
     println!("# E6 linearization ablation (CkptSome expected makespan)");
-    println!(
-        "{:8} {:9} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "class", "ccr", "pfail", "random", "minvolume", "structural", "mv_gain_pct"
+    let scenario = LinearizationScenario {
+        ccr_points: 5,
+        base_seed: seed,
+    };
+    let rows = run_study(&scenario, cfg, out_dir, "ablation_linearization.csv");
+    let mut summary = EndpointSummary::new(
+        "class pfail",
+        "CCR",
+        &["em_random", "em_minvolume", "em_structural"],
     );
-    let mut lines = Vec::new();
-    for class in [WorkflowClass::Montage, WorkflowClass::Genome] {
-        let (lo, hi) = class.ccr_range();
-        for &ccr in &ccr_grid(lo, hi, 5) {
-            for &pfail in &[0.01, 0.001] {
-                let mut w = pegasus::generate(class, 300, seed);
-                scale_to_ccr(&mut w, ccr, BANDWIDTH);
-                let rnd = assess(
-                    &w,
-                    18,
-                    pfail,
-                    Linearizer::RandomTopo,
-                    seed,
-                    Strategy::CkptSome,
-                );
-                let mv = assess(
-                    &w,
-                    18,
-                    pfail,
-                    Linearizer::MinVolume,
-                    seed,
-                    Strategy::CkptSome,
-                );
-                let st = assess(
-                    &w,
-                    18,
-                    pfail,
-                    Linearizer::Structural,
-                    seed,
-                    Strategy::CkptSome,
-                );
-                let gain = 100.0 * (rnd - mv) / rnd;
-                println!(
-                    "{:8} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-                    class.name(),
-                    ccr,
-                    pfail,
-                    rnd,
-                    mv,
-                    st,
-                    gain
-                );
-                lines.push(format!(
-                    "{},{:.6e},{},{:.4},{:.4},{:.4},{:.3}",
-                    class.name(),
-                    ccr,
-                    pfail,
-                    rnd,
-                    mv,
-                    st,
-                    gain
-                ));
-            }
-        }
+    for r in &rows {
+        summary.observe(
+            &format!("{:8} {:6}", r.class.name(), r.pfail),
+            r.ccr,
+            &[r.em_random, r.em_minvolume, r.em_structural],
+        );
     }
-    let path = std::path::Path::new(out_dir).join("ablation_linearization.csv");
-    write_csv(
-        &path,
-        "class,ccr,pfail,em_random,em_minvolume,em_structural,minvolume_gain_pct",
-        &lines,
-    )
-    .expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    summary.print();
 }
 
 /// E7: exit-only checkpoints (naive coalescing) vs the DP.
-fn naive_coalesce(seed: u64, out_dir: &str) {
+fn naive_coalesce(seed: u64, out_dir: &str, cfg: &EngineConfig) {
     println!("# E7 naive-coalescing ablation (ExitOnly vs CkptSome)");
-    println!(
-        "{:8} {:5} {:9} {:>10} {:>12} {:>12} {:>10}",
-        "class", "size", "ccr", "pfail", "exit_only", "ckptsome", "ratio"
-    );
-    let mut lines = Vec::new();
-    for class in WorkflowClass::ALL {
-        let (lo, hi) = class.ccr_range();
-        for &size in &[50usize, 300] {
-            for &ccr in &ccr_grid(lo, hi, 4) {
-                for &pfail in &[0.01, 0.001] {
-                    let mut w = pegasus::generate(class, size, seed);
-                    scale_to_ccr(&mut w, ccr, BANDWIDTH);
-                    let procs = Platform::paper_proc_counts(size)[1];
-                    let exit = assess(
-                        &w,
-                        procs,
-                        pfail,
-                        Linearizer::RandomTopo,
-                        seed,
-                        Strategy::ExitOnly,
-                    );
-                    let some = assess(
-                        &w,
-                        procs,
-                        pfail,
-                        Linearizer::RandomTopo,
-                        seed,
-                        Strategy::CkptSome,
-                    );
-                    let ratio = exit / some;
-                    println!(
-                        "{:8} {:5} {:<9.2e} {:>10} {:>12.2} {:>12.2} {:>10.4}",
-                        class.name(),
-                        size,
-                        ccr,
-                        pfail,
-                        exit,
-                        some,
-                        ratio
-                    );
-                    lines.push(format!(
-                        "{},{},{:.6e},{},{:.4},{:.4},{:.4}",
-                        class.name(),
-                        size,
-                        ccr,
-                        pfail,
-                        exit,
-                        some,
-                        ratio
-                    ));
-                }
-            }
-        }
+    let scenario = NaiveCoalesceScenario {
+        ccr_points: 4,
+        base_seed: seed,
+    };
+    let rows = run_study(&scenario, cfg, out_dir, "ablation_naive_coalesce.csv");
+    let mut summary = EndpointSummary::new("class size pfail", "CCR", &["exit/some"]);
+    for r in &rows {
+        summary.observe(
+            &format!("{:8} {:5} {:6}", r.class.name(), r.size, r.pfail),
+            r.ccr,
+            &[r.ratio],
+        );
     }
-    let path = std::path::Path::new(out_dir).join("ablation_naive_coalesce.csv");
-    write_csv(
-        &path,
-        "class,size,ccr,pfail,em_exit_only,em_ckptsome,ratio",
-        &lines,
-    )
-    .expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    summary.print();
 }
 
-/// E8: the Ligo incomplete-bipartite artifact. CkptSome must process the
-/// dummy-patched workflow (extra synchronizations, no data), while
-/// CkptAll's costs are unaffected by the zero-size dummies — reproducing
-/// footnote 3: the patched instance can cost CkptSome its advantage at a
-/// few CCR points.
-fn ligo_footnote(seed: u64, out_dir: &str) {
+/// E8: the Ligo incomplete-bipartite artifact (see
+/// [`LigoFootnoteScenario`]).
+fn ligo_footnote(seed: u64, out_dir: &str, cfg: &EngineConfig) {
     println!("# E8 Ligo incomplete-bipartite footnote");
-    println!(
-        "{:9} {:>10} {:>14} {:>14} {:>14}",
-        "ccr", "pfail", "relall_main", "relall_patched", "sync_penalty"
-    );
-    let mut lines = Vec::new();
-    // Mainline (complete-bipartite) Ligo.
-    let mainline = pegasus::ligo::generate(300, seed);
-    // Incomplete instance, patched to an M-SPG with dummy edges.
-    let mut inc = pegasus::ligo::generate_incomplete(300, seed);
-    let shape = pegasus::ligo::ligo_shape(300);
-    for g in 0..shape.groups {
-        mspg::patch::complete_bipartite(&mut inc.dag, &inc.inspiral_level[g], &inc.thinca_level[g]);
+    let scenario = LigoFootnoteScenario::new(7, seed);
+    let rows = run_study(&scenario, cfg, out_dir, "ablation_ligo_footnote.csv");
+    let mut summary = EndpointSummary::new("pfail", "CCR", &["relall_main", "relall_patched"]);
+    for r in &rows {
+        summary.observe(
+            &format!("{:6}", r.pfail),
+            r.ccr,
+            &[r.rel_all_mainline, r.rel_all_patched],
+        );
     }
-    let root = mspg::recognize(&inc.dag).expect("patched Ligo must be an M-SPG");
-    let patched = Workflow::from_wired(inc.dag, root);
-    patched.validate().expect("patched workflow valid");
-    let (lo, hi) = WorkflowClass::Ligo.ccr_range();
-    for &ccr in &ccr_grid(lo, hi, 7) {
-        {
-            let pfail = 0.001f64;
-            let run = |w: &Workflow| -> f64 {
-                let mut w = w.clone();
-                scale_to_ccr(&mut w, ccr, BANDWIDTH);
-                let all = assess(
-                    &w,
-                    18,
-                    pfail,
-                    Linearizer::RandomTopo,
-                    seed,
-                    Strategy::CkptAll,
-                );
-                let some = assess(
-                    &w,
-                    18,
-                    pfail,
-                    Linearizer::RandomTopo,
-                    seed,
-                    Strategy::CkptSome,
-                );
-                all / some
-            };
-            let rel_main = run(&mainline);
-            let rel_patched = run(&patched);
-            let penalty = rel_main - rel_patched;
-            println!(
-                "{:<9.2e} {:>10} {:>14.4} {:>14.4} {:>14.4}",
-                ccr, pfail, rel_main, rel_patched, penalty
-            );
-            lines.push(format!(
-                "{:.6e},{},{:.4},{:.4},{:.4}",
-                ccr, pfail, rel_main, rel_patched, penalty
-            ));
-        }
-    }
-    let path = std::path::Path::new(out_dir).join("ablation_ligo_footnote.csv");
-    write_csv(
-        &path,
-        "ccr,pfail,rel_all_mainline,rel_all_patched,sync_penalty",
-        &lines,
-    )
-    .expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    summary.print();
 }

@@ -1,97 +1,67 @@
 //! E4 — §VI-B: accuracy and runtime of the four expected-makespan
 //! evaluators (MonteCarlo ground truth at 300k trials vs Dodin, Normal,
-//! PathApprox) on the 2-state DAGs the pipeline produces.
+//! PathApprox) on the 2-state DAGs the pipeline produces. Cells run on
+//! the scenario engine; `--threads` buys cell-level parallelism while
+//! each cell's nested Monte Carlo gets the separate `--mc-threads`
+//! budget (default 1 — the MC estimate depends on its partitioning, so
+//! this knob is part of the result definition, and the default keeps
+//! the table reproducible and unoversubscribed; the `runtime_s` column
+//! is wall-clock by design and never byte-stable).
 //!
 //! ```text
-//! cargo run -p ckpt-bench --release --bin accuracy [-- --trials 300000]
-//!     [--seed 42] [--out results]
+//! cargo run -p ckpt_bench --release --bin accuracy [-- --trials 300000]
+//!     [--seed 42] [--threads 0] [--mc-threads 1] [--out results]
 //! ```
 
-use ckpt_bench::{instance, pipeline_for, timed_eval, write_csv, Args};
-use ckpt_core::Strategy;
-use pegasus::WorkflowClass;
-use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox};
-
-const HEADER: &str =
-    "class,size,strategy,nodes,evaluator,estimate,rel_error_pct,runtime_s,mc_stderr";
+use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
+use ckpt_bench::scenarios::AccuracyScenario;
+use ckpt_bench::Args;
 
 fn main() {
     let args = Args::parse();
     let trials: usize = args.get_or("trials", 300_000);
     let seed: u64 = args.get_or("seed", 42);
+    let threads: usize = args.get_or("threads", 0);
+    let mc_threads: usize = args.get_or("mc-threads", 1);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let pfail = 0.01;
-    let mut lines = Vec::new();
+    let scenario = AccuracyScenario {
+        trials,
+        sizes: vec![50, 300, 1000],
+        pfail,
+        base_seed: seed,
+    };
     println!("# E4 accuracy (MC trials = {trials}, pfail = {pfail})");
+    let path = std::path::Path::new(&out_dir).join("table_accuracy.csv");
+    let mut sink = CsvFileSink::new(&path);
+    let cfg = EngineConfig {
+        threads,
+        mc_threads,
+    };
+    let report = engine::run(&scenario, &cfg, &mut sink).expect("write CSV");
     println!(
         "{:8} {:5} {:9} {:6} {:>11} {:>12} {:>12} {:>10}",
         "class", "size", "strategy", "nodes", "evaluator", "estimate", "err(%)", "time(s)"
     );
-    for class in WorkflowClass::ALL {
-        for &size in &[50usize, 300, 1000] {
-            let ccr = {
-                let (lo, hi) = class.ccr_range();
-                (lo * hi).sqrt() // mid of the log range
-            };
-            let w = instance(class, size, ccr, seed);
-            let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
-            let pipe = pipeline_for(&w, procs, pfail, seed);
-            for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
-                let sg = pipe.segment_graph(strategy);
-                let mc = MonteCarlo {
-                    trials,
-                    seed,
-                    threads: 0,
-                };
-                let t0 = std::time::Instant::now();
-                let truth = mc.run(&sg.pdag);
-                let mc_time = t0.elapsed().as_secs_f64();
-                let evals: Vec<(&str, f64, f64)> = vec![
-                    ("MonteCarlo", truth.mean, mc_time),
-                    {
-                        let (v, t) = timed_eval(&Dodin::default(), &sg.pdag);
-                        ("Dodin", v, t)
-                    },
-                    {
-                        let (v, t) = timed_eval(&NormalSculli, &sg.pdag);
-                        ("Normal", v, t)
-                    },
-                    {
-                        let (v, t) = timed_eval(&PathApprox::default(), &sg.pdag);
-                        ("PathApprox", v, t)
-                    },
-                ];
-                for (name, v, t) in evals {
-                    let err = 100.0 * (v - truth.mean).abs() / truth.mean;
-                    println!(
-                        "{:8} {:5} {:9} {:6} {:>11} {:>12.4} {:>12.4} {:>10.6}",
-                        class.name(),
-                        size,
-                        strategy.name(),
-                        sg.pdag.n_nodes(),
-                        name,
-                        v,
-                        err,
-                        t
-                    );
-                    lines.push(format!(
-                        "{},{},{},{},{},{:.6},{:.4},{:.6},{:.6}",
-                        class.name(),
-                        size,
-                        strategy.name(),
-                        sg.pdag.n_nodes(),
-                        name,
-                        v,
-                        err,
-                        t,
-                        truth.stderr
-                    ));
-                }
-            }
-        }
+    for r in &report.rows {
+        println!(
+            "{:8} {:5} {:9} {:6} {:>11} {:>12.4} {:>12.4} {:>10.6}",
+            r.class.name(),
+            r.size,
+            r.strategy.name(),
+            r.nodes,
+            r.evaluator,
+            r.estimate,
+            r.rel_error_pct,
+            r.runtime_s
+        );
     }
-    let path = std::path::Path::new(&out_dir).join("table_accuracy.csv");
-    write_csv(&path, HEADER, &lines).expect("write CSV");
-    eprintln!("wrote {}", path.display());
-    let _ = Evaluator::name(&PathApprox::default());
+    eprintln!(
+        "wrote {} ({} cells in {:.1}s, {} workers × {} MC threads)",
+        path.display(),
+        report.cells,
+        report.wall,
+        report.workers,
+        report.mc_threads
+    );
 }

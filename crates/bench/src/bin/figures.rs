@@ -1,14 +1,19 @@
 //! E1/E2/E3 — regenerates Figures 5 (Genome), 6 (Montage) and 7 (Ligo):
 //! relative expected makespan of CkptAll and CkptNone over CkptSome as a
 //! function of the CCR, for three workflow sizes, four processor counts
-//! and three failure probabilities.
+//! and three failure probabilities. Cells run on the scenario engine's
+//! thread pool; the CSV is streamed in canonical grid order and is
+//! byte-identical for every `--threads` value.
 //!
 //! ```text
-//! cargo run -p ckpt-bench --release --bin figures [-- --workflow genome|montage|ligo]
-//!     [--points 9] [--instances 3] [--seed 42] [--out results]
+//! cargo run -p ckpt_bench --release --bin figures [-- --workflow genome|montage|ligo]
+//!     [--points 9] [--instances 3] [--seed 42] [--threads 0] [--out results]
 //! ```
 
-use ckpt_bench::{figure_csv, figure_grid, write_csv, Args, FIGURE_HEADER};
+use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
+use ckpt_bench::scenarios::FigureScenario;
+use ckpt_bench::summary::figure_shape_summary;
+use ckpt_bench::Args;
 use pegasus::WorkflowClass;
 
 fn main() {
@@ -16,11 +21,13 @@ fn main() {
     let points: usize = args.get_or("points", 9);
     let instances: usize = args.get_or("instances", 3);
     let seed: u64 = args.get_or("seed", 42);
+    let threads: usize = args.get_or("threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let classes: Vec<WorkflowClass> = match args.get("workflow") {
         Some(c) => vec![c.parse().expect("unknown workflow class")],
         None => WorkflowClass::ALL.to_vec(),
     };
+    let cfg = EngineConfig::with_threads(threads);
     for class in classes {
         let fig = match class {
             WorkflowClass::Genome => "fig5",
@@ -29,38 +36,26 @@ fn main() {
             WorkflowClass::Cybershake => "figx",
         };
         eprintln!("running {fig} ({class}): {points} CCR points × sizes × procs × pfail…");
-        let start = std::time::Instant::now();
-        let rows = figure_grid(class, points, instances, seed);
-        let lines: Vec<String> = rows.iter().map(figure_csv).collect();
+        let scenario = FigureScenario::paper(class, points, instances, seed);
         let path = std::path::Path::new(&out_dir).join(format!("{fig}_{class}.csv"));
-        write_csv(&path, FIGURE_HEADER, &lines).expect("write CSV");
+        let mut sink = CsvFileSink::new(&path);
+        let report = engine::run(&scenario, &cfg, &mut sink).expect("write CSV");
         eprintln!(
-            "wrote {} rows to {} in {:.1}s",
-            rows.len(),
+            "wrote {} rows to {} in {:.1}s ({} workers × {} MC threads; \
+             workflow cache {}/{} hits, schedule cache {}/{} hits)",
+            sink.rows_written(),
             path.display(),
-            start.elapsed().as_secs_f64()
+            report.wall,
+            report.workers,
+            report.mc_threads,
+            report.cache.workflow_hits,
+            report.cache.workflow_hits + report.cache.workflow_misses,
+            report.cache.schedule_hits,
+            report.cache.schedule_hits + report.cache.schedule_misses,
         );
-        // Shape summary on stdout: per (size, pfail), the CCR endpoints.
+        // Shape summary on stdout: per (size, procs, pfail), the CCR
+        // endpoints.
         println!("# {fig} ({class}) shape summary");
-        println!("size procs pfail | rel_all@loCCR rel_all@hiCCR | rel_none@loCCR rel_none@hiCCR");
-        for &size in &ckpt_bench::SIZES {
-            for &procs in ckpt_core::Platform::paper_proc_counts(size) {
-                for &pfail in &ckpt_bench::PFAILS {
-                    let cells: Vec<&ckpt_bench::FigureRow> = rows
-                        .iter()
-                        .filter(|r| r.size == size && r.procs == procs && r.pfail == pfail)
-                        .collect();
-                    if cells.is_empty() {
-                        continue;
-                    }
-                    let lo = cells.first().unwrap();
-                    let hi = cells.last().unwrap();
-                    println!(
-                        "{size:4} {procs:5} {pfail:6} | {:13.3} {:13.3} | {:14.3} {:15.3}",
-                        lo.rel_all, hi.rel_all, lo.rel_none, hi.rel_none
-                    );
-                }
-            }
-        }
+        figure_shape_summary(&report.rows).print();
     }
 }

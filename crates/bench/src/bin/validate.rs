@@ -6,111 +6,76 @@
 //! * CkptNone: the Theorem 1 closed form vs the full crossover-cascade
 //!   simulation (whose expectation is #P-complete to compute).
 //!
+//! Cells run on the scenario engine; `--threads` buys cell-level
+//! parallelism, while each cell's nested simulation gets the separate
+//! `--mc-threads` budget (default 1, which keeps the CSV byte-identical
+//! for every `--threads` value and avoids oversubscription).
+//!
 //! ```text
-//! cargo run -p ckpt-bench --release --bin validate [-- --runs 5000]
-//!     [--seed 42] [--out results]
+//! cargo run -p ckpt_bench --release --bin validate [-- --runs 5000]
+//!     [--seed 42] [--threads 0] [--mc-threads 1] [--out results]
 //! ```
 
-use ckpt_bench::{instance, pipeline_for, write_csv, Args};
-use ckpt_core::Strategy;
-use failsim::{montecarlo_none, montecarlo_segments, SimConfig};
-use pegasus::WorkflowClass;
-use probdag::PathApprox;
-
-const HEADER: &str =
-    "class,size,pfail,strategy,model,model_em,sim_em,sim_stderr,rel_err_pct,diverged";
+use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
+use ckpt_bench::scenarios::ValidateScenario;
+use ckpt_bench::summary::EndpointSummary;
+use ckpt_bench::Args;
 
 fn main() {
     let args = Args::parse();
     let runs: usize = args.get_or("runs", 5000);
     let seed: u64 = args.get_or("seed", 42);
+    let threads: usize = args.get_or("threads", 0);
+    let mc_threads: usize = args.get_or("mc-threads", 1);
     let out_dir: String = args.get_or("out", "results".to_owned());
-    let mut lines = Vec::new();
+    let scenario = ValidateScenario {
+        runs,
+        sizes: vec![50, 300],
+        base_seed: seed,
+    };
     println!("# E5 model-vs-simulation validation ({runs} sim runs per cell)");
+    let path = std::path::Path::new(&out_dir).join("table_validation.csv");
+    let mut sink = CsvFileSink::new(&path);
+    let cfg = EngineConfig {
+        threads,
+        mc_threads,
+    };
+    let report = engine::run(&scenario, &cfg, &mut sink).expect("write CSV");
     println!(
-        "{:8} {:5} {:7} {:9} {:>10} {:>12} {:>12} {:>9}",
+        "{:8} {:5} {:7} {:9} {:>14} {:>12} {:>12} {:>9}",
         "class", "size", "pfail", "strategy", "model", "model_EM", "sim_EM", "err(%)"
     );
-    for class in WorkflowClass::ALL {
-        for &size in &[50usize, 300] {
-            let ccr = {
-                let (lo, hi) = class.ccr_range();
-                (lo * hi).sqrt()
-            };
-            for &pfail in &[0.01, 0.001, 0.0001] {
-                let w = instance(class, size, ccr, seed);
-                let procs = ckpt_core::Platform::paper_proc_counts(size)[1];
-                let pipe = pipeline_for(&w, procs, pfail, seed);
-                let lambda = pipe.platform.lambda;
-                let cfg = SimConfig {
-                    runs,
-                    seed,
-                    ..Default::default()
-                };
-                // Checkpointed strategies: Eq. (2) model vs renewal sim.
-                for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
-                    let model = pipe
-                        .assess(strategy, &PathApprox::default())
-                        .expected_makespan;
-                    let sg = pipe.segment_graph(strategy);
-                    let sim = montecarlo_segments(&sg, lambda, &cfg);
-                    let err = 100.0 * (model - sim.mean_makespan).abs() / sim.mean_makespan;
-                    println!(
-                        "{:8} {:5} {:7} {:9} {:>10} {:>12.2} {:>12.2} {:>9.3}",
-                        class.name(),
-                        size,
-                        pfail,
-                        strategy.name(),
-                        "Eq2+PA",
-                        model,
-                        sim.mean_makespan,
-                        err
-                    );
-                    lines.push(format!(
-                        "{},{},{},{},Eq2+PathApprox,{:.4},{:.4},{:.4},{:.3},0",
-                        class.name(),
-                        size,
-                        pfail,
-                        strategy.name(),
-                        model,
-                        sim.mean_makespan,
-                        sim.stderr,
-                        err
-                    ));
-                }
-                // CkptNone: Theorem 1 vs cascade simulation.
-                let model = pipe
-                    .assess(Strategy::CkptNone, &PathApprox::default())
-                    .expected_makespan;
-                let sim = montecarlo_none(&w.dag, &pipe.schedule, lambda, &cfg);
-                let err = 100.0 * (model - sim.stats.mean_makespan).abs() / sim.stats.mean_makespan;
-                println!(
-                    "{:8} {:5} {:7} {:9} {:>10} {:>12.2} {:>12.2} {:>9.3}  (diverged {})",
-                    class.name(),
-                    size,
-                    pfail,
-                    "CkptNone",
-                    "Theorem1",
-                    model,
-                    sim.stats.mean_makespan,
-                    err,
-                    sim.diverged
-                );
-                lines.push(format!(
-                    "{},{},{},CkptNone,Theorem1,{:.4},{:.4},{:.4},{:.3},{}",
-                    class.name(),
-                    size,
-                    pfail,
-                    model,
-                    sim.stats.mean_makespan,
-                    sim.stats.stderr,
-                    err,
-                    sim.diverged
-                ));
-            }
-        }
+    for r in &report.rows {
+        println!(
+            "{:8} {:5} {:7} {:9} {:>14} {:>12.2} {:>12.2} {:>9.3}  (diverged {})",
+            r.class.name(),
+            r.size,
+            r.pfail,
+            r.strategy,
+            r.model,
+            r.model_em,
+            r.sim_em,
+            r.rel_err_pct,
+            r.diverged
+        );
     }
-    let path = std::path::Path::new(&out_dir).join("table_validation.csv");
-    write_csv(&path, HEADER, &lines).expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    // Shape summary: model error at the pfail endpoints, per strategy.
+    let mut summary = EndpointSummary::new("class size strategy", "pfail", &["err_pct"]);
+    for r in &report.rows {
+        summary.observe(
+            &format!("{:8} {:5} {:9}", r.class.name(), r.size, r.strategy),
+            r.pfail,
+            &[r.rel_err_pct],
+        );
+    }
+    println!("# E5 model-error summary");
+    summary.print();
+    eprintln!(
+        "wrote {} ({} cells in {:.1}s, {} workers × {} sim threads)",
+        path.display(),
+        report.cells,
+        report.wall,
+        report.workers,
+        report.mc_threads
+    );
 }

@@ -1,0 +1,183 @@
+//! Shared per-run caches: generated workflow instances and their
+//! schedules.
+//!
+//! A figure grid revisits the same `(class, size, instance)` workflow at
+//! every CCR point, processor count and failure probability — dozens of
+//! times. Generation (and scheduling, which for structure-driven
+//! linearizers is CCR-invariant, see
+//! [`ckpt_core::Pipeline::with_schedule`]) therefore happens once per
+//! key; cells clone the cached unscaled instance and rescale the clone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ckpt_core::{allocate, AllocateConfig, Schedule};
+use mspg::linearize::Linearizer;
+use mspg::Workflow;
+use pegasus::WorkflowClass;
+
+type WorkflowKey = (WorkflowClass, usize, u64);
+type ScheduleKey = (WorkflowClass, usize, u64, usize, u8);
+
+fn linearizer_tag(lin: Linearizer) -> u8 {
+    match lin {
+        Linearizer::Structural => 0,
+        Linearizer::RandomTopo => 1,
+        Linearizer::MinVolume => 2,
+    }
+}
+
+/// Cache hit/miss counters of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Workflow lookups served from the cache.
+    pub workflow_hits: usize,
+    /// Workflow lookups that generated a new instance.
+    pub workflow_misses: usize,
+    /// Schedule lookups served from the cache.
+    pub schedule_hits: usize,
+    /// Schedule lookups that ran `Allocate`.
+    pub schedule_misses: usize,
+}
+
+/// Concurrent per-run cache of generated workflows and schedules.
+///
+/// Each slot is an `Arc<OnceLock<…>>`: the map lock is held only to find
+/// the slot, and racing workers block on the slot (not the map) while the
+/// first one generates — so two lanes never serialize each other.
+#[derive(Default)]
+pub struct WorkflowCache {
+    workflows: Mutex<HashMap<WorkflowKey, Arc<OnceLock<Arc<Workflow>>>>>,
+    schedules: Mutex<HashMap<ScheduleKey, Arc<OnceLock<Arc<Schedule>>>>>,
+    workflow_hits: AtomicUsize,
+    workflow_misses: AtomicUsize,
+    schedule_hits: AtomicUsize,
+    schedule_misses: AtomicUsize,
+}
+
+impl WorkflowCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The unscaled workflow instance `(class, size, seed)`, generated on
+    /// first use.
+    pub fn workflow(&self, class: WorkflowClass, size: usize, seed: u64) -> Arc<Workflow> {
+        let slot = {
+            let mut map = self.workflows.lock().expect("workflow cache poisoned");
+            map.entry((class, size, seed)).or_default().clone()
+        };
+        let mut generated = false;
+        let w = slot
+            .get_or_init(|| {
+                generated = true;
+                Arc::new(pegasus::generate(class, size, seed))
+            })
+            .clone();
+        if generated {
+            self.workflow_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.workflow_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        w
+    }
+
+    /// The schedule of instance `(class, size, seed)` on `procs`
+    /// processors under `cfg`, computed on the **unscaled** instance on
+    /// first use.
+    ///
+    /// For `Structural`/`RandomTopo` linearizers this is bit-identical to
+    /// scheduling any CCR-rescaled clone; for `MinVolume` (which ranks by
+    /// data volume) uniform rescaling preserves the ranking up to
+    /// floating-point ties, and the cached order is the canonical one.
+    pub fn schedule(
+        &self,
+        class: WorkflowClass,
+        size: usize,
+        seed: u64,
+        procs: usize,
+        cfg: &AllocateConfig,
+    ) -> Arc<Schedule> {
+        let key = (class, size, seed, procs, linearizer_tag(cfg.linearizer));
+        let slot = {
+            let mut map = self.schedules.lock().expect("schedule cache poisoned");
+            map.entry(key).or_default().clone()
+        };
+        let mut computed = false;
+        let cfg = AllocateConfig { seed, ..*cfg };
+        let s = slot
+            .get_or_init(|| {
+                computed = true;
+                let w = self.workflow(class, size, seed);
+                Arc::new(allocate(&w, procs, &cfg))
+            })
+            .clone();
+        if computed {
+            self.schedule_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.schedule_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            workflow_hits: self.workflow_hits.load(Ordering::Relaxed),
+            workflow_misses: self.workflow_misses.load(Ordering::Relaxed),
+            schedule_hits: self.schedule_hits.load(Ordering::Relaxed),
+            schedule_misses: self.schedule_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_generated_once_per_key() {
+        let cache = WorkflowCache::new();
+        let a = cache.workflow(WorkflowClass::Genome, 50, 7);
+        let b = cache.workflow(WorkflowClass::Genome, 50, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.workflow_misses, 1);
+        assert_eq!(stats.workflow_hits, 1);
+        // A different seed is a different instance.
+        let c = cache.workflow(WorkflowClass::Genome, 50, 8);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().workflow_misses, 2);
+    }
+
+    #[test]
+    fn schedule_cache_keys_on_procs_and_linearizer() {
+        let cache = WorkflowCache::new();
+        let cfg = AllocateConfig::default();
+        let a = cache.schedule(WorkflowClass::Montage, 50, 3, 5, &cfg);
+        let b = cache.schedule(WorkflowClass::Montage, 50, 3, 5, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.schedule(WorkflowClass::Montage, 50, 3, 7, &cfg);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let structural = AllocateConfig {
+            linearizer: Linearizer::Structural,
+            ..cfg
+        };
+        let d = cache.schedule(WorkflowClass::Montage, 50, 3, 5, &structural);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.stats().schedule_misses, 3);
+        assert_eq!(cache.stats().schedule_hits, 1);
+    }
+
+    #[test]
+    fn cached_schedule_matches_direct_allocate() {
+        let cache = WorkflowCache::new();
+        let cfg = AllocateConfig::default();
+        let w = cache.workflow(WorkflowClass::Ligo, 50, 11);
+        let cached = cache.schedule(WorkflowClass::Ligo, 50, 11, 5, &cfg);
+        let direct = allocate(&w, 5, &AllocateConfig { seed: 11, ..cfg });
+        assert_eq!(cached.superchains, direct.superchains);
+    }
+}

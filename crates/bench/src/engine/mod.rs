@@ -1,0 +1,377 @@
+//! # engine — the unified parallel scenario engine (E1–E8)
+//!
+//! The paper's evaluation is one big Cartesian grid — workflow class ×
+//! size × processor count × pfail × CCR × strategy — which the harness
+//! binaries used to walk with per-binary copies of hand-rolled nested
+//! loops, serially, regenerating every workflow at every grid point.
+//! This module replaces all of that with one declarative engine:
+//!
+//! * a [`Grid`] spec enumerates [`Cell`]s in canonical order, each with
+//!   a seed derived from one base seed via `seedmix`;
+//! * a [`Scenario`] turns a cell into typed rows (each binary is now a
+//!   thin scenario + CLI shell, see [`crate::scenarios`]);
+//! * [`run`] executes cells on a work-queue thread pool, re-sequencing
+//!   results so the CSV stream is **byte-identical for every thread
+//!   count** (see `DESIGN.md` §5.1 for the determinism argument);
+//! * a [`WorkflowCache`] shares generated instances and CCR-invariant
+//!   schedules across all cells of a `(class, size)` lane;
+//! * a [`RowSink`] streams rows out as soon as their canonical
+//!   predecessors exist, replacing the collect-then-write pattern.
+//!
+//! ## Thread budget
+//!
+//! `EngineConfig::threads` (0 = all cores) buys **cell-level**
+//! parallelism only: the engine runs `min(threads, cells)` workers.
+//! Monte Carlo work nested *inside* a cell gets the separate, explicit
+//! [`EngineConfig::mc_threads`] budget (default 1) via
+//! [`CellCtx::mc_threads`]. Keeping the two budgets independent is what
+//! makes the byte-identity guarantee unconditional: a Monte Carlo
+//! estimate is a pure function of `(seed, trials, mc_threads)` — its
+//! per-worker streams and fold order depend on its thread count — so
+//! deriving `mc_threads` from the cell budget would silently change
+//! values whenever `--threads` exceeded the cell count. The default of
+//! 1 also prevents `workers × mc` oversubscription; raise it only for
+//! grids with fewer cells than cores (and then pin it on both sides of
+//! any comparison).
+
+pub mod cache;
+pub mod pool;
+pub mod sink;
+pub mod spec;
+
+pub use cache::{CacheStats, WorkflowCache};
+pub use pool::ordered_parallel;
+pub use sink::{CsvFileSink, NullSink, RowSink, StringSink};
+pub use spec::{CcrAxis, Cell, Grid, ProcAxis, StrategyAxis};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ckpt_core::{lambda_from_pfail, AllocateConfig, Pipeline, Platform, Schedule};
+use mspg::linearize::Linearizer;
+use mspg::Workflow;
+use pegasus::ccr::scale_to_ccr;
+
+use crate::BANDWIDTH;
+
+/// Engine-wide execution parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Cell-level worker budget (0 = all available cores).
+    pub threads: usize,
+    /// Thread budget for Monte Carlo work nested inside one cell.
+    /// Part of the result definition, not just a speed knob (see the
+    /// module docs); 0 is coerced to the deterministic default of 1.
+    pub mc_threads: usize,
+}
+
+impl EngineConfig {
+    /// `threads` cell workers with the deterministic single-threaded
+    /// nested Monte Carlo default.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads,
+            mc_threads: 1,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::with_threads(0)
+    }
+}
+
+/// Per-cell execution context: the shared cache plus the cell's nested
+/// Monte Carlo thread budget.
+pub struct CellCtx<'e> {
+    cache: &'e WorkflowCache,
+    /// Thread budget for Monte Carlo work nested inside one cell. Plumb
+    /// this into `probdag::MonteCarlo::threads` / `failsim::SimConfig::
+    /// threads`; never pass 0 (all cores) from inside a cell.
+    pub mc_threads: usize,
+}
+
+impl CellCtx<'_> {
+    /// Seed of instance `i` of this cell's `(class, size)` lane.
+    pub fn instance_seed(&self, cell: &Cell, i: usize) -> u64 {
+        seedmix::stream_seed(cell.seed, i as u64)
+    }
+
+    /// The cached **unscaled** workflow instance `i` of this cell's lane.
+    pub fn instance(&self, cell: &Cell, i: usize) -> Arc<Workflow> {
+        self.cache
+            .workflow(cell.class, cell.size, self.instance_seed(cell, i))
+    }
+
+    /// A clone of instance `i` rescaled to the cell's CCR at the
+    /// experiment bandwidth.
+    pub fn scaled_instance(&self, cell: &Cell, i: usize) -> Workflow {
+        let mut w = (*self.instance(cell, i)).clone();
+        scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
+        w
+    }
+
+    /// The cached schedule of instance `i` on the cell's processors.
+    pub fn schedule(&self, cell: &Cell, i: usize, linearizer: Linearizer) -> Arc<Schedule> {
+        self.cache.schedule(
+            cell.class,
+            cell.size,
+            self.instance_seed(cell, i),
+            cell.procs,
+            &AllocateConfig {
+                linearizer,
+                seed: 0, // overwritten by the cache with the instance seed
+            },
+        )
+    }
+
+    /// The evaluation pipeline of the rescaled instance `w` (a clone
+    /// obtained from [`CellCtx::scaled_instance`]) under the cached
+    /// schedule and the cell's platform.
+    pub fn pipeline<'w>(
+        &self,
+        cell: &Cell,
+        i: usize,
+        w: &'w Workflow,
+        linearizer: Linearizer,
+    ) -> Pipeline<'w> {
+        let lambda = lambda_from_pfail(cell.pfail, w.dag.mean_weight());
+        let platform = Platform::new(cell.procs, lambda, BANDWIDTH);
+        let schedule = self.schedule(cell, i, linearizer);
+        Pipeline::with_schedule(w, platform, (*schedule).clone())
+    }
+}
+
+/// One experiment driven by the engine: a cell list plus the cell → rows
+/// computation and the CSV mapping.
+pub trait Scenario: Sync {
+    /// The typed result row.
+    type Row: Send;
+
+    /// The cells to execute, in canonical output order (`cells[i].index
+    /// == i`).
+    fn cells(&self) -> Vec<Cell>;
+
+    /// Executes one cell. Must be a pure function of `(cell, ctx)` —
+    /// no shared mutable state, no ambient randomness — so that results
+    /// are independent of worker scheduling.
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<Self::Row>;
+
+    /// The CSV header for this scenario's rows.
+    fn header(&self) -> String;
+
+    /// Formats one row as a CSV line.
+    fn csv(&self, row: &Self::Row) -> String;
+}
+
+/// Outcome of an engine run: the typed rows (canonical order) plus
+/// execution metadata.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// All rows, in canonical grid order.
+    pub rows: Vec<R>,
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Resolved cell-level worker count.
+    pub workers: usize,
+    /// Nested Monte Carlo budget each cell received.
+    pub mc_threads: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall: f64,
+    /// Workflow/schedule cache counters.
+    pub cache: CacheStats,
+}
+
+/// Runs a scenario: executes its cells on the thread pool, streams CSV
+/// rows to `sink` in canonical order, and returns the typed rows.
+pub fn run<S: Scenario>(
+    scenario: &S,
+    cfg: &EngineConfig,
+    sink: &mut dyn RowSink,
+) -> std::io::Result<RunReport<S::Row>> {
+    let start = Instant::now();
+    let cells = scenario.cells();
+    debug_assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    let workers = seedmix::resolve_threads(cfg.threads)
+        .min(cells.len())
+        .max(1);
+    let mc_threads = cfg.mc_threads.max(1);
+    let cache = WorkflowCache::new();
+    let ctx = CellCtx {
+        cache: &cache,
+        mc_threads,
+    };
+    sink.begin(&scenario.header())?;
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut sink_err: Option<std::io::Error> = None;
+    ordered_parallel(
+        cells.len(),
+        workers,
+        |i| scenario.run_cell(&cells[i], &ctx),
+        |_, cell_rows| {
+            for row in cell_rows {
+                if sink_err.is_none() {
+                    if let Err(e) = sink.row(&scenario.csv(&row)) {
+                        sink_err = Some(e);
+                    }
+                }
+                rows.push(row);
+            }
+            // A sink error aborts the run: remaining cells are cancelled
+            // rather than computed for a file that can no longer be
+            // written.
+            sink_err.is_none()
+        },
+    );
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+    sink.finish()?;
+    Ok(RunReport {
+        rows,
+        cells: cells.len(),
+        workers,
+        mc_threads,
+        wall: start.elapsed().as_secs_f64(),
+        cache: cache.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus::WorkflowClass;
+
+    /// A synthetic scenario exercising the engine plumbing without the
+    /// full evaluation pipeline: rows record cell coordinates and the
+    /// cached instance's task count.
+    struct Probe;
+
+    impl Scenario for Probe {
+        type Row = (usize, usize, u64);
+
+        fn cells(&self) -> Vec<Cell> {
+            Grid {
+                classes: vec![WorkflowClass::Genome],
+                sizes: vec![50],
+                procs: ProcAxis::Explicit(vec![3, 5]),
+                pfails: vec![0.01],
+                ccrs: CcrAxis::Explicit(vec![1e-3, 1e-2, 1e-1]),
+                strategies: StrategyAxis::Combined,
+                instances: 2,
+                base_seed: 9,
+            }
+            .cells()
+        }
+
+        fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<Self::Row> {
+            let mut tasks = 0;
+            for i in 0..cell.instances {
+                tasks = ctx.instance(cell, i).n_tasks();
+            }
+            vec![(cell.index, tasks, cell.seed)]
+        }
+
+        fn header(&self) -> String {
+            "index,tasks,seed".into()
+        }
+
+        fn csv(&self, r: &Self::Row) -> String {
+            format!("{},{},{}", r.0, r.1, r.2)
+        }
+    }
+
+    #[test]
+    fn rows_arrive_in_canonical_order_for_any_thread_count() {
+        for threads in [1, 2, 5] {
+            let mut sink = StringSink::new();
+            let report = run(&Probe, &EngineConfig::with_threads(threads), &mut sink).unwrap();
+            assert_eq!(report.cells, 6);
+            let indices: Vec<usize> = report.rows.iter().map(|r| r.0).collect();
+            assert_eq!(indices, (0..6).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn csv_is_identical_across_thread_counts() {
+        let mut serial = StringSink::new();
+        run(&Probe, &EngineConfig::with_threads(1), &mut serial).unwrap();
+        for threads in [2, 4] {
+            let mut parallel = StringSink::new();
+            run(&Probe, &EngineConfig::with_threads(threads), &mut parallel).unwrap();
+            assert_eq!(serial.csv, parallel.csv, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workflow_cache_is_shared_across_cells() {
+        let mut sink = NullSink;
+        let report = run(&Probe, &EngineConfig::with_threads(1), &mut sink).unwrap();
+        // 6 cells × 2 instances = 12 lookups, but only 2 distinct
+        // (class, size, instance) keys exist.
+        assert_eq!(report.cache.workflow_misses, 2);
+        assert_eq!(report.cache.workflow_hits, 10);
+    }
+
+    #[test]
+    fn mc_budget_is_explicit_and_independent_of_cell_workers() {
+        // Cell workers cap at the cell count; the nested MC budget never
+        // follows `threads` (that would change Monte Carlo partitioning
+        // — and therefore results — with the worker count).
+        let report = run(&Probe, &EngineConfig::with_threads(4), &mut NullSink).unwrap();
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.mc_threads, 1);
+        let report = run(&Probe, &EngineConfig::with_threads(24), &mut NullSink).unwrap();
+        assert_eq!(report.workers, 6);
+        assert_eq!(report.mc_threads, 1);
+        // Explicit opt-in (0 coerces to the deterministic default of 1).
+        let cfg = EngineConfig {
+            threads: 2,
+            mc_threads: 3,
+        };
+        assert_eq!(run(&Probe, &cfg, &mut NullSink).unwrap().mc_threads, 3);
+        let cfg = EngineConfig {
+            threads: 2,
+            mc_threads: 0,
+        };
+        assert_eq!(run(&Probe, &cfg, &mut NullSink).unwrap().mc_threads, 1);
+    }
+
+    /// A sink that fails on the nth row.
+    struct FailingSink {
+        rows_before_failure: usize,
+        rows: usize,
+    }
+
+    impl RowSink for FailingSink {
+        fn begin(&mut self, _header: &str) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn row(&mut self, _line: &str) -> std::io::Result<()> {
+            if self.rows >= self.rows_before_failure {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.rows += 1;
+            Ok(())
+        }
+
+        fn finish(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_the_run() {
+        for threads in [1, 3] {
+            let mut sink = FailingSink {
+                rows_before_failure: 2,
+                rows: 0,
+            };
+            let err = run(&Probe, &EngineConfig::with_threads(threads), &mut sink)
+                .expect_err("sink failure must surface");
+            assert_eq!(err.to_string(), "disk full", "threads={threads}");
+        }
+    }
+}

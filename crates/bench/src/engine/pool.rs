@@ -1,0 +1,193 @@
+//! Work-queue thread pool with in-order emission.
+//!
+//! Cells of a grid vary wildly in cost (a 1000-task Ligo cell is ~100×
+//! a 50-task Genome cell), so static partitioning would idle most
+//! workers; instead workers claim the next unclaimed index from a shared
+//! atomic counter. Results flow back over a channel and are re-sequenced
+//! by a small reorder buffer, so the consumer always observes canonical
+//! grid order no matter which worker finished first.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `run(0..n)` on `threads` scoped workers, invoking `emit(i, out)`
+/// strictly in index order. `emit` returning `false` aborts the run:
+/// workers stop claiming new indices and in-flight results are
+/// discarded — this is how a sink error cancels the rest of an
+/// expensive grid instead of burning it to completion.
+///
+/// `threads <= 1` degenerates to a plain serial loop (no queue, no
+/// channel), which is also the reference order the parallel path must
+/// reproduce byte-for-byte.
+pub fn ordered_parallel<T, F, E>(n: usize, threads: usize, run: F, mut emit: E)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    E: FnMut(usize, T) -> bool,
+{
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            if !emit(i, run(i)) {
+                return;
+            }
+        }
+        return;
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, stop) = (&next, &stop);
+            let run = &run;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A send error means the receiver is gone (consumer
+                // panicked); stop producing.
+                if tx.send((i, run(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        for (i, out) in rx {
+            if stop.load(Ordering::Relaxed) {
+                continue; // draining after an abort
+            }
+            pending.insert(i, out);
+            while let Some(out) = pending.remove(&next_emit) {
+                if !emit(next_emit, out) {
+                    stop.store(true, Ordering::Relaxed);
+                    pending.clear();
+                    break;
+                }
+                next_emit += 1;
+            }
+        }
+        // If a worker panicked, the scope re-raises its panic after the
+        // channel drains; otherwise every index was emitted or the
+        // consumer aborted.
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_all_indices_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let mut seen = Vec::new();
+            ordered_parallel(
+                37,
+                threads,
+                |i| i * i,
+                |i, v| {
+                    seen.push((i, v));
+                    true
+                },
+            );
+            assert_eq!(seen.len(), 37, "threads={threads}");
+            for (i, (idx, v)) in seen.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*v, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_work_still_emits_in_order() {
+        // Make early indices the slowest so completion order inverts
+        // emission order.
+        let mut seen = Vec::new();
+        ordered_parallel(
+            12,
+            4,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (12 - i as u64).saturating_mul(3),
+                ));
+                i
+            },
+            |_, v| {
+                seen.push(v);
+                true
+            },
+        );
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        let mut calls = 0;
+        ordered_parallel(
+            0,
+            4,
+            |i| i,
+            |_, _| {
+                calls += 1;
+                true
+            },
+        );
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn consumer_abort_stops_dispatch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 3] {
+            let ran = AtomicUsize::new(0);
+            let mut emitted = Vec::new();
+            ordered_parallel(
+                1000,
+                threads,
+                |i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    // Slow enough that the consumer's abort lands while
+                    // workers are still mid-queue.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i
+                },
+                |_, v| {
+                    emitted.push(v);
+                    v < 4 // abort after emitting index 4
+                },
+            );
+            assert_eq!(emitted, vec![0, 1, 2, 3, 4], "threads={threads}");
+            // Workers must stop claiming work shortly after the abort
+            // rather than running all 1000 items.
+            assert!(
+                ran.load(Ordering::Relaxed) < 500,
+                "threads={threads}: ran {}",
+                ran.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        ordered_parallel(
+            8,
+            2,
+            |i| {
+                if i == 5 {
+                    panic!("worker boom");
+                }
+                i
+            },
+            |_, _| true,
+        );
+    }
+}

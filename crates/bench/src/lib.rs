@@ -1,8 +1,10 @@
 //! # ckpt-bench — experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation (§VI).
-//! See DESIGN.md §5 for the experiment index (E1–E8) and EXPERIMENTS.md
-//! for paper-vs-measured results. Binaries:
+//! See DESIGN.md §5 for the experiment index (E1–E8) and §5.1 for the
+//! scenario engine; EXPERIMENTS.md tracks paper-vs-measured results.
+//! Binaries (all driven through [`engine`] by the scenarios in
+//! [`scenarios`], all accepting `--threads`):
 //!
 //! * `figures` — E1/E2/E3: relative expected makespan of CkptAll and
 //!   CkptNone over CkptSome vs CCR (Figures 5, 6, 7);
@@ -12,12 +14,16 @@
 //! * `ablation` — E6 (linearization), E7 (naive coalescing), E8 (Ligo
 //!   incomplete-bipartite footnote).
 
+pub mod engine;
+pub mod scenarios;
+pub mod summary;
+
 use std::fmt::Write as _;
 use std::path::Path;
 
 use ckpt_core::{lambda_from_pfail, AllocateConfig, Pipeline, Platform, Strategy};
 use mspg::Workflow;
-use pegasus::ccr::{ccr_grid, scale_to_ccr};
+use pegasus::ccr::scale_to_ccr;
 use pegasus::WorkflowClass;
 use probdag::{Evaluator, PathApprox};
 
@@ -63,6 +69,11 @@ pub struct FigureRow {
 }
 
 /// Runs one figure cell, averaging over `instances` generated workflows.
+///
+/// This is the serial reference implementation the calibration gates in
+/// `tests/figure_shapes.rs` pin; the binaries and [`figure_grid`] run
+/// the cache-sharing engine path ([`scenarios::FigureScenario`])
+/// instead.
 pub fn figure_cell(
     class: WorkflowClass,
     size: usize,
@@ -116,26 +127,22 @@ pub fn figure_cell(
 }
 
 /// Runs the full grid for one class (one figure): sizes × processor
-/// counts × pfail × CCR grid.
+/// counts × pfail × CCR grid, through the parallel scenario engine
+/// (all cores; rows come back in canonical grid order regardless).
 pub fn figure_grid(
     class: WorkflowClass,
     ccr_points: usize,
     instances: usize,
     seed: u64,
 ) -> Vec<FigureRow> {
-    let (lo, hi) = class.ccr_range();
-    let grid = ccr_grid(lo, hi, ccr_points);
-    let mut rows = Vec::new();
-    for &size in &SIZES {
-        for &procs in Platform::paper_proc_counts(size) {
-            for &pfail in &PFAILS {
-                for &ccr in &grid {
-                    rows.push(figure_cell(class, size, procs, pfail, ccr, instances, seed));
-                }
-            }
-        }
-    }
-    rows
+    let scenario = scenarios::FigureScenario::paper(class, ccr_points, instances, seed);
+    engine::run(
+        &scenario,
+        &engine::EngineConfig::default(),
+        &mut engine::NullSink,
+    )
+    .expect("in-memory engine run cannot fail")
+    .rows
 }
 
 /// CSV header matching [`FigureRow`].

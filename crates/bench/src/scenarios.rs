@@ -1,0 +1,718 @@
+//! The experiment scenarios E1–E8, expressed against the
+//! [`crate::engine`]. Each harness binary is now a thin CLI shell around
+//! one of these types; the grids, seeds, caching and parallelism all
+//! live here and in the engine.
+
+use ckpt_core::{allocate, AllocateConfig, Schedule, Strategy};
+use failsim::{montecarlo_none, montecarlo_segments, SimConfig};
+use mspg::linearize::Linearizer;
+use mspg::Workflow;
+use pegasus::ccr::scale_to_ccr;
+use pegasus::WorkflowClass;
+use probdag::{Dodin, MonteCarlo, NormalSculli, PathApprox};
+
+use crate::engine::{CcrAxis, Cell, CellCtx, Grid, ProcAxis, Scenario, StrategyAxis};
+use crate::{figure_csv, timed_eval, FigureRow, BANDWIDTH, FIGURE_HEADER, PFAILS, SIZES};
+
+/// E1/E2/E3 — one figure: relative expected makespan of CkptAll and
+/// CkptNone over CkptSome across the CCR sweep.
+#[derive(Clone, Debug)]
+pub struct FigureScenario {
+    /// Workflow class (one figure per class).
+    pub class: WorkflowClass,
+    /// Workflow sizes (rows of the figure).
+    pub sizes: Vec<usize>,
+    /// CCR points per sweep.
+    pub ccr_points: usize,
+    /// Generated instances averaged per cell.
+    pub instances: usize,
+    /// Base seed everything derives from.
+    pub base_seed: u64,
+}
+
+impl FigureScenario {
+    /// The paper's full grid for `class`.
+    pub fn paper(
+        class: WorkflowClass,
+        ccr_points: usize,
+        instances: usize,
+        base_seed: u64,
+    ) -> Self {
+        FigureScenario {
+            class,
+            sizes: SIZES.to_vec(),
+            ccr_points,
+            instances,
+            base_seed,
+        }
+    }
+}
+
+impl Scenario for FigureScenario {
+    type Row = FigureRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: vec![self.class],
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::Paper,
+            pfails: PFAILS.to_vec(),
+            ccrs: CcrAxis::ClassLog {
+                points: self.ccr_points,
+            },
+            strategies: StrategyAxis::Combined,
+            instances: self.instances,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<FigureRow> {
+        let evaluator = PathApprox::default();
+        let (mut em_some, mut em_all, mut em_none) = (0.0, 0.0, 0.0);
+        let mut ckpts = 0usize;
+        let mut actual = 0usize;
+        for i in 0..cell.instances {
+            let w = ctx.scaled_instance(cell, i);
+            actual = w.n_tasks();
+            let pipe = ctx.pipeline(cell, i, &w, Linearizer::RandomTopo);
+            let some = pipe.assess(Strategy::CkptSome, &evaluator);
+            em_some += some.expected_makespan;
+            ckpts += some.n_checkpoints;
+            em_all += pipe.assess(Strategy::CkptAll, &evaluator).expected_makespan;
+            em_none += pipe
+                .assess(Strategy::CkptNone, &evaluator)
+                .expected_makespan;
+        }
+        let nf = cell.instances as f64;
+        let (em_some, em_all, em_none) = (em_some / nf, em_all / nf, em_none / nf);
+        vec![FigureRow {
+            class: cell.class,
+            size: cell.size,
+            actual_tasks: actual,
+            procs: cell.procs,
+            pfail: cell.pfail,
+            ccr: cell.ccr,
+            em_some,
+            em_all,
+            em_none,
+            ckpts_some: ckpts / cell.instances,
+            rel_all: em_all / em_some,
+            rel_none: em_none / em_some,
+        }]
+    }
+
+    fn header(&self) -> String {
+        FIGURE_HEADER.to_owned()
+    }
+
+    fn csv(&self, row: &FigureRow) -> String {
+        figure_csv(row)
+    }
+}
+
+/// One row of the E4 accuracy table.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Strategy whose coalesced DAG is evaluated.
+    pub strategy: Strategy,
+    /// Nodes of the coalesced 2-state DAG.
+    pub nodes: usize,
+    /// Evaluator name.
+    pub evaluator: &'static str,
+    /// Expected-makespan estimate.
+    pub estimate: f64,
+    /// |estimate − MC| / MC, percent.
+    pub rel_error_pct: f64,
+    /// Evaluator runtime (seconds; wall clock, not deterministic).
+    pub runtime_s: f64,
+    /// Standard error of the Monte Carlo ground truth.
+    pub mc_stderr: f64,
+}
+
+/// E4 — §VI-B: accuracy and runtime of the four 2-state evaluators
+/// against the Monte Carlo ground truth.
+#[derive(Clone, Debug)]
+pub struct AccuracyScenario {
+    /// Monte Carlo trials for the ground truth (the paper uses 300 000).
+    pub trials: usize,
+    /// Workflow sizes.
+    pub sizes: Vec<usize>,
+    /// Per-task failure probability.
+    pub pfail: f64,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E4 table.
+pub const ACCURACY_HEADER: &str =
+    "class,size,strategy,nodes,evaluator,estimate,rel_error_pct,runtime_s,mc_stderr";
+
+impl Scenario for AccuracyScenario {
+    type Row = AccuracyRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: WorkflowClass::ALL.to_vec(),
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::PaperIndex(1),
+            pfails: vec![self.pfail],
+            ccrs: CcrAxis::ClassMid,
+            strategies: StrategyAxis::Each(vec![Strategy::CkptAll, Strategy::CkptSome]),
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<AccuracyRow> {
+        let strategy = cell.strategy.expect("accuracy cells carry a strategy");
+        let w = ctx.scaled_instance(cell, 0);
+        let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
+        let sg = pipe.segment_graph(strategy);
+        let mc = MonteCarlo {
+            trials: self.trials,
+            seed: ctx.instance_seed(cell, 0),
+            threads: ctx.mc_threads,
+        };
+        let t0 = std::time::Instant::now();
+        let truth = mc.run(&sg.pdag);
+        let mc_time = t0.elapsed().as_secs_f64();
+        let evals: Vec<(&'static str, f64, f64)> = vec![
+            ("MonteCarlo", truth.mean, mc_time),
+            {
+                let (v, t) = timed_eval(&Dodin::default(), &sg.pdag);
+                ("Dodin", v, t)
+            },
+            {
+                let (v, t) = timed_eval(&NormalSculli, &sg.pdag);
+                ("Normal", v, t)
+            },
+            {
+                let (v, t) = timed_eval(&PathApprox::default(), &sg.pdag);
+                ("PathApprox", v, t)
+            },
+        ];
+        evals
+            .into_iter()
+            .map(|(name, v, t)| AccuracyRow {
+                class: cell.class,
+                size: cell.size,
+                strategy,
+                nodes: sg.pdag.n_nodes(),
+                evaluator: name,
+                estimate: v,
+                rel_error_pct: 100.0 * (v - truth.mean).abs() / truth.mean,
+                runtime_s: t,
+                mc_stderr: truth.stderr,
+            })
+            .collect()
+    }
+
+    fn header(&self) -> String {
+        ACCURACY_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &AccuracyRow) -> String {
+        format!(
+            "{},{},{},{},{},{:.6},{:.4},{:.6},{:.6}",
+            r.class.name(),
+            r.size,
+            r.strategy.name(),
+            r.nodes,
+            r.evaluator,
+            r.estimate,
+            r.rel_error_pct,
+            r.runtime_s,
+            r.mc_stderr
+        )
+    }
+}
+
+/// One row of the E5 validation table.
+#[derive(Clone, Debug)]
+pub struct ValidateRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Per-task failure probability.
+    pub pfail: f64,
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Model name (`Eq2+PathApprox` or `Theorem1`).
+    pub model: &'static str,
+    /// First-order model estimate.
+    pub model_em: f64,
+    /// Simulated mean makespan.
+    pub sim_em: f64,
+    /// Standard error of the simulated mean.
+    pub sim_stderr: f64,
+    /// |model − sim| / sim, percent.
+    pub rel_err_pct: f64,
+    /// Diverged CkptNone runs (0 for checkpointed strategies).
+    pub diverged: usize,
+}
+
+/// E5 — first-order model vs discrete-event simulation.
+#[derive(Clone, Debug)]
+pub struct ValidateScenario {
+    /// Simulated executions per cell.
+    pub runs: usize,
+    /// Workflow sizes.
+    pub sizes: Vec<usize>,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E5 table.
+pub const VALIDATE_HEADER: &str =
+    "class,size,pfail,strategy,model,model_em,sim_em,sim_stderr,rel_err_pct,diverged";
+
+impl Scenario for ValidateScenario {
+    type Row = ValidateRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: WorkflowClass::ALL.to_vec(),
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::PaperIndex(1),
+            pfails: PFAILS.to_vec(),
+            ccrs: CcrAxis::ClassMid,
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<ValidateRow> {
+        let w = ctx.scaled_instance(cell, 0);
+        let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
+        let lambda = pipe.platform.lambda;
+        let cfg = SimConfig {
+            runs: self.runs,
+            seed: ctx.instance_seed(cell, 0),
+            threads: ctx.mc_threads,
+            ..Default::default()
+        };
+        let evaluator = PathApprox::default();
+        let mut rows = Vec::with_capacity(3);
+        for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
+            let model = pipe.assess(strategy, &evaluator).expected_makespan;
+            let sg = pipe.segment_graph(strategy);
+            let sim = montecarlo_segments(&sg, lambda, &cfg);
+            rows.push(ValidateRow {
+                class: cell.class,
+                size: cell.size,
+                pfail: cell.pfail,
+                strategy: strategy.name(),
+                model: "Eq2+PathApprox",
+                model_em: model,
+                sim_em: sim.mean_makespan,
+                sim_stderr: sim.stderr,
+                rel_err_pct: 100.0 * (model - sim.mean_makespan).abs() / sim.mean_makespan,
+                diverged: 0,
+            });
+        }
+        let model = pipe
+            .assess(Strategy::CkptNone, &evaluator)
+            .expected_makespan;
+        let sim = montecarlo_none(&w.dag, &pipe.schedule, lambda, &cfg);
+        rows.push(ValidateRow {
+            class: cell.class,
+            size: cell.size,
+            pfail: cell.pfail,
+            strategy: Strategy::CkptNone.name(),
+            model: "Theorem1",
+            model_em: model,
+            sim_em: sim.stats.mean_makespan,
+            sim_stderr: sim.stats.stderr,
+            rel_err_pct: 100.0 * (model - sim.stats.mean_makespan).abs() / sim.stats.mean_makespan,
+            diverged: sim.diverged,
+        });
+        rows
+    }
+
+    fn header(&self) -> String {
+        VALIDATE_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &ValidateRow) -> String {
+        format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.4},{:.3},{}",
+            r.class.name(),
+            r.size,
+            r.pfail,
+            r.strategy,
+            r.model,
+            r.model_em,
+            r.sim_em,
+            r.sim_stderr,
+            r.rel_err_pct,
+            r.diverged
+        )
+    }
+}
+
+/// One row of the E6 linearization ablation.
+#[derive(Clone, Debug)]
+pub struct LinearizationRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Per-task failure probability.
+    pub pfail: f64,
+    /// CkptSome expected makespan under the random topological order.
+    pub em_random: f64,
+    /// … under the volume-minimizing order.
+    pub em_minvolume: f64,
+    /// … under the structural order.
+    pub em_structural: f64,
+    /// Gain of MinVolume over random, percent.
+    pub gain_pct: f64,
+}
+
+/// E6 — superchain linearizers inside CkptSome.
+#[derive(Clone, Debug)]
+pub struct LinearizationScenario {
+    /// CCR points per class sweep.
+    pub ccr_points: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E6 table.
+pub const LINEARIZATION_HEADER: &str =
+    "class,ccr,pfail,em_random,em_minvolume,em_structural,minvolume_gain_pct";
+
+impl Scenario for LinearizationScenario {
+    type Row = LinearizationRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: vec![WorkflowClass::Montage, WorkflowClass::Genome],
+            sizes: vec![300],
+            procs: ProcAxis::Explicit(vec![18]),
+            pfails: vec![0.01, 0.001],
+            ccrs: CcrAxis::ClassLog {
+                points: self.ccr_points,
+            },
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<LinearizationRow> {
+        let w = ctx.scaled_instance(cell, 0);
+        let evaluator = PathApprox::default();
+        let em = |lin: Linearizer| {
+            ctx.pipeline(cell, 0, &w, lin)
+                .assess(Strategy::CkptSome, &evaluator)
+                .expected_makespan
+        };
+        let em_random = em(Linearizer::RandomTopo);
+        let em_minvolume = em(Linearizer::MinVolume);
+        let em_structural = em(Linearizer::Structural);
+        vec![LinearizationRow {
+            class: cell.class,
+            ccr: cell.ccr,
+            pfail: cell.pfail,
+            em_random,
+            em_minvolume,
+            em_structural,
+            gain_pct: 100.0 * (em_random - em_minvolume) / em_random,
+        }]
+    }
+
+    fn header(&self) -> String {
+        LINEARIZATION_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &LinearizationRow) -> String {
+        format!(
+            "{},{:.6e},{},{:.4},{:.4},{:.4},{:.3}",
+            r.class.name(),
+            r.ccr,
+            r.pfail,
+            r.em_random,
+            r.em_minvolume,
+            r.em_structural,
+            r.gain_pct
+        )
+    }
+}
+
+/// One row of the E7 naive-coalescing ablation.
+#[derive(Clone, Debug)]
+pub struct NaiveCoalesceRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Per-task failure probability.
+    pub pfail: f64,
+    /// Expected makespan of the §II-C naive solution.
+    pub em_exit_only: f64,
+    /// Expected makespan of the DP.
+    pub em_ckptsome: f64,
+    /// ExitOnly / CkptSome.
+    pub ratio: f64,
+}
+
+/// E7 — exit-only checkpoints (naive coalescing) vs the DP.
+#[derive(Clone, Debug)]
+pub struct NaiveCoalesceScenario {
+    /// CCR points per class sweep.
+    pub ccr_points: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E7 table.
+pub const NAIVE_COALESCE_HEADER: &str = "class,size,ccr,pfail,em_exit_only,em_ckptsome,ratio";
+
+impl Scenario for NaiveCoalesceScenario {
+    type Row = NaiveCoalesceRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: WorkflowClass::ALL.to_vec(),
+            sizes: vec![50, 300],
+            procs: ProcAxis::PaperIndex(1),
+            pfails: vec![0.01, 0.001],
+            ccrs: CcrAxis::ClassLog {
+                points: self.ccr_points,
+            },
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<NaiveCoalesceRow> {
+        let w = ctx.scaled_instance(cell, 0);
+        let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
+        let evaluator = PathApprox::default();
+        let em_exit_only = pipe
+            .assess(Strategy::ExitOnly, &evaluator)
+            .expected_makespan;
+        let em_ckptsome = pipe
+            .assess(Strategy::CkptSome, &evaluator)
+            .expected_makespan;
+        vec![NaiveCoalesceRow {
+            class: cell.class,
+            size: cell.size,
+            ccr: cell.ccr,
+            pfail: cell.pfail,
+            em_exit_only,
+            em_ckptsome,
+            ratio: em_exit_only / em_ckptsome,
+        }]
+    }
+
+    fn header(&self) -> String {
+        NAIVE_COALESCE_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &NaiveCoalesceRow) -> String {
+        format!(
+            "{},{},{:.6e},{},{:.4},{:.4},{:.4}",
+            r.class.name(),
+            r.size,
+            r.ccr,
+            r.pfail,
+            r.em_exit_only,
+            r.em_ckptsome,
+            r.ratio
+        )
+    }
+}
+
+/// One row of the E8 Ligo-footnote study.
+#[derive(Clone, Debug)]
+pub struct LigoFootnoteRow {
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Per-task failure probability.
+    pub pfail: f64,
+    /// rel_all of the mainline (complete-bipartite) instance.
+    pub rel_all_mainline: f64,
+    /// rel_all of the dummy-patched incomplete instance.
+    pub rel_all_patched: f64,
+    /// mainline − patched.
+    pub sync_penalty: f64,
+}
+
+/// E8 — the Ligo incomplete-bipartite footnote: CkptSome must process
+/// the dummy-patched workflow (extra synchronizations, no data), while
+/// CkptAll's costs are unaffected by the zero-size dummies.
+///
+/// The two 300-task instances (and their CCR-invariant schedules) are
+/// built once at construction; each cell only rescales clones.
+pub struct LigoFootnoteScenario {
+    ccr_points: usize,
+    base_seed: u64,
+    mainline: Workflow,
+    mainline_schedule: Schedule,
+    patched: Workflow,
+    patched_schedule: Schedule,
+}
+
+/// CSV header of the E8 table.
+pub const LIGO_FOOTNOTE_HEADER: &str = "ccr,pfail,rel_all_mainline,rel_all_patched,sync_penalty";
+
+const LIGO_FOOTNOTE_PROCS: usize = 18;
+
+impl LigoFootnoteScenario {
+    /// Builds both Ligo-300 variants and their schedules.
+    pub fn new(ccr_points: usize, base_seed: u64) -> Self {
+        let seed = seedmix::derive(base_seed, &[WorkflowClass::Ligo as u64, 300]);
+        let wf_seed = seedmix::stream_seed(seed, 0);
+        let mainline = pegasus::ligo::generate(300, wf_seed);
+        let mut inc = pegasus::ligo::generate_incomplete(300, wf_seed);
+        let shape = pegasus::ligo::ligo_shape(300);
+        for g in 0..shape.groups {
+            mspg::patch::complete_bipartite(
+                &mut inc.dag,
+                &inc.inspiral_level[g],
+                &inc.thinca_level[g],
+            );
+        }
+        let root = mspg::recognize(&inc.dag).expect("patched Ligo must be an M-SPG");
+        let patched = Workflow::from_wired(inc.dag, root);
+        patched.validate().expect("patched workflow valid");
+        let cfg = AllocateConfig {
+            linearizer: Linearizer::RandomTopo,
+            seed: wf_seed,
+        };
+        let mainline_schedule = allocate(&mainline, LIGO_FOOTNOTE_PROCS, &cfg);
+        let patched_schedule = allocate(&patched, LIGO_FOOTNOTE_PROCS, &cfg);
+        LigoFootnoteScenario {
+            ccr_points,
+            base_seed,
+            mainline,
+            mainline_schedule,
+            patched,
+            patched_schedule,
+        }
+    }
+
+    fn rel_all(&self, w: &Workflow, schedule: &Schedule, cell: &Cell) -> f64 {
+        let mut w = w.clone();
+        scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
+        let lambda = ckpt_core::lambda_from_pfail(cell.pfail, w.dag.mean_weight());
+        let platform = ckpt_core::Platform::new(cell.procs, lambda, BANDWIDTH);
+        let pipe = ckpt_core::Pipeline::with_schedule(&w, platform, schedule.clone());
+        let evaluator = PathApprox::default();
+        let all = pipe.assess(Strategy::CkptAll, &evaluator).expected_makespan;
+        let some = pipe
+            .assess(Strategy::CkptSome, &evaluator)
+            .expected_makespan;
+        all / some
+    }
+}
+
+impl Scenario for LigoFootnoteScenario {
+    type Row = LigoFootnoteRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: vec![WorkflowClass::Ligo],
+            sizes: vec![300],
+            procs: ProcAxis::Explicit(vec![LIGO_FOOTNOTE_PROCS]),
+            pfails: vec![0.001],
+            ccrs: CcrAxis::ClassLog {
+                points: self.ccr_points,
+            },
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, _ctx: &CellCtx<'_>) -> Vec<LigoFootnoteRow> {
+        let rel_all_mainline = self.rel_all(&self.mainline, &self.mainline_schedule, cell);
+        let rel_all_patched = self.rel_all(&self.patched, &self.patched_schedule, cell);
+        vec![LigoFootnoteRow {
+            ccr: cell.ccr,
+            pfail: cell.pfail,
+            rel_all_mainline,
+            rel_all_patched,
+            sync_penalty: rel_all_mainline - rel_all_patched,
+        }]
+    }
+
+    fn header(&self) -> String {
+        LIGO_FOOTNOTE_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &LigoFootnoteRow) -> String {
+        format!(
+            "{:.6e},{},{:.4},{:.4},{:.4}",
+            r.ccr, r.pfail, r.rel_all_mainline, r.rel_all_patched, r.sync_penalty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, EngineConfig, NullSink};
+
+    #[test]
+    fn figure_scenario_covers_the_paper_grid() {
+        let s = FigureScenario::paper(WorkflowClass::Ligo, 2, 1, 7);
+        // 3 sizes × 4 proc counts × 3 pfails × 2 CCR points.
+        assert_eq!(s.cells().len(), 3 * 4 * 3 * 2);
+    }
+
+    #[test]
+    fn accuracy_cells_carry_strategies() {
+        let s = AccuracyScenario {
+            trials: 100,
+            sizes: vec![50],
+            pfail: 0.01,
+            base_seed: 1,
+        };
+        let cells = s.cells();
+        assert_eq!(cells.len(), 3 * 2);
+        assert!(cells.iter().all(|c| c.strategy.is_some()));
+    }
+
+    #[test]
+    fn validate_scenario_mini_run_produces_three_rows_per_cell() {
+        let s = ValidateScenario {
+            runs: 40,
+            sizes: vec![50],
+            base_seed: 3,
+        };
+        let report = engine::run(&s, &EngineConfig::with_threads(1), &mut NullSink).unwrap();
+        assert_eq!(report.cells, 3 * 3);
+        assert_eq!(report.rows.len(), report.cells * 3);
+        for r in &report.rows {
+            assert!(r.model_em > 0.0 && r.sim_em > 0.0);
+        }
+    }
+
+    #[test]
+    fn ligo_footnote_scenario_reproduces_a_sync_penalty_signal() {
+        let s = LigoFootnoteScenario::new(3, 42);
+        let report = engine::run(&s, &EngineConfig::with_threads(2), &mut NullSink).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for r in &report.rows {
+            assert!(r.rel_all_mainline > 0.0 && r.rel_all_patched > 0.0);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Stdout shape summaries shared by the harness binaries.
+//!
+//! The per-figure "endpoints" table used to be private to the `figures`
+//! binary; it is generic over any grouped sweep, so `validate` and
+//! `ablation` reuse it: for each group of rows, report each tracked
+//! column's value at the lowest and highest x of the sweep.
+
+use std::fmt::Write as _;
+
+use crate::FigureRow;
+
+struct GroupEnds {
+    label: String,
+    lo_x: f64,
+    lo: Vec<f64>,
+    hi_x: f64,
+    hi: Vec<f64>,
+}
+
+/// Accumulates `(group, x, columns…)` observations and renders one line
+/// per group with every column's value at the sweep endpoints.
+pub struct EndpointSummary {
+    x_label: String,
+    group_label: String,
+    columns: Vec<String>,
+    groups: Vec<GroupEnds>,
+}
+
+impl EndpointSummary {
+    /// A summary over sweeps of `x_label`, grouped under `group_label`,
+    /// tracking the named columns.
+    pub fn new(group_label: &str, x_label: &str, columns: &[&str]) -> Self {
+        EndpointSummary {
+            x_label: x_label.to_owned(),
+            group_label: group_label.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Records one observation. Groups appear in first-observation order;
+    /// `values` must match the column list.
+    pub fn observe(&mut self, group: &str, x: f64, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "column arity mismatch");
+        match self.groups.iter_mut().find(|g| g.label == group) {
+            Some(g) => {
+                if x < g.lo_x {
+                    g.lo_x = x;
+                    g.lo = values.to_vec();
+                }
+                if x > g.hi_x {
+                    g.hi_x = x;
+                    g.hi = values.to_vec();
+                }
+            }
+            None => self.groups.push(GroupEnds {
+                label: group.to_owned(),
+                lo_x: x,
+                lo: values.to_vec(),
+                hi_x: x,
+                hi: values.to_vec(),
+            }),
+        }
+    }
+
+    /// Renders the summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .groups
+            .iter()
+            .map(|g| g.label.len())
+            .chain([self.group_label.len()])
+            .max()
+            .unwrap_or(0);
+        write!(out, "{:width$}", self.group_label).unwrap();
+        for c in &self.columns {
+            write!(out, " | {c}@lo{x} {c}@hi{x}", x = self.x_label).unwrap();
+        }
+        out.push('\n');
+        for g in &self.groups {
+            write!(out, "{:width$}", g.label).unwrap();
+            for (i, c) in self.columns.iter().enumerate() {
+                let w = c.len() + 3 + self.x_label.len();
+                write!(out, " | {:>w$.3} {:>w$.3}", g.lo[i], g.hi[i]).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// The figure binaries' shape summary: per `(size, procs, pfail)` group,
+/// the relative expected makespans at the CCR endpoints.
+pub fn figure_shape_summary(rows: &[FigureRow]) -> EndpointSummary {
+    let mut s = EndpointSummary::new("size procs pfail", "CCR", &["rel_all", "rel_none"]);
+    for r in rows {
+        s.observe(
+            &format!("{:4} {:5} {:6}", r.size, r.procs, r.pfail),
+            r.ccr,
+            &[r.rel_all, r.rel_none],
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_endpoints_per_group() {
+        let mut s = EndpointSummary::new("g", "x", &["a"]);
+        s.observe("one", 2.0, &[20.0]);
+        s.observe("one", 1.0, &[10.0]);
+        s.observe("one", 3.0, &[30.0]);
+        s.observe("two", 5.0, &[50.0]);
+        let text = s.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("10.000") && lines[1].contains("30.000"));
+        assert!(lines[2].contains("50.000"));
+    }
+
+    #[test]
+    fn figure_summary_groups_by_size_procs_pfail() {
+        let mk = |size, ccr, rel_all| FigureRow {
+            class: pegasus::WorkflowClass::Genome,
+            size,
+            actual_tasks: size,
+            procs: 5,
+            pfail: 0.01,
+            ccr,
+            em_some: 1.0,
+            em_all: rel_all,
+            em_none: 1.0,
+            ckpts_some: 1,
+            rel_all,
+            rel_none: 1.0,
+        };
+        let rows = vec![mk(50, 1e-3, 1.0), mk(50, 1e-1, 2.0), mk(300, 1e-2, 3.0)];
+        let text = figure_shape_summary(&rows).render();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        assert!(text.contains("rel_all@loCCR"));
+    }
+}

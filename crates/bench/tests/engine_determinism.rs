@@ -1,0 +1,95 @@
+//! The engine's core guarantee (ISSUE 2 acceptance bar): for a fixed
+//! scenario and base seed, the emitted CSV is **byte-identical for every
+//! thread count** — cells may execute in any order on any worker, but
+//! seeds derive from grid coordinates and rows are re-sequenced into
+//! canonical order before they reach the sink.
+
+use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
+use ckpt_bench::scenarios::{FigureScenario, ValidateScenario};
+use pegasus::WorkflowClass;
+
+fn csv<S: Scenario>(scenario: &S, threads: usize) -> String {
+    let mut sink = StringSink::new();
+    engine::run(scenario, &EngineConfig::with_threads(threads), &mut sink).unwrap();
+    sink.csv
+}
+
+fn mini_figures() -> FigureScenario {
+    FigureScenario {
+        class: WorkflowClass::Montage,
+        sizes: vec![50],
+        ccr_points: 3,
+        instances: 2,
+        base_seed: 42,
+    }
+}
+
+#[test]
+fn parallel_figure_grid_is_byte_identical_to_serial() {
+    let scenario = mini_figures();
+    let serial = csv(&scenario, 1);
+    // 1 size × 4 procs × 3 pfails × 3 CCRs = 36 cells, plus the header.
+    assert_eq!(serial.lines().count(), 37);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
+    }
+    // And stable across repeated runs of the same configuration.
+    assert_eq!(serial, csv(&scenario, 1));
+}
+
+#[test]
+fn parallel_validation_with_nested_mc_is_byte_identical_to_serial() {
+    // The validation scenario nests Monte Carlo simulation inside each
+    // cell; the per-cell MC budget is an explicit engine parameter
+    // (default 1), never derived from `--threads`, so the simulated
+    // streams are identical across thread counts — including budgets
+    // larger than the 9-cell grid, where a derived budget would have
+    // silently switched the MC partitioning.
+    let scenario = ValidateScenario {
+        runs: 60,
+        sizes: vec![50],
+        base_seed: 7,
+    };
+    let serial = csv(&scenario, 1);
+    for threads in [2, 4, 16] {
+        assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn rows_follow_canonical_cell_order() {
+    let scenario = mini_figures();
+    let cells = scenario.cells();
+    let report = engine::run(&scenario, &EngineConfig::with_threads(4), &mut NullSink).unwrap();
+    assert_eq!(report.rows.len(), cells.len());
+    for (cell, row) in cells.iter().zip(&report.rows) {
+        assert_eq!(cell.size, row.size);
+        assert_eq!(cell.procs, row.procs);
+        assert_eq!(cell.pfail.to_bits(), row.pfail.to_bits());
+        assert_eq!(cell.ccr.to_bits(), row.ccr.to_bits());
+    }
+}
+
+#[test]
+fn workflow_cache_shares_instances_across_the_grid() {
+    let scenario = mini_figures();
+    let report = engine::run(&scenario, &EngineConfig::with_threads(2), &mut NullSink).unwrap();
+    // 1 size × 2 instances distinct workflows for 36 cells × 2 lookups.
+    assert_eq!(report.cache.workflow_misses, 2);
+    assert!(report.cache.workflow_hits >= 70, "{:?}", report.cache);
+    // Schedules: 4 proc counts × 2 instances distinct, reused across
+    // 3 pfails × 3 CCRs.
+    assert_eq!(report.cache.schedule_misses, 8);
+    assert_eq!(report.cache.schedule_hits, 64);
+}
+
+#[test]
+fn figure_grid_wrapper_matches_explicit_engine_run() {
+    let rows = ckpt_bench::figure_grid(WorkflowClass::Ligo, 2, 1, 11);
+    let scenario = FigureScenario::paper(WorkflowClass::Ligo, 2, 1, 11);
+    let report = engine::run(&scenario, &EngineConfig::with_threads(1), &mut NullSink).unwrap();
+    assert_eq!(rows.len(), report.rows.len());
+    for (a, b) in rows.iter().zip(&report.rows) {
+        assert_eq!(ckpt_bench::figure_csv(a), ckpt_bench::figure_csv(b));
+    }
+}

@@ -94,7 +94,7 @@ fn push_linearized(
     // yet each superchain shuffles independently.
     let seed = cfg
         .seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(seedmix::GOLDEN_GAMMA)
         .wrapping_add(out.len() as u64);
     let order = linearize(&w.dag, structural, cfg.linearizer, seed);
     out.push(Superchain { proc, tasks: order });

@@ -93,6 +93,33 @@ impl<'a> Pipeline<'a> {
         }
     }
 
+    /// Builds a pipeline around a schedule computed elsewhere.
+    ///
+    /// `Allocate` is the expensive strategy-independent step, and for the
+    /// structure-driven linearizers (`Structural`, `RandomTopo`) it does
+    /// not read file sizes at all — so a schedule computed once per
+    /// workflow instance can be re-used across every CCR rescaling of that
+    /// instance (the experiment engine's schedule cache relies on this).
+    ///
+    /// # Panics
+    /// Panics if `schedule` does not cover `workflow` on
+    /// `platform.n_procs` processors (e.g. it was computed for a different
+    /// instance or processor count).
+    pub fn with_schedule(workflow: &'a Workflow, platform: Platform, schedule: Schedule) -> Self {
+        assert_eq!(
+            schedule.n_procs, platform.n_procs,
+            "schedule was computed for a different processor count"
+        );
+        schedule
+            .validate(&workflow.dag)
+            .expect("schedule does not fit this workflow");
+        Pipeline {
+            workflow,
+            platform,
+            schedule,
+        }
+    }
+
     fn ctx(&self) -> CostCtx<'_> {
         CostCtx {
             dag: &self.workflow.dag,
@@ -255,6 +282,41 @@ mod tests {
         let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
         let exit = pipe.assess(Strategy::ExitOnly, &PathApprox::default());
         assert!(some.expected_makespan <= exit.expected_makespan * 1.02);
+    }
+
+    #[test]
+    fn with_schedule_reuses_a_ccr_invariant_schedule() {
+        // RandomTopo scheduling never reads file sizes, so the schedule of
+        // the unscaled instance drives a rescaled clone to bit-identical
+        // assessments.
+        let base = generate(WorkflowClass::Montage, 50, 9);
+        let cfg = AllocateConfig::default();
+        let mut scaled = base.clone();
+        let bw = 1e7;
+        scale_to_ccr(&mut scaled, 0.05, bw);
+        let p = platform(&scaled, 5, 0.001, bw);
+        let from_scratch = Pipeline::new(&scaled, p, &cfg);
+        let cached = allocate(&base, p.n_procs, &cfg);
+        let reused = Pipeline::with_schedule(&scaled, p, cached);
+        for strategy in [Strategy::CkptAll, Strategy::CkptSome, Strategy::ExitOnly] {
+            let a = from_scratch.assess(strategy, &PathApprox::default());
+            let b = reused.assess(strategy, &PathApprox::default());
+            assert_eq!(
+                a.expected_makespan.to_bits(),
+                b.expected_makespan.to_bits(),
+                "{strategy}"
+            );
+            assert_eq!(a.n_checkpoints, b.n_checkpoints);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different processor count")]
+    fn with_schedule_rejects_mismatched_platform() {
+        let w = generate(WorkflowClass::Genome, 50, 1);
+        let p5 = platform(&w, 5, 0.001, 1e7);
+        let sched = allocate(&w, 3, &AllocateConfig::default());
+        let _ = Pipeline::with_schedule(&w, p5, sched);
     }
 
     #[test]

@@ -34,21 +34,14 @@ impl Default for SimConfig {
 }
 
 fn run_seed(base: u64, i: usize) -> u64 {
-    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+    seedmix::stream_seed(base, i as u64)
 }
 
 fn parallel_map<F>(runs: usize, threads: usize, f: F) -> Vec<ExecStats>
 where
     F: Fn(usize) -> ExecStats + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(runs.max(1));
+    let threads = seedmix::resolve_threads(threads).min(runs.max(1));
     std::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::with_capacity(threads);

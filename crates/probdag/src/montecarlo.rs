@@ -49,14 +49,7 @@ impl MonteCarlo {
     /// Runs the estimator, returning mean and standard error.
     pub fn run(&self, dag: &ProbDag) -> McResult {
         assert!(self.trials > 0);
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-        let threads = threads.min(self.trials);
+        let threads = seedmix::resolve_threads(self.threads).min(self.trials);
         let order = dag.topo_order();
         // Pre-extract the sampling parameters into flat arrays: the trial
         // loop then touches only contiguous memory.
@@ -90,9 +83,7 @@ impl MonteCarlo {
                 let my_trials = chunk + usize::from(w < extra);
                 let order = &order;
                 let (low, high, p) = (&low, &high, &p);
-                let seed = self
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                let seed = seedmix::stream_seed(self.seed, w as u64);
                 handles.push(scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut finish = vec![0.0f64; n];

@@ -11,6 +11,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | [`seedmix`] | shared splitmix64 seed derivation and thread-budget resolution |
 //! | [`mspg`] | task/file/edge DAGs, recursive M-SPG structure, decomposition, linearization, recognition, dummy-edge patching |
 //! | [`pegasus`] | synthetic Pegasus-like generators (Genome / Montage / Ligo), CCR control, text serialization |
 //! | [`probdag`] | 2-state probabilistic DAG evaluators: MonteCarlo, Dodin, Normal (Sculli), PathApprox, exact oracle |
@@ -42,6 +43,7 @@ pub use failsim;
 pub use mspg;
 pub use pegasus;
 pub use probdag;
+pub use seedmix;
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
@@ -53,4 +55,5 @@ pub mod prelude {
     pub use mspg::{Dag, Mspg, TaskId, Workflow};
     pub use pegasus::WorkflowClass;
     pub use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox, ProbDag};
+    pub use seedmix::{splitmix64, stream_seed};
 }

@@ -140,3 +140,27 @@ fn figure_cells_are_bitwise_deterministic() {
     assert_eq!(a.ckpts_some, b.ckpts_some);
     assert_eq!(ckpt_bench::figure_csv(&a), ckpt_bench::figure_csv(&b));
 }
+
+#[test]
+fn engine_grids_are_bitwise_deterministic_across_thread_counts() {
+    // The engine path on top of the same stack: cells execute on a work
+    // queue, yet the streamed CSV (values and order) must not depend on
+    // the thread count or on which worker ran which cell.
+    use ckpt_bench::engine::{self, EngineConfig, StringSink};
+    use ckpt_bench::scenarios::FigureScenario;
+    let scenario = FigureScenario {
+        class: WorkflowClass::Genome,
+        sizes: vec![50],
+        ccr_points: 2,
+        instances: 2,
+        base_seed: 42,
+    };
+    let run = |threads: usize| {
+        let mut sink = StringSink::new();
+        engine::run(&scenario, &EngineConfig::with_threads(threads), &mut sink).unwrap();
+        sink.csv
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(3));
+    assert_eq!(serial, run(1), "repeated runs must also be identical");
+}
