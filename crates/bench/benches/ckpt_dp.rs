@@ -1,7 +1,9 @@
 //! Criterion bench: the O(n²) checkpoint-placement DP (Algorithm 2) on
-//! superchains of growing length.
+//! superchains of growing length, plus the direct `segment_cost` used by
+//! the simulator/cross-check path (now linear in segment width via the
+//! reusable epoch-stamped id sets instead of `Vec::contains` scans).
 
-use ckpt_core::{optimal_checkpoints, CostCtx};
+use ckpt_core::{optimal_checkpoints, segment_cost_reusing, CostCtx, SegmentCostScratch};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mspg::TaskId;
 
@@ -13,11 +15,7 @@ fn bench_dp(c: &mut Criterion) {
         }
         let w = pegasus::generic::chain(n, 3);
         let chain: Vec<TaskId> = w.dag.task_ids().collect();
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-4,
-            bandwidth: 1e8,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
         group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, chain| {
             b.iter(|| optimal_checkpoints(&ctx, chain))
         });
@@ -31,11 +29,7 @@ fn bench_dp_superchain(c: &mut Criterion) {
     group.sample_size(20);
     let w = pegasus::generic::bipartite(40, 40, 5);
     let sched = ckpt_core::allocate(&w, 1, &ckpt_core::AllocateConfig::default());
-    let ctx = CostCtx {
-        dag: &w.dag,
-        lambda: 1e-4,
-        bandwidth: 1e8,
-    };
+    let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
     let biggest = sched
         .superchains
         .iter()
@@ -47,5 +41,29 @@ fn bench_dp_superchain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dp, bench_dp_superchain);
+fn bench_segment_cost(c: &mut Criterion) {
+    // Wide segments are where the old O(width²) file dedup hurt: a
+    // linearized bipartite block puts hundreds of files in one segment.
+    let mut group = c.benchmark_group("segment-cost");
+    for &width in &[40usize, 100] {
+        let w = pegasus::generic::bipartite(width, width, 5);
+        let sched = ckpt_core::allocate(&w, 1, &ckpt_core::AllocateConfig::default());
+        let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
+        let biggest = sched
+            .superchains
+            .iter()
+            .max_by_key(|sc| sc.tasks.len())
+            .unwrap();
+        let hi = biggest.tasks.len() - 1;
+        let mut scratch = SegmentCostScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("full-width", width),
+            &biggest.tasks,
+            |b, tasks| b.iter(|| segment_cost_reusing(&ctx, tasks, 0, hi, &mut scratch)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_dp_superchain, bench_segment_cost);
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use failsim::{simulate_none, simulate_segments, ExpFailures};
 fn bench_sim(c: &mut Criterion) {
     let w = instance(pegasus::WorkflowClass::Genome, 300, 1e-3, 42);
     let pipe = pipeline_for(&w, 18, 0.001, 42);
-    let lambda = pipe.platform.lambda;
+    let lambda = pipe.platform.lambda();
     let sg = pipe.segment_graph(Strategy::CkptSome);
 
     let mut group = c.benchmark_group("failsim-genome300");

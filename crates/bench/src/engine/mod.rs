@@ -47,7 +47,7 @@ pub use spec::{CcrAxis, Cell, Grid, ProcAxis, StrategyAxis};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ckpt_core::{lambda_from_pfail, AllocateConfig, Pipeline, Platform, Schedule};
+use ckpt_core::{lambda_from_pfail, AllocateConfig, FailureModel, Pipeline, Platform, Schedule};
 use mspg::linearize::Linearizer;
 use mspg::Workflow;
 use pegasus::ccr::scale_to_ccr;
@@ -137,7 +137,21 @@ impl CellCtx<'_> {
         linearizer: Linearizer,
     ) -> Pipeline<'w> {
         let lambda = lambda_from_pfail(cell.pfail, w.dag.mean_weight());
-        let platform = Platform::new(cell.procs, lambda, BANDWIDTH);
+        self.pipeline_with_model(cell, i, w, linearizer, FailureModel::exponential(lambda))
+    }
+
+    /// [`CellCtx::pipeline`] with an arbitrary failure model (the
+    /// `distributions` scenario calibrates one per cell from the cell's
+    /// `pfail` and the instance's mean weight).
+    pub fn pipeline_with_model<'w>(
+        &self,
+        cell: &Cell,
+        i: usize,
+        w: &'w Workflow,
+        linearizer: Linearizer,
+        model: FailureModel,
+    ) -> Pipeline<'w> {
+        let platform = Platform::with_model(cell.procs, model, BANDWIDTH);
         let schedule = self.schedule(cell, i, linearizer);
         Pipeline::with_schedule(w, platform, (*schedule).clone())
     }

@@ -12,7 +12,9 @@
 //!   (§VI-B);
 //! * `validate` — E5: first-order model vs discrete-event simulation;
 //! * `ablation` — E6 (linearization), E7 (naive coalescing), E8 (Ligo
-//!   incomplete-bipartite footnote).
+//!   incomplete-bipartite footnote);
+//! * `distributions` — E9: the four strategies under Weibull / LogNormal
+//!   failure models against the exponential baseline (DESIGN.md §6).
 
 pub mod engine;
 pub mod scenarios;

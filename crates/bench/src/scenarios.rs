@@ -1,10 +1,15 @@
-//! The experiment scenarios E1–E8, expressed against the
+//! The experiment scenarios E1–E9, expressed against the
 //! [`crate::engine`]. Each harness binary is now a thin CLI shell around
 //! one of these types; the grids, seeds, caching and parallelism all
-//! live here and in the engine.
+//! live here and in the engine. E1–E8 reproduce the paper's evaluation;
+//! E9 ([`DistributionsScenario`]) extends it along the failure-model
+//! axis (Weibull / LogNormal vs the exponential baseline).
 
-use ckpt_core::{allocate, AllocateConfig, Schedule, Strategy};
-use failsim::{montecarlo_none, montecarlo_segments, SimConfig};
+use ckpt_core::{allocate, AllocateConfig, FailureModel, Schedule, Strategy};
+use failsim::{
+    montecarlo_none, montecarlo_none_model, montecarlo_segments, montecarlo_segments_model,
+    SimConfig,
+};
 use mspg::linearize::Linearizer;
 use mspg::Workflow;
 use pegasus::ccr::scale_to_ccr;
@@ -293,7 +298,7 @@ impl Scenario for ValidateScenario {
     fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<ValidateRow> {
         let w = ctx.scaled_instance(cell, 0);
         let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
-        let lambda = pipe.platform.lambda;
+        let lambda = pipe.platform.lambda();
         let cfg = SimConfig {
             runs: self.runs,
             seed: ctx.instance_seed(cell, 0),
@@ -666,6 +671,266 @@ impl Scenario for LigoFootnoteScenario {
     }
 }
 
+/// A failure-model family point of the E9 `distributions` grid: the
+/// family plus its shape knob, calibrated per cell against the cell's
+/// `pfail` and the instance's mean task weight.
+#[derive(Clone, Copy, Debug)]
+pub enum DistModel {
+    /// The paper's memoryless baseline.
+    Exponential,
+    /// Weibull with the given shape (`< 1` infant mortality, `> 1`
+    /// wear-out).
+    Weibull {
+        /// Shape `k`.
+        shape: f64,
+    },
+    /// LogNormal with the given log-deviation.
+    LogNormal {
+        /// Log-std `σ`.
+        sigma: f64,
+    },
+}
+
+impl DistModel {
+    /// The family's shape knob (1 for the exponential, `k` for Weibull,
+    /// `σ` for LogNormal).
+    pub fn shape(self) -> f64 {
+        match self {
+            DistModel::Exponential => 1.0,
+            DistModel::Weibull { shape } => shape,
+            DistModel::LogNormal { sigma } => sigma,
+        }
+    }
+
+    /// Calibrates the concrete [`FailureModel`] so a task of
+    /// `mean_weight` fails with probability `pfail`.
+    pub fn calibrate(self, pfail: f64, mean_weight: f64) -> FailureModel {
+        match self {
+            DistModel::Exponential => FailureModel::exponential_from_pfail(pfail, mean_weight),
+            DistModel::Weibull { shape } => {
+                FailureModel::weibull_from_pfail(shape, pfail, mean_weight)
+            }
+            DistModel::LogNormal { sigma } => {
+                FailureModel::lognormal_from_pfail(sigma, pfail, mean_weight)
+            }
+        }
+    }
+}
+
+/// One row of the E9 `distributions` table.
+#[derive(Clone, Debug)]
+pub struct DistributionRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Processor count.
+    pub procs: usize,
+    /// Per-task failure probability every model is calibrated to.
+    pub pfail: f64,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Failure-model family.
+    pub model: &'static str,
+    /// Shape knob of the family.
+    pub shape: f64,
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Analytic expected makespan (renewal cost path + PathApprox, or
+    /// generalized Theorem 1 for CkptNone).
+    pub model_em: f64,
+    /// Simulated mean makespan.
+    pub sim_em: f64,
+    /// Standard error of the simulated mean.
+    pub sim_stderr: f64,
+    /// |model − sim| / sim, percent.
+    pub rel_err_pct: f64,
+    /// Diverged CkptNone runs (0 for checkpointed strategies).
+    pub diverged: usize,
+}
+
+/// E9 — the failure-distribution study: CkptAll / CkptNone / CkptSome /
+/// ExitOnly under non-memoryless failure models (Weibull, LogNormal)
+/// against the exponential baseline, every family calibrated to the same
+/// per-task `pfail`. The analytic column exercises the quadrature
+/// renewal cost path; the simulation column is its ground truth.
+///
+/// The cell list is the Cartesian grid `model × class × size × pfail`
+/// (model outermost, so each model's block reuses the same per-lane
+/// workflow instances, schedules, and simulation seeds — a paired
+/// comparison across families).
+#[derive(Clone, Debug)]
+pub struct DistributionsScenario {
+    /// Failure-model family points.
+    pub models: Vec<DistModel>,
+    /// Workflow sizes.
+    pub sizes: Vec<usize>,
+    /// Per-task failure probabilities.
+    pub pfails: Vec<f64>,
+    /// Simulated executions per cell and strategy.
+    pub runs: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E9 table.
+pub const DISTRIBUTIONS_HEADER: &str =
+    "class,size,procs,pfail,ccr,model,shape,strategy,model_em,sim_em,sim_stderr,rel_err_pct,diverged";
+
+impl DistributionsScenario {
+    /// The default study: exponential baseline, infant-mortality and
+    /// wear-out Weibull, and a heavy-tailed LogNormal.
+    pub fn standard(runs: usize, sizes: Vec<usize>, base_seed: u64) -> Self {
+        DistributionsScenario {
+            models: vec![
+                DistModel::Exponential,
+                DistModel::Weibull { shape: 0.7 },
+                DistModel::Weibull { shape: 2.0 },
+                DistModel::LogNormal { sigma: 1.0 },
+            ],
+            sizes,
+            pfails: vec![0.01, 0.001],
+            runs,
+            base_seed,
+        }
+    }
+
+    fn base_grid(&self) -> Grid {
+        Grid {
+            classes: WorkflowClass::ALL.to_vec(),
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::PaperIndex(1),
+            pfails: self.pfails.clone(),
+            ccrs: CcrAxis::ClassMid,
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+    }
+
+    /// Cells per model block, computed arithmetically from the base
+    /// grid's axes (`classes × sizes × procs(1 each) × pfails ×
+    /// CCR(1)`); `cells()` asserts it against the actual enumeration so
+    /// it cannot drift from [`DistributionsScenario::base_grid`].
+    fn cells_per_model(&self) -> usize {
+        WorkflowClass::ALL.len() * self.sizes.len() * self.pfails.len()
+    }
+
+    /// The model a cell belongs to (cells are the base grid repeated
+    /// once per model, in model order).
+    fn model_of(&self, cell: &Cell) -> DistModel {
+        self.models[cell.index / self.cells_per_model()]
+    }
+}
+
+impl Scenario for DistributionsScenario {
+    type Row = DistributionRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        assert!(!self.models.is_empty(), "need at least one model");
+        let base = self.base_grid().cells();
+        assert_eq!(
+            base.len(),
+            self.cells_per_model(),
+            "cells_per_model out of sync with base_grid"
+        );
+        let mut cells = Vec::with_capacity(base.len() * self.models.len());
+        for _ in &self.models {
+            for c in &base {
+                cells.push(Cell {
+                    index: cells.len(),
+                    ..c.clone()
+                });
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<DistributionRow> {
+        let dist = self.model_of(cell);
+        let w = ctx.scaled_instance(cell, 0);
+        let model = dist.calibrate(cell.pfail, w.dag.mean_weight());
+        let pipe = ctx.pipeline_with_model(cell, 0, &w, Linearizer::RandomTopo, model);
+        let cfg = SimConfig {
+            runs: self.runs,
+            seed: ctx.instance_seed(cell, 0),
+            threads: ctx.mc_threads,
+            // Wear-out models at high pfail push CkptNone into genuine
+            // divergence (every attempt of a long task fails); a tight
+            // budget censors those runs quickly instead of grinding
+            // through the default million-failure budget per run.
+            max_failures: 10_000,
+        };
+        let evaluator = PathApprox::default();
+        let mut rows = Vec::with_capacity(4);
+        let mut row = |strategy: Strategy, model_em: f64, sim_em: f64, stderr: f64, div: usize| {
+            rows.push(DistributionRow {
+                class: cell.class,
+                size: cell.size,
+                procs: cell.procs,
+                pfail: cell.pfail,
+                ccr: cell.ccr,
+                model: model.family_name(),
+                shape: dist.shape(),
+                strategy: strategy.name(),
+                model_em,
+                sim_em,
+                sim_stderr: stderr,
+                // A fully censored simulation (every CkptNone run
+                // diverged, sim_em = ∞) has unbounded model error; keep
+                // the column an explicit `inf`, not `inf/inf = NaN`.
+                rel_err_pct: if sim_em.is_finite() {
+                    100.0 * (model_em - sim_em).abs() / sim_em
+                } else {
+                    f64::INFINITY
+                },
+                diverged: div,
+            });
+        };
+        for strategy in [Strategy::CkptAll, Strategy::CkptSome, Strategy::ExitOnly] {
+            let model_em = pipe.assess(strategy, &evaluator).expected_makespan;
+            let sg = pipe.segment_graph(strategy);
+            let sim = montecarlo_segments_model(&sg, &model, &cfg);
+            row(strategy, model_em, sim.mean_makespan, sim.stderr, 0);
+        }
+        let model_em = pipe
+            .assess(Strategy::CkptNone, &evaluator)
+            .expected_makespan;
+        let sim = montecarlo_none_model(&w.dag, &pipe.schedule, &model, &cfg);
+        row(
+            Strategy::CkptNone,
+            model_em,
+            sim.stats.mean_makespan,
+            sim.stats.stderr,
+            sim.diverged,
+        );
+        rows
+    }
+
+    fn header(&self) -> String {
+        DISTRIBUTIONS_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &DistributionRow) -> String {
+        format!(
+            "{},{},{},{},{:.6e},{},{},{},{:.4},{:.4},{:.4},{:.3},{}",
+            r.class.name(),
+            r.size,
+            r.procs,
+            r.pfail,
+            r.ccr,
+            r.model,
+            r.shape,
+            r.strategy,
+            r.model_em,
+            r.sim_em,
+            r.sim_stderr,
+            r.rel_err_pct,
+            r.diverged
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +969,46 @@ mod tests {
         for r in &report.rows {
             assert!(r.model_em > 0.0 && r.sim_em > 0.0);
         }
+    }
+
+    #[test]
+    fn distributions_cells_repeat_the_base_grid_per_model() {
+        let s = DistributionsScenario::standard(10, vec![50], 3);
+        let cells = s.cells();
+        // 4 models × 3 classes × 1 size × 1 proc × 2 pfails × 1 CCR.
+        assert_eq!(cells.len(), 4 * 3 * 2);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Model blocks share lane seeds with the base grid (paired
+        // comparison): cell k and cell k + block have identical
+        // coordinates.
+        let block = cells.len() / 4;
+        for k in 0..block {
+            assert_eq!(cells[k].seed, cells[k + block].seed);
+            assert_eq!(cells[k].pfail, cells[k + block].pfail);
+        }
+    }
+
+    #[test]
+    fn distributions_mini_run_produces_four_rows_per_cell() {
+        let s = DistributionsScenario {
+            models: vec![DistModel::Exponential, DistModel::Weibull { shape: 2.0 }],
+            sizes: vec![50],
+            pfails: vec![0.01],
+            runs: 20,
+            base_seed: 9,
+        };
+        let report = engine::run(&s, &EngineConfig::with_threads(2), &mut NullSink).unwrap();
+        assert_eq!(report.cells, 2 * 3);
+        assert_eq!(report.rows.len(), report.cells * 4);
+        for r in &report.rows {
+            assert!(r.model_em > 0.0 && r.sim_em > 0.0, "{r:?}");
+        }
+        // The exponential block must agree with the validate scenario's
+        // exponential machinery: same strategies, finite errors.
+        assert!(report.rows.iter().any(|r| r.model == "exponential"));
+        assert!(report.rows.iter().any(|r| r.model == "weibull"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! canonical order before they reach the sink.
 
 use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
-use ckpt_bench::scenarios::{FigureScenario, ValidateScenario};
+use ckpt_bench::scenarios::{DistModel, DistributionsScenario, FigureScenario, ValidateScenario};
 use pegasus::WorkflowClass;
 
 fn csv<S: Scenario>(scenario: &S, threads: usize) -> String {
@@ -52,6 +52,29 @@ fn parallel_validation_with_nested_mc_is_byte_identical_to_serial() {
     };
     let serial = csv(&scenario, 1);
     for threads in [2, 4, 16] {
+        assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_distributions_grid_is_byte_identical_to_serial() {
+    // The E9 failure-distribution scenario nests both segment and
+    // CkptNone Monte Carlo inside each cell and repeats the base grid
+    // once per model block; its CSV must hold the engine's byte-identity
+    // guarantee for any thread count, including budgets beyond the cell
+    // count.
+    let scenario = DistributionsScenario {
+        models: vec![DistModel::Exponential, DistModel::Weibull { shape: 0.7 }],
+        sizes: vec![50],
+        pfails: vec![0.001],
+        runs: 30,
+        base_seed: 11,
+    };
+    let serial = csv(&scenario, 1);
+    // 2 models × 3 classes × 1 size × 1 pfail cells, 4 strategies each,
+    // plus the header.
+    assert_eq!(serial.lines().count(), 2 * 3 * 4 + 1);
+    for threads in [2, 8] {
         assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
     }
 }

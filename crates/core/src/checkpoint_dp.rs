@@ -16,25 +16,73 @@
 
 use mspg::{Dag, TaskId};
 
-/// Cost context: the workflow, the processor failure rate, and the stable
-/// storage bandwidth.
+use crate::failure_model::FailureModel;
+
+/// Cost context: the workflow, the processor failure model, and the
+/// stable storage bandwidth.
 #[derive(Clone, Copy, Debug)]
 pub struct CostCtx<'a> {
     /// The workflow DAG (weights and file sizes).
     pub dag: &'a Dag,
-    /// Per-processor exponential failure rate.
-    pub lambda: f64,
+    /// Per-processor failure distribution.
+    pub model: FailureModel,
     /// Stable-storage bandwidth (bytes/s).
     pub bandwidth: f64,
 }
 
 impl<'a> CostCtx<'a> {
-    /// Eq. (2): first-order expected time to execute a segment whose
-    /// failure-free span is `base = R + W + C`:
-    /// `(1-λ·base)·base + λ·base·(3/2·base) = base + λ·base²/2`.
+    /// The paper's context: exponential failures of rate `lambda`.
+    pub fn exponential(dag: &'a Dag, lambda: f64, bandwidth: f64) -> Self {
+        CostCtx {
+            dag,
+            model: FailureModel::exponential(lambda),
+            bandwidth,
+        }
+    }
+
+    /// A context with an arbitrary failure model.
+    pub fn with_model(dag: &'a Dag, model: FailureModel, bandwidth: f64) -> Self {
+        CostCtx {
+            dag,
+            model,
+            bandwidth,
+        }
+    }
+
+    /// Expected time to execute a segment whose failure-free span is
+    /// `base = R + W + C`.
+    ///
+    /// * Exponential model — Eq. (2)'s closed first-order form
+    ///   `(1-λ·base)·base + λ·base·(3/2·base) = base + λ·base²/2`
+    ///   (bit-for-bit the paper's path);
+    /// * any other model — the exact renewal (restart) solve
+    ///   [`FailureModel::expected_restart_time`], evaluated by
+    ///   deterministic quadrature, with the discrete-event simulator as
+    ///   ground truth.
     #[inline]
     pub fn expected_segment_time(&self, base: f64) -> f64 {
-        base + 0.5 * self.lambda * base * base
+        match self.model {
+            FailureModel::Exponential { lambda } => base + 0.5 * lambda * base * base,
+            model => model.expected_restart_time(base),
+        }
+    }
+
+    /// The two-state surrogate's failure-branch probability for a
+    /// segment of span `base`: the `p_high` of the coalesced node whose
+    /// mean `(1 + p/2)·base` matches [`CostCtx::expected_segment_time`].
+    /// For the exponential model this is the paper's `λ·base` exactly.
+    #[inline]
+    pub fn two_state_p_high(&self, base: f64) -> f64 {
+        match self.model {
+            FailureModel::Exponential { lambda } => (lambda * base).min(1.0),
+            _ => {
+                if base == 0.0 {
+                    0.0
+                } else {
+                    (2.0 * (self.expected_segment_time(base) / base - 1.0)).clamp(0.0, 1.0)
+                }
+            }
+        }
     }
 }
 
@@ -60,43 +108,123 @@ impl SegmentCost {
     }
 }
 
+/// An epoch-stamped id set: O(1) insert/contains keyed by a dense id
+/// (`TaskId`/`FileId` index), with O(1) clearing between uses — the
+/// reusable-bitset replacement for the `Vec::contains` scans that made
+/// [`segment_cost`] quadratic in segment width.
+#[derive(Clone, Debug, Default)]
+struct IdSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl IdSet {
+    /// Clears the set and ensures capacity for ids `< n`.
+    fn reset(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    #[inline]
+    fn insert(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+/// Reusable scratch buffers for [`segment_cost_reusing`]: one allocation
+/// amortized across every segment of a coalescing pass (or across the
+/// simulator's cross-checks) instead of three fresh ones per call.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentCostScratch {
+    tasks: IdSet,
+    read: IdSet,
+    ckpt: IdSet,
+}
+
+impl SegmentCostScratch {
+    /// An empty scratch; buffers grow to fit the DAG on first use.
+    pub fn new() -> Self {
+        SegmentCostScratch::default()
+    }
+}
+
 /// Computes the cost of the segment `chain[lo..=hi]` directly (used by the
 /// simulator and as a cross-check for the DP's incremental sweep).
 pub fn segment_cost(ctx: &CostCtx<'_>, chain: &[TaskId], lo: usize, hi: usize) -> SegmentCost {
+    segment_cost_reusing(ctx, chain, lo, hi, &mut SegmentCostScratch::new())
+}
+
+/// [`segment_cost`] with caller-owned scratch buffers. File and task
+/// dedup is O(1) per check via epoch-stamped id sets, so the cost of a
+/// segment of `k` tasks touching `m` files is `O(k + m)` rather than the
+/// `O(m²)` of the former `Vec::contains` scans.
+pub fn segment_cost_reusing(
+    ctx: &CostCtx<'_>,
+    chain: &[TaskId],
+    lo: usize,
+    hi: usize,
+    scratch: &mut SegmentCostScratch,
+) -> SegmentCost {
     assert!(lo <= hi && hi < chain.len());
     let dag = ctx.dag;
-    let mut in_segment = vec![false; dag.n_tasks()];
+    scratch.tasks.reset(dag.n_tasks());
+    scratch.read.reset(dag.n_files());
+    scratch.ckpt.reset(dag.n_files());
     for &t in &chain[lo..=hi] {
-        in_segment[t.index()] = true;
+        scratch.tasks.insert(t.index());
     }
     let mut w = 0.0;
-    let mut read_files: Vec<mspg::FileId> = Vec::new();
-    let mut ckpt_files: Vec<mspg::FileId> = Vec::new();
+    let mut r_bytes = 0.0;
+    let mut c_bytes = 0.0;
     for &t in &chain[lo..=hi] {
         w += dag.weight(t);
         for &(u, f) in dag.preds(t) {
-            if !in_segment[u.index()] && !read_files.contains(&f) {
-                read_files.push(f);
+            if !scratch.tasks.contains(u.index()) && scratch.read.insert(f.index()) {
+                r_bytes += dag.file(f).size;
             }
         }
         // Workflow inputs and transitive reads (GSPG support): read from
         // storage unless the producer is inside the segment.
         for &f in dag.input_files(t) {
-            let produced_inside = dag.producer(f).is_some_and(|u| in_segment[u.index()]);
-            if !produced_inside && !read_files.contains(&f) {
-                read_files.push(f);
+            let produced_inside = dag
+                .producer(f)
+                .is_some_and(|u| scratch.tasks.contains(u.index()));
+            if !produced_inside && scratch.read.insert(f.index()) {
+                r_bytes += dag.file(f).size;
             }
         }
         for &f in dag.output_files(t) {
-            let needed_later = dag.consumers(f).iter().any(|&v| !in_segment[v.index()]);
-            if needed_later && !ckpt_files.contains(&f) {
-                ckpt_files.push(f);
+            let needed_later = dag
+                .consumers(f)
+                .iter()
+                .any(|&v| !scratch.tasks.contains(v.index()));
+            if needed_later && scratch.ckpt.insert(f.index()) {
+                c_bytes += dag.file(f).size;
             }
         }
     }
-    let r: f64 = read_files.iter().map(|&f| dag.file(f).size).sum::<f64>() / ctx.bandwidth;
-    let c: f64 = ckpt_files.iter().map(|&f| dag.file(f).size).sum::<f64>() / ctx.bandwidth;
-    SegmentCost { r, w, c }
+    SegmentCost {
+        r: r_bytes / ctx.bandwidth,
+        w,
+        c: c_bytes / ctx.bandwidth,
+    }
 }
 
 /// Result of the checkpoint DP on one superchain.
@@ -303,11 +431,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8] {
             for lambda in [1e-4, 1e-2, 0.1] {
                 let (w, ids) = unit_chain(n, 5.0);
-                let ctx = CostCtx {
-                    dag: &w.dag,
-                    lambda,
-                    bandwidth: 10.0,
-                };
+                let ctx = CostCtx::exponential(&w.dag, lambda, 10.0);
                 let dp = optimal_checkpoints(&ctx, &ids);
                 let (bf_time, _) = brute_force(&ctx, &ids);
                 assert!(
@@ -324,11 +448,7 @@ mod tests {
         let w = pegasus::generic::fork_join(2, 4, 3);
         let sched = crate::allocate::allocate(&w, 1, &crate::allocate::AllocateConfig::default());
         for lambda in [1e-3, 0.05] {
-            let ctx = CostCtx {
-                dag: &w.dag,
-                lambda,
-                bandwidth: 1e6,
-            };
+            let ctx = CostCtx::exponential(&w.dag, lambda, 1e6);
             for sc in &sched.superchains {
                 if sc.tasks.len() > 14 {
                     continue;
@@ -349,11 +469,7 @@ mod tests {
         // Zero-size files: splitting is free and λ > 0 makes smaller
         // segments strictly better.
         let (w, ids) = unit_chain(6, 0.0);
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 0.1,
-            bandwidth: 1.0,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 0.1, 1.0);
         let dp = optimal_checkpoints(&ctx, &ids);
         assert!(dp.ckpt_after.iter().all(|&c| c), "{:?}", dp.ckpt_after);
     }
@@ -363,11 +479,7 @@ mod tests {
         // Huge files, tiny λ: any interior checkpoint costs more than the
         // re-execution risk it saves.
         let (w, ids) = unit_chain(6, 1e9);
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-9,
-            bandwidth: 1e6,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-9, 1e6);
         let dp = optimal_checkpoints(&ctx, &ids);
         let interior: usize = dp.ckpt_after[..5].iter().filter(|&&c| c).count();
         assert_eq!(interior, 0, "{:?}", dp.ckpt_after);
@@ -378,11 +490,7 @@ mod tests {
     fn last_task_always_checkpointed() {
         for lambda in [0.0, 1e-3, 0.5] {
             let (w, ids) = unit_chain(4, 3.0);
-            let ctx = CostCtx {
-                dag: &w.dag,
-                lambda,
-                bandwidth: 1.0,
-            };
+            let ctx = CostCtx::exponential(&w.dag, lambda, 1.0);
             let dp = optimal_checkpoints(&ctx, &ids);
             assert!(dp.ckpt_after[3]);
         }
@@ -401,11 +509,7 @@ mod tests {
         dag.add_edge(b, fa);
         dag.add_edge(c, fa);
         let chain = [b, c];
-        let ctx = CostCtx {
-            dag: &dag,
-            lambda: 0.0,
-            bandwidth: 1.0,
-        };
+        let ctx = CostCtx::exponential(&dag, 0.0, 1.0);
         let cost = segment_cost(&ctx, &chain, 0, 1);
         // fa read once, not twice.
         assert_eq!(cost.r, 100.0);
@@ -428,11 +532,7 @@ mod tests {
             let file = dag.primary_output(t[u]).unwrap();
             dag.add_edge(t[v], file);
         }
-        let ctx = CostCtx {
-            dag: &dag,
-            lambda: 0.0,
-            bandwidth: 1.0,
-        };
+        let ctx = CostCtx::exponential(&dag, 0.0, 1.0);
         // Segment [T3, T4] (indices 2..=3): checkpoint must save T3's
         // output (needed by T5) and T4's output (needed by T5): C = 20.
         let cost = segment_cost(&ctx, &t, 2, 3);
@@ -445,11 +545,7 @@ mod tests {
     fn incremental_table_matches_direct_costs() {
         let w = pegasus::generate(pegasus::WorkflowClass::Montage, 60, 5);
         let sched = crate::allocate::allocate(&w, 3, &crate::allocate::AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-4,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e7);
         for sc in &sched.superchains {
             let table = SegmentTable::build(&ctx, &sc.tasks);
             let n = sc.tasks.len();
@@ -471,11 +567,7 @@ mod tests {
     fn zero_failure_rate_still_checkpoints_last_only() {
         // λ = 0: interior checkpoints only add cost.
         let (w, ids) = unit_chain(5, 10.0);
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 0.0,
-            bandwidth: 1.0,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 0.0, 1.0);
         let dp = optimal_checkpoints(&ctx, &ids);
         let interior: usize = dp.ckpt_after[..4].iter().filter(|&&c| c).count();
         assert_eq!(interior, 0);

@@ -11,7 +11,7 @@
 use mspg::TaskId;
 use probdag::{NodeDist, NodeId, ProbDag};
 
-use crate::checkpoint_dp::{segment_cost, CostCtx, SegmentCost};
+use crate::checkpoint_dp::{segment_cost_reusing, CostCtx, SegmentCost, SegmentCostScratch};
 use crate::schedule::Schedule;
 
 /// Per-task checkpoint decisions (indexed by task id): `ckpt_after[t]`
@@ -73,6 +73,7 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
     let dag = ctx.dag;
     let mut segments: Vec<Segment> = Vec::new();
     let mut task_segment = vec![u32::MAX; dag.n_tasks()];
+    let mut scratch = SegmentCostScratch::new();
     for (sc_idx, sc) in sched.superchains.iter().enumerate() {
         let last = *sc.tasks.last().expect("non-empty superchain");
         assert!(
@@ -83,7 +84,7 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
         for (k, &t) in sc.tasks.iter().enumerate() {
             if plan.ckpt_after[t.index()] {
                 let tasks = sc.tasks[lo..=k].to_vec();
-                let cost = segment_cost(ctx, &sc.tasks, lo, k);
+                let cost = segment_cost_reusing(ctx, &sc.tasks, lo, k, &mut scratch);
                 let seg_idx = segments.len() as u32;
                 for &x in &tasks {
                     task_segment[x.index()] = seg_idx;
@@ -102,7 +103,7 @@ pub fn coalesce(ctx: &CostCtx<'_>, sched: &Schedule, plan: &CheckpointPlan) -> S
     let mut pdag = ProbDag::new();
     for seg in &segments {
         let base = seg.cost.base();
-        let p_high = (ctx.lambda * base).min(1.0);
+        let p_high = ctx.two_state_p_high(base);
         let dist = if base == 0.0 || p_high == 0.0 {
             NodeDist::Certain(base)
         } else {
@@ -176,11 +177,7 @@ mod tests {
     fn ckptall_has_one_segment_per_task() {
         let w = generate(WorkflowClass::Genome, 50, 1);
         let sched = allocate(&w, 3, &AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-5,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-5, 1e7);
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         assert_eq!(sg.segments.len(), w.n_tasks());
         assert_eq!(sg.pdag.n_nodes(), w.n_tasks());
@@ -190,11 +187,7 @@ mod tests {
     fn segment_graph_is_acyclic_and_covers_tasks() {
         let w = generate(WorkflowClass::Montage, 300, 2);
         let sched = allocate(&w, 18, &AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-6,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-6, 1e7);
         let sg = coalesce(&ctx, &sched, &plan_some(&ctx, &sched));
         // Topological sort must succeed (panics on cycle).
         let order = sg.pdag.topo_order();
@@ -212,11 +205,7 @@ mod tests {
         // Moderate failure rate, expensive I/O: CkptSome should skip many
         // checkpoints.
         let lambda = crate::pfail::lambda_from_pfail(0.001, w.dag.mean_weight());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda,
-            bandwidth: 1e5,
-        };
+        let ctx = CostCtx::exponential(&w.dag, lambda, 1e5);
         let some = plan_some(&ctx, &sched);
         assert!(some.n_checkpoints() < w.n_tasks());
         assert!(some.n_checkpoints() >= sched.superchains.len());
@@ -226,11 +215,7 @@ mod tests {
     fn segment_distributions_follow_eq2() {
         let w = pegasus::generic::chain(4, 1);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-3,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-3, 1e7);
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         for (seg, v) in sg.segments.iter().zip(sg.pdag.node_ids()) {
             let base = seg.cost.base();
@@ -238,7 +223,7 @@ mod tests {
                 NodeDist::TwoState { low, high, p_high } => {
                     assert!((low - base).abs() < 1e-12);
                     assert!((high - 1.5 * base).abs() < 1e-12);
-                    assert!((p_high - ctx.lambda * base).abs() < 1e-12);
+                    assert!((p_high - 1e-3 * base).abs() < 1e-12);
                 }
                 NodeDist::Certain(x) => assert_eq!(x, base),
             }
@@ -250,11 +235,7 @@ mod tests {
     fn missing_final_checkpoint_panics() {
         let w = pegasus::generic::chain(3, 1);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 1e-3,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 1e-3, 1e7);
         let plan = CheckpointPlan {
             ckpt_after: vec![false; w.dag.n_tasks()],
         };
@@ -265,11 +246,7 @@ mod tests {
     fn serialization_edges_chain_processor_segments() {
         let w = pegasus::generic::chain(5, 2);
         let sched = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx {
-            dag: &w.dag,
-            lambda: 0.0,
-            bandwidth: 1e7,
-        };
+        let ctx = CostCtx::exponential(&w.dag, 0.0, 1e7);
         let sg = coalesce(&ctx, &sched, &plan_all(&w.dag));
         // 5 segments in a row: 4 serialization/data edges.
         assert_eq!(sg.pdag.n_edges(), 4);

@@ -7,6 +7,7 @@ use probdag::Evaluator;
 use crate::allocate::{allocate, AllocateConfig};
 use crate::checkpoint_dp::{exit_only, optimal_checkpoints, CostCtx};
 use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
+use crate::failure_model::FailureModel;
 use crate::platform::Platform;
 use crate::schedule::Schedule;
 
@@ -50,6 +51,20 @@ impl std::fmt::Display for Strategy {
 pub fn theorem1(w_par: f64, n_procs: usize, lambda: f64) -> f64 {
     let q = n_procs as f64 * lambda * w_par;
     (1.0 - q) * w_par + q * 1.5 * w_par
+}
+
+/// Theorem 1 generalized to any failure model: the first-order failure
+/// mass `λW` becomes the cumulative hazard `H(W) = -ln S(W)` of one
+/// processor over the failure-free span (for the exponential model
+/// `H(W) = λW` exactly, so this delegates to [`theorem1`] bit-for-bit).
+pub fn theorem1_model(w_par: f64, n_procs: usize, model: &FailureModel) -> f64 {
+    match *model {
+        FailureModel::Exponential { lambda } => theorem1(w_par, n_procs, lambda),
+        ref m => {
+            let q = n_procs as f64 * m.cumulative_hazard(w_par);
+            (1.0 - q) * w_par + q * 1.5 * w_par
+        }
+    }
 }
 
 /// Outcome of assessing one strategy on one scheduled workflow.
@@ -123,7 +138,7 @@ impl<'a> Pipeline<'a> {
     fn ctx(&self) -> CostCtx<'_> {
         CostCtx {
             dag: &self.workflow.dag,
-            lambda: self.platform.lambda,
+            model: self.platform.model,
             bandwidth: self.platform.bandwidth,
         }
     }
@@ -173,7 +188,11 @@ impl<'a> Pipeline<'a> {
         match strategy {
             Strategy::CkptNone => Assessment {
                 strategy,
-                expected_makespan: theorem1(w_par, self.platform.n_procs, self.platform.lambda),
+                expected_makespan: theorem1_model(
+                    w_par,
+                    self.platform.n_procs,
+                    &self.platform.model,
+                ),
                 n_checkpoints: 0,
                 n_segments: 0,
                 w_par,
@@ -217,6 +236,55 @@ mod tests {
     #[test]
     fn theorem1_zero_lambda_is_wpar() {
         assert_eq!(theorem1(123.0, 8, 0.0), 123.0);
+    }
+
+    #[test]
+    fn theorem1_model_reduces_to_theorem1_for_exponential() {
+        let m = FailureModel::exponential(1e-4);
+        assert_eq!(
+            theorem1_model(100.0, 4, &m).to_bits(),
+            theorem1(100.0, 4, 1e-4).to_bits()
+        );
+    }
+
+    #[test]
+    fn theorem1_model_weibull_tracks_calibrated_hazard() {
+        // Weibull k=1 calibrated to the same pfail has the same
+        // cumulative hazard as the exponential, so Theorem 1 agrees (up
+        // to the scale representation); k≠1 bends the estimate.
+        let w_bar = 10.0;
+        let exp = FailureModel::exponential_from_pfail(0.001, w_bar);
+        let wei1 = FailureModel::weibull_from_pfail(1.0, 0.001, w_bar);
+        let a = theorem1_model(200.0, 6, &exp);
+        let b = theorem1_model(200.0, 6, &wei1);
+        assert!((a - b).abs() < 1e-9 * a, "{a} vs {b}");
+        let wearout = FailureModel::weibull_from_pfail(2.0, 0.001, w_bar);
+        // Over a span 20× the mean weight, an increasing hazard has
+        // accumulated much more failure mass.
+        assert!(theorem1_model(200.0, 6, &wearout) > a);
+    }
+
+    #[test]
+    fn non_memoryless_pipeline_end_to_end() {
+        // The full pipeline accepts a Weibull platform: the DP runs on
+        // the quadrature cost path and CkptSome still dominates CkptAll.
+        let mut w = generate(WorkflowClass::Genome, 50, 5);
+        let bw = 1e7;
+        scale_to_ccr(&mut w, 0.01, bw);
+        let model = FailureModel::weibull_from_pfail(0.7, 0.01, w.dag.mean_weight());
+        let p = Platform::with_model(5, model, bw);
+        let pipe = Pipeline::new(&w, p, &AllocateConfig::default());
+        let some = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+        let all = pipe.assess(Strategy::CkptAll, &PathApprox::default());
+        let none = pipe.assess(Strategy::CkptNone, &PathApprox::default());
+        assert!(some.expected_makespan > 0.0 && none.expected_makespan > 0.0);
+        assert!(
+            some.expected_makespan <= all.expected_makespan * 1.02,
+            "some {} vs all {}",
+            some.expected_makespan,
+            all.expected_makespan
+        );
+        assert!(some.n_checkpoints <= all.n_checkpoints);
     }
 
     #[test]

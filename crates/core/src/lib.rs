@@ -19,7 +19,11 @@
 //!   via Theorem 1, **CkptSome**) plus the naive exit-only ablation, behind
 //!   a single [`evaluate::Pipeline`];
 //! * [`pfail`] / [`platform`] — the `pfail ↔ λ` normalization and platform
-//!   model of §VI-A.
+//!   model of §VI-A;
+//! * [`failure_model`] — the pluggable failure-distribution subsystem
+//!   (Exponential / Weibull / LogNormal) behind every cost path: Eq. (2)
+//!   stays closed-form for the exponential case, non-memoryless models
+//!   ride an exact renewal solve by deterministic quadrature.
 //!
 //! ## Quickstart
 //!
@@ -43,15 +47,20 @@ pub mod allocate;
 pub mod checkpoint_dp;
 pub mod coalesce;
 pub mod evaluate;
+pub mod failure_model;
 pub mod pfail;
 pub mod platform;
 pub mod propmap;
 pub mod schedule;
 
 pub use allocate::{allocate, AllocateConfig};
-pub use checkpoint_dp::{optimal_checkpoints, segment_cost, CostCtx, SegmentCost};
+pub use checkpoint_dp::{
+    optimal_checkpoints, segment_cost, segment_cost_reusing, CostCtx, SegmentCost,
+    SegmentCostScratch,
+};
 pub use coalesce::{coalesce, CheckpointPlan, Segment, SegmentGraph};
-pub use evaluate::{theorem1, Assessment, Pipeline, Strategy};
+pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
+pub use failure_model::FailureModel;
 pub use pfail::{lambda_from_pfail, pfail_from_lambda};
 pub use platform::Platform;
 pub use propmap::{propmap, PropMapResult};

@@ -4,18 +4,47 @@
 //! the probability `pfail` that an *average* task fails and derives the
 //! exponential processor failure rate from `pfail = 1 - e^{-λ·w̄}`, where
 //! `w̄` is the mean task weight.
+//!
+//! Both directions share one domain contract: `mean_weight` must be
+//! **strictly positive and finite** (a zero mean weight has no average
+//! task to calibrate against), `pfail ∈ [0, 1)` and `λ ∈ [0, ∞)` finite.
+//! The two functions historically disagreed on the `mean_weight = 0`
+//! boundary (`lambda_from_pfail` rejected it, `pfail_from_lambda`
+//! silently accepted it and returned 0); the contract is now symmetric
+//! and both boundaries are tested.
+//!
+//! The non-exponential generalization of this calibration lives on
+//! [`crate::FailureModel`] (`weibull_from_pfail`, `lognormal_from_pfail`),
+//! which pins any model family so that `F(w̄) = pfail`.
 
 /// Failure rate `λ` such that a task of weight `mean_weight` fails with
 /// probability `pfail`.
+///
+/// Accepted ranges: `pfail ∈ [0, 1)` (`pfail = 0` maps to `λ = 0`),
+/// `mean_weight ∈ (0, ∞)`.
 pub fn lambda_from_pfail(pfail: f64, mean_weight: f64) -> f64 {
     assert!((0.0..1.0).contains(&pfail), "pfail must be in [0, 1)");
-    assert!(mean_weight > 0.0, "mean weight must be positive");
+    assert!(
+        mean_weight > 0.0 && mean_weight.is_finite(),
+        "mean weight must be positive and finite"
+    );
     -(1.0 - pfail).ln() / mean_weight
 }
 
 /// Probability that a task of weight `mean_weight` fails at rate `lambda`.
+///
+/// Accepted ranges: `lambda ∈ [0, ∞)` finite, `mean_weight ∈ (0, ∞)` —
+/// the same domain `lambda_from_pfail` maps onto, so the two functions
+/// are mutual inverses everywhere they are defined.
 pub fn pfail_from_lambda(lambda: f64, mean_weight: f64) -> f64 {
-    assert!(lambda >= 0.0 && mean_weight >= 0.0);
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and non-negative"
+    );
+    assert!(
+        mean_weight > 0.0 && mean_weight.is_finite(),
+        "mean weight must be positive and finite"
+    );
     1.0 - (-lambda * mean_weight).exp()
 }
 
@@ -51,8 +80,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "pfail must be in [0, 1)")]
     fn pfail_one_rejected() {
         lambda_from_pfail(1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean weight must be positive")]
+    fn zero_mean_weight_rejected_forward() {
+        lambda_from_pfail(0.01, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean weight must be positive")]
+    fn zero_mean_weight_rejected_backward() {
+        // The historical asymmetry: this boundary used to be silently
+        // accepted here while rejected in `lambda_from_pfail`.
+        pfail_from_lambda(0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean weight must be positive")]
+    fn infinite_mean_weight_rejected() {
+        pfail_from_lambda(0.1, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn negative_lambda_rejected() {
+        pfail_from_lambda(-1.0, 10.0);
     }
 }

@@ -1,8 +1,11 @@
 //! The execution platform model.
 
+use crate::failure_model::FailureModel;
+
 /// A homogeneous failure-prone platform (§II): `n_procs` identical
-/// processors with independent exponential fail-stop failures of rate
-/// `lambda` each, sharing stable storage of bandwidth `bandwidth` bytes/s.
+/// processors with independent fail-stop failures drawn from `model`
+/// (the paper's exponential process, or any [`FailureModel`]), sharing
+/// stable storage of bandwidth `bandwidth` bytes/s.
 ///
 /// Reading or writing a file of `s` bytes takes `s / bandwidth` seconds;
 /// in-memory transfers between tasks cost nothing (the paper's model —
@@ -11,23 +14,41 @@
 pub struct Platform {
     /// Number of processors.
     pub n_procs: usize,
-    /// Per-processor exponential failure rate (1/s).
-    pub lambda: f64,
+    /// Per-processor failure distribution (renewal process: each reboot
+    /// or restart rejuvenates the processor).
+    pub model: FailureModel,
     /// Stable-storage bandwidth (bytes/s).
     pub bandwidth: f64,
 }
 
 impl Platform {
-    /// Creates a platform, validating the parameters.
+    /// Creates the paper's exponential platform, validating the
+    /// parameters.
     pub fn new(n_procs: usize, lambda: f64, bandwidth: f64) -> Self {
+        Platform::with_model(n_procs, FailureModel::exponential(lambda), bandwidth)
+    }
+
+    /// Creates a platform with an arbitrary failure model.
+    pub fn with_model(n_procs: usize, model: FailureModel, bandwidth: f64) -> Self {
         assert!(n_procs >= 1, "need at least one processor");
-        assert!(lambda >= 0.0 && lambda.is_finite(), "bad failure rate");
         assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bad bandwidth");
         Platform {
             n_procs,
-            lambda,
+            model,
             bandwidth,
         }
+    }
+
+    /// The exponential failure rate of this platform.
+    ///
+    /// # Panics
+    /// Panics if the platform's failure model is not exponential; paths
+    /// that support arbitrary models should read [`Platform::model`]
+    /// instead.
+    pub fn lambda(&self) -> f64 {
+        self.model
+            .exponential_rate()
+            .expect("platform failure model is not exponential")
     }
 
     /// Time to read or write `bytes` from/to stable storage.
@@ -56,6 +77,19 @@ mod tests {
         let p = Platform::new(4, 1e-6, 1e8);
         assert_eq!(p.io_time(1e8), 1.0);
         assert_eq!(p.io_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn lambda_accessor_roundtrips() {
+        let p = Platform::new(4, 2.5e-4, 1e8);
+        assert_eq!(p.lambda(), 2.5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exponential")]
+    fn lambda_accessor_rejects_non_exponential() {
+        let p = Platform::with_model(4, FailureModel::weibull(2.0, 100.0), 1e8);
+        let _ = p.lambda();
     }
 
     #[test]

@@ -60,7 +60,7 @@ proptest! {
                              lambda in 1e-6f64..0.05, bw in 1e5f64..1e9) {
         let w = wf(n, seed);
         let s = allocate(&w, p, &AllocateConfig { linearizer: Linearizer::RandomTopo, seed });
-        let ctx = CostCtx { dag: &w.dag, lambda, bandwidth: bw };
+        let ctx = CostCtx::exponential(&w.dag, lambda, bw);
         for sc in &s.superchains {
             let len = sc.tasks.len();
             if len > 12 {
@@ -96,7 +96,7 @@ proptest! {
     fn segment_cost_monotonicity(n in 2usize..60, seed: u64) {
         let w = wf(n, seed);
         let s = allocate(&w, 1, &AllocateConfig::default());
-        let ctx = CostCtx { dag: &w.dag, lambda: 0.0, bandwidth: 1e6 };
+        let ctx = CostCtx::exponential(&w.dag, 0.0, 1e6);
         for sc in &s.superchains {
             let len = sc.tasks.len();
             if len < 2 {

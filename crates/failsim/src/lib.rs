@@ -12,7 +12,10 @@
 //!   cascades: processor failures lose in-memory outputs, consumers demand
 //!   transitive producer re-execution (the process whose expectation the
 //!   paper proves #P-complete to compute);
-//! * [`failure`] — exponential and trace-driven failure injection;
+//! * [`failure`] — pluggable failure injection: parametric
+//!   [`FailureModel`]s (exponential / Weibull / LogNormal) and
+//!   deterministic traces, each processor on an independent
+//!   splitmix-derived substream;
 //! * [`montecarlo`] — seeded, thread-parallel aggregation.
 
 pub mod failure;
@@ -21,8 +24,15 @@ pub mod montecarlo;
 pub mod none_exec;
 pub mod segment_exec;
 
-pub use failure::{ExpFailures, FailureSource, TraceFailures};
+pub use ckpt_core::FailureModel;
+pub use failure::{ExpFailures, FailureSource, ModelFailures, ModelSampler, TraceFailures};
 pub use metrics::{ExecStats, McStats};
-pub use montecarlo::{montecarlo_none, montecarlo_segments, NoneMcStats, SimConfig};
+pub use montecarlo::{
+    montecarlo_none, montecarlo_none_model, montecarlo_segments, montecarlo_segments_model,
+    NoneMcStats, SimConfig,
+};
 pub use none_exec::{simulate_none, Diverged};
-pub use segment_exec::{simulate_segments, simulate_segments_downtime};
+pub use segment_exec::{
+    simulate_segments, simulate_segments_downtime, simulate_segments_model,
+    simulate_segments_model_downtime,
+};

@@ -1,12 +1,12 @@
 //! Parallel Monte Carlo over simulated executions.
 
-use ckpt_core::{Schedule, SegmentGraph};
+use ckpt_core::{FailureModel, Schedule, SegmentGraph};
 use mspg::Dag;
 
-use crate::failure::ExpFailures;
+use crate::failure::ModelFailures;
 use crate::metrics::{ExecStats, McStats};
 use crate::none_exec::simulate_none;
-use crate::segment_exec::simulate_segments;
+use crate::segment_exec::simulate_segments_model;
 
 /// Monte Carlo configuration.
 #[derive(Clone, Copy, Debug)]
@@ -64,10 +64,21 @@ where
     })
 }
 
-/// Monte Carlo over checkpointed (segment-graph) executions.
+/// Monte Carlo over checkpointed (segment-graph) executions under
+/// exponential failures of rate `lambda`.
 pub fn montecarlo_segments(sg: &SegmentGraph, lambda: f64, cfg: &SimConfig) -> McStats {
+    montecarlo_segments_model(sg, &FailureModel::exponential(lambda), cfg)
+}
+
+/// Monte Carlo over checkpointed executions under an arbitrary
+/// [`FailureModel`].
+pub fn montecarlo_segments_model(
+    sg: &SegmentGraph,
+    model: &FailureModel,
+    cfg: &SimConfig,
+) -> McStats {
     let runs = parallel_map(cfg.runs, cfg.threads, |i| {
-        simulate_segments(sg, lambda, run_seed(cfg.seed, i))
+        simulate_segments_model(sg, model, run_seed(cfg.seed, i))
     });
     McStats::from_runs(&runs)
 }
@@ -75,17 +86,35 @@ pub fn montecarlo_segments(sg: &SegmentGraph, lambda: f64, cfg: &SimConfig) -> M
 /// Monte Carlo over CkptNone executions. Diverged runs (failure budget
 /// exhausted) are censored at the budget and reported separately.
 pub struct NoneMcStats {
-    /// Aggregate over converged runs.
+    /// Aggregate over converged runs. When *every* run diverges (the
+    /// regime where the paper's plots clip CkptNone — reachable under
+    /// wear-out failure models), the mean and standard error are
+    /// `f64::INFINITY` with `runs == 0`; `mean_failures` then averages
+    /// the *censored* failure counts of the diverged runs, and
+    /// `mean_wasted` is 0 because diverged runs do not track wasted
+    /// time.
     pub stats: McStats,
     /// Number of runs that exceeded the failure budget.
     pub diverged: usize,
 }
 
-/// Monte Carlo over CkptNone executions.
+/// Monte Carlo over CkptNone executions under exponential failures.
 pub fn montecarlo_none(dag: &Dag, sched: &Schedule, lambda: f64, cfg: &SimConfig) -> NoneMcStats {
+    montecarlo_none_model(dag, sched, &FailureModel::exponential(lambda), cfg)
+}
+
+/// Monte Carlo over CkptNone executions under an arbitrary
+/// [`FailureModel`]: run `i` owns a [`ModelFailures`] source whose
+/// per-processor substreams derive from the run's seed.
+pub fn montecarlo_none_model(
+    dag: &Dag,
+    sched: &Schedule,
+    model: &FailureModel,
+    cfg: &SimConfig,
+) -> NoneMcStats {
     let marker = f64::INFINITY;
     let runs = parallel_map(cfg.runs, cfg.threads, |i| {
-        let mut src = ExpFailures::new(lambda, run_seed(cfg.seed, i));
+        let mut src = ModelFailures::new(*model, run_seed(cfg.seed, i));
         match simulate_none(dag, sched, &mut src, cfg.max_failures) {
             Ok(s) => s,
             Err(d) => ExecStats {
@@ -102,11 +131,19 @@ pub fn montecarlo_none(dag: &Dag, sched: &Schedule, lambda: f64, cfg: &SimConfig
         .filter(|r| r.makespan.is_finite())
         .collect();
     let diverged = runs.len() - converged.len();
-    assert!(!converged.is_empty(), "all CkptNone runs diverged");
-    NoneMcStats {
-        stats: McStats::from_runs(&converged),
-        diverged,
-    }
+    let stats = if converged.is_empty() {
+        McStats {
+            mean_makespan: f64::INFINITY,
+            stderr: f64::INFINITY,
+            mean_failures: runs.iter().map(|r| r.n_failures as f64).sum::<f64>()
+                / runs.len() as f64,
+            mean_wasted: 0.0,
+            runs: 0,
+        }
+    } else {
+        McStats::from_runs(&converged)
+    };
+    NoneMcStats { stats, diverged }
 }
 
 #[cfg(test)]
@@ -161,6 +198,28 @@ mod tests {
         );
         assert_eq!(r.diverged, 0);
         assert!(r.stats.mean_makespan >= sched.failure_free_parallel_time(&w.dag) - 1e-6);
+    }
+
+    #[test]
+    fn none_mc_survives_total_divergence() {
+        // A wear-out model so aggressive nothing ever completes: the
+        // aggregate must censor every run instead of panicking.
+        let w = generate(WorkflowClass::Genome, 50, 4);
+        let sched = allocate(&w, 5, &AllocateConfig::default());
+        let model = ckpt_core::FailureModel::weibull(2.0, w.dag.mean_weight() * 1e-3);
+        let r = montecarlo_none_model(
+            &w.dag,
+            &sched,
+            &model,
+            &SimConfig {
+                runs: 5,
+                max_failures: 200,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.diverged, 5);
+        assert_eq!(r.stats.runs, 0);
+        assert!(r.stats.mean_makespan.is_infinite());
     }
 
     #[test]

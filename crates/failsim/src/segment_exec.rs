@@ -3,22 +3,24 @@
 //! With every superchain checkpointed there are no crossover dependencies:
 //! each segment restarts from its own inputs on stable storage, so a
 //! segment's wall-clock duration is an independent renewal process —
-//! failed attempts (exponential strikes before the `R + W + C` span
-//! completes) repeat until one attempt survives. Failures during idle
-//! waiting are harmless (no state in memory between segments), which makes
-//! the renewal sampling *exact* for this execution model, not an
-//! approximation.
+//! failed attempts (a time-to-failure drawn from the platform's
+//! [`FailureModel`] striking before the `R + W + C` span completes)
+//! repeat until one attempt survives. Failures during idle waiting are
+//! harmless (no state in memory between segments), which makes the
+//! renewal sampling *exact* for this execution model, not an
+//! approximation — for any model family, since every restart rejuvenates
+//! the processor.
 
-use ckpt_core::SegmentGraph;
+use ckpt_core::{FailureModel, SegmentGraph};
 
-use crate::failure::ExpFailures;
+use crate::failure::ModelSampler;
 use crate::metrics::ExecStats;
 
 /// Simulates one execution of a coalesced (checkpointed) schedule under
 /// exponential failures of rate `lambda` per processor (instant reboot,
 /// the paper's model).
 pub fn simulate_segments(sg: &SegmentGraph, lambda: f64, seed: u64) -> ExecStats {
-    simulate_segments_downtime(sg, lambda, 0.0, seed)
+    simulate_segments_model(sg, &FailureModel::exponential(lambda), seed)
 }
 
 /// Like [`simulate_segments`] but each failure additionally costs
@@ -30,8 +32,28 @@ pub fn simulate_segments_downtime(
     downtime: f64,
     seed: u64,
 ) -> ExecStats {
+    simulate_segments_model_downtime(sg, &FailureModel::exponential(lambda), downtime, seed)
+}
+
+/// Simulates one execution under an arbitrary [`FailureModel`]: every
+/// attempt of a segment restarts a rejuvenated processor, so each draws
+/// a fresh time-to-failure from the model. For non-memoryless models
+/// this is exactly the restart/renewal process whose expectation
+/// `CostCtx::expected_segment_time` solves by quadrature — the simulator
+/// is the ground truth for that numeric path.
+pub fn simulate_segments_model(sg: &SegmentGraph, model: &FailureModel, seed: u64) -> ExecStats {
+    simulate_segments_model_downtime(sg, model, 0.0, seed)
+}
+
+/// [`simulate_segments_model`] with per-failure reboot downtime.
+pub fn simulate_segments_model_downtime(
+    sg: &SegmentGraph,
+    model: &FailureModel,
+    downtime: f64,
+    seed: u64,
+) -> ExecStats {
     assert!(downtime >= 0.0);
-    let mut src = ExpFailures::new(lambda, seed);
+    let mut src = ModelSampler::new(*model, seed);
     let order = sg.pdag.topo_order();
     let mut finish = vec![0.0f64; sg.segments.len()];
     let mut stats = ExecStats::default();
@@ -52,13 +74,13 @@ pub fn simulate_segments_downtime(
 
 /// Renewal sampling of one segment's wall-clock duration: attempts of span
 /// `base` repeat until no failure strikes within the attempt.
-fn sample_duration(base: f64, downtime: f64, src: &mut ExpFailures, stats: &mut ExecStats) -> f64 {
+fn sample_duration(base: f64, downtime: f64, src: &mut ModelSampler, stats: &mut ExecStats) -> f64 {
     if base == 0.0 {
         return 0.0;
     }
     let mut elapsed = 0.0;
     loop {
-        let strike = src.sample_interarrival();
+        let strike = src.sample_ttf();
         if strike >= base {
             return elapsed + base;
         }

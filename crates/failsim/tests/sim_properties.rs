@@ -1,7 +1,10 @@
 //! Property-based tests for the discrete-event simulators.
 
-use ckpt_core::{allocate, AllocateConfig, Pipeline, Platform, Strategy};
-use failsim::{simulate_none, simulate_segments, ExpFailures, TraceFailures};
+use ckpt_core::{allocate, AllocateConfig, CostCtx, FailureModel, Pipeline, Platform, Strategy};
+use failsim::{
+    montecarlo_segments_model, simulate_none, simulate_segments, simulate_segments_model,
+    ExpFailures, ModelFailures, SimConfig, TraceFailures,
+};
 use mspg::gen::{random_workflow, GenConfig};
 use proptest::prelude::*;
 
@@ -72,6 +75,74 @@ proptest! {
         let stats = simulate_none(&w.dag, &sched, &mut src, 100_000).unwrap();
         prop_assert!(stats.makespan >= wpar - 1e-6 * wpar.max(1.0));
         prop_assert!(stats.n_failures <= fail_times.len());
+    }
+
+    /// The renewal simulator is the ground truth for the analytic cost
+    /// path: over a single-segment chain, the simulated mean converges
+    /// to `CostCtx::expected_segment_time` to first order when the
+    /// per-span failure mass is small — for every model family. The
+    /// exponential arm checks Eq. (2) (first-order, so an O((λ·base)²)
+    /// slack applies); the Weibull and LogNormal arms check the exact
+    /// quadrature renewal solve.
+    #[test]
+    fn single_segment_mean_matches_cost_model(weight in 1.0f64..50.0,
+                                              hazard in 1e-3f64..2e-2,
+                                              family in 0usize..4,
+                                              seed: u64) {
+        let mut dag = mspg::Dag::new();
+        let k = dag.add_kind("t");
+        let t = dag.add_task("t0", k, weight);
+        let root = mspg::Mspg::chain([t]).unwrap();
+        let w = mspg::Workflow::new(dag, root);
+        // Calibrate every family to the same failure mass over the span.
+        let pfail = 1.0 - (-hazard).exp();
+        let model = match family {
+            0 => FailureModel::exponential_from_pfail(pfail, weight),
+            1 => FailureModel::weibull_from_pfail(0.8, pfail, weight),
+            2 => FailureModel::weibull_from_pfail(2.0, pfail, weight),
+            _ => FailureModel::lognormal_from_pfail(1.0, pfail, weight),
+        };
+        let platform = Platform::with_model(1, model, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        let sg = pipe.segment_graph(Strategy::CkptAll);
+        prop_assert_eq!(sg.segments.len(), 1);
+        let base = sg.segments[0].cost.base();
+        let expected = CostCtx::with_model(&w.dag, model, 1e7).expected_segment_time(base);
+        let mc = montecarlo_segments_model(&sg, &model, &SimConfig {
+            runs: 4000,
+            seed,
+            threads: 1,
+            ..Default::default()
+        });
+        // 5σ statistical slack + the exponential arm's first-order model
+        // error (≈ (λ·base)²·base/6) + quadrature slack.
+        let tol = 5.0 * mc.stderr + hazard * hazard * base + 1e-6 * base;
+        prop_assert!((mc.mean_makespan - expected).abs() < tol,
+            "family {family}: sim {} vs model {expected} (stderr {})",
+            mc.mean_makespan, mc.stderr);
+    }
+
+    /// A Weibull with shape 1 *is* the exponential distribution; with a
+    /// power-of-two scale (so `scale·x == x/λ` exactly) both simulator
+    /// paths must reproduce the exponential results bit-for-bit under
+    /// the same seed — segment renewal sampling and the per-processor
+    /// CkptNone cascade alike.
+    #[test]
+    fn weibull_shape_one_is_bitwise_exponential(n in 2usize..40, seed: u64) {
+        let lambda = 0.03125; // 2⁻⁵ ⇒ scale 32 is exactly representable
+        let weibull = FailureModel::weibull(1.0, 32.0);
+        let w = wf(n, seed);
+        let platform = Platform::new(3, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let sg = pipe.segment_graph(Strategy::CkptAll);
+        let a = simulate_segments(&sg, lambda, seed);
+        let b = simulate_segments_model(&sg, &weibull, seed);
+        prop_assert_eq!(a, b);
+        let mut exp_src = ExpFailures::new(lambda, seed);
+        let mut wei_src = ModelFailures::new(weibull, seed);
+        let na = simulate_none(&w.dag, &pipe.schedule, &mut exp_src, 100_000);
+        let nb = simulate_none(&w.dag, &pipe.schedule, &mut wei_src, 100_000);
+        prop_assert_eq!(na, nb);
     }
 
     /// Monte Carlo means respond monotonically to the failure rate (with

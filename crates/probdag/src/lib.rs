@@ -33,7 +33,7 @@ pub use dist::Discrete;
 pub use dodin::Dodin;
 pub use exact::ExactEnum;
 pub use montecarlo::{McResult, MonteCarlo};
-pub use normal::NormalSculli;
+pub use normal::{normal_cdf, normal_quantile, NormalSculli};
 pub use pathapprox::PathApprox;
 pub use pdag::{NodeDist, NodeId, ProbDag};
 

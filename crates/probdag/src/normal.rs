@@ -20,9 +20,69 @@ fn phi(x: f64) -> f64 {
 }
 
 /// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf polynomial
-/// (|error| < 1.5e-7, ample for moment propagation).
-fn cap_phi(x: f64) -> f64 {
+/// (absolute error < 1.5e-7, ample for moment propagation and for the
+/// failure-model layer's LogNormal survival function).
+pub fn normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn cap_phi(x: f64) -> f64 {
+    normal_cdf(x)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)` via Acklam's
+/// rational approximation (relative error < 1.15e-9 over the full open
+/// interval, including both tails). Used by the failure-model layer to
+/// calibrate LogNormal models against a per-task failure probability and
+/// to invert the LogNormal survival function when sampling.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile needs p in (0, 1)");
+    // Coefficients from Acklam (2003).
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        -normal_quantile(1.0 - p)
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    }
 }
 
 fn erf(x: f64) -> f64 {
@@ -162,6 +222,25 @@ mod tests {
         assert!((cap_phi(0.0) - 0.5).abs() < 1e-9);
         assert!((cap_phi(1.96) - 0.975).abs() < 1e-3);
         assert!((cap_phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_the_cdf() {
+        // Reference quantiles plus a roundtrip through the CDF (bounded
+        // by the A&S CDF error, not the quantile's).
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(1e-4) + 3.719016).abs() < 1e-5);
+        for p in [1e-6, 1e-3, 0.2, 0.5, 0.9, 0.999] {
+            let back = normal_cdf(normal_quantile(p));
+            assert!((back - p).abs() < 2e-7, "p={p} back={back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normal_quantile needs p in (0, 1)")]
+    fn normal_quantile_rejects_zero() {
+        normal_quantile(0.0);
     }
 
     #[test]

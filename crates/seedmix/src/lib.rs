@@ -56,6 +56,24 @@ pub fn derive(base: u64, coords: &[u64]) -> u64 {
     s
 }
 
+/// Seed of substream `index` derived from `base` with full avalanche
+/// mixing — the substream analogue of [`derive`], for one coordinate.
+///
+/// Unlike [`stream_seed`], which advances `base` *additively* along the
+/// golden-gamma sequence, `substream` is safe to **nest**: deriving
+/// per-processor streams from per-run streams with `stream_seed` would
+/// collide structurally (`stream_seed(stream_seed(b, i), q)` depends
+/// only on `i + q`, so run 0/processor 1 and run 1/processor 0 would
+/// share one failure stream), whereas `substream(stream_seed(b, i), q)`
+/// avalanches the run seed first and keeps all `(run, processor)` pairs
+/// statistically independent. The failure-injection layer
+/// (`failsim::ModelFailures`) derives its per-processor substreams this
+/// way.
+#[inline]
+pub fn substream(base: u64, index: u64) -> u64 {
+    derive(base, &[index])
+}
+
 /// Resolves a requested thread count: `0` means all available cores
 /// (falling back to 1 if parallelism cannot be queried).
 pub fn resolve_threads(requested: usize) -> usize {
@@ -106,6 +124,31 @@ mod tests {
         let a = derive(7, &[0, 50]);
         let b = derive(7, &[0, 51]);
         assert!((a ^ b).count_ones() > 10, "{a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn substream_matches_single_coordinate_derive() {
+        for base in [0u64, 42, u64::MAX] {
+            for i in 0..4u64 {
+                assert_eq!(substream(base, i), derive(base, &[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_substreams_break_additive_collisions() {
+        // The additive formula collides on i + q: stream_seed(stream_seed
+        // (b, 0), 1) == stream_seed(stream_seed(b, 1), 0). The avalanche
+        // variant must not.
+        let b = 0xF00D;
+        assert_eq!(
+            stream_seed(stream_seed(b, 0), 1),
+            stream_seed(stream_seed(b, 1), 0)
+        );
+        assert_ne!(
+            substream(stream_seed(b, 0), 1),
+            substream(stream_seed(b, 1), 0)
+        );
     }
 
     #[test]

@@ -48,10 +48,14 @@ pub use seedmix;
 /// One-stop imports for the common pipeline.
 pub mod prelude {
     pub use ckpt_core::{
-        allocate, lambda_from_pfail, optimal_checkpoints, theorem1, AllocateConfig, Assessment,
-        CheckpointPlan, CostCtx, Pipeline, Platform, Schedule, SegmentGraph, Strategy, Superchain,
+        allocate, lambda_from_pfail, optimal_checkpoints, theorem1, theorem1_model, AllocateConfig,
+        Assessment, CheckpointPlan, CostCtx, FailureModel, Pipeline, Platform, Schedule,
+        SegmentGraph, Strategy, Superchain,
     };
-    pub use failsim::{simulate_none, simulate_segments, ExpFailures, SimConfig};
+    pub use failsim::{
+        simulate_none, simulate_segments, simulate_segments_model, ExpFailures, ModelFailures,
+        SimConfig,
+    };
     pub use mspg::{Dag, Mspg, TaskId, Workflow};
     pub use pegasus::WorkflowClass;
     pub use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox, ProbDag};

@@ -102,14 +102,14 @@ fn simulators_are_bitwise_deterministic() {
     let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
     let sg = pipe.segment_graph(Strategy::CkptAll);
 
-    let a = simulate_segments(&sg, platform.lambda, 21);
-    let b = simulate_segments(&sg, platform.lambda, 21);
+    let a = simulate_segments(&sg, platform.lambda(), 21);
+    let b = simulate_segments(&sg, platform.lambda(), 21);
     assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
     assert_eq!(a.n_failures, b.n_failures);
     assert_eq!(a.wasted_time.to_bits(), b.wasted_time.to_bits());
 
     let run_none = || {
-        let mut src = ExpFailures::new(platform.lambda, 5);
+        let mut src = ExpFailures::new(platform.lambda(), 5);
         simulate_none(&w.dag, &pipe.schedule, &mut src, 100_000).unwrap()
     };
     let (x, y) = (run_none(), run_none());
@@ -122,11 +122,37 @@ fn simulators_are_bitwise_deterministic() {
         threads: 2,
         ..Default::default()
     };
-    let ma = failsim::montecarlo_segments(&sg, platform.lambda, &cfg);
-    let mb = failsim::montecarlo_segments(&sg, platform.lambda, &cfg);
+    let ma = failsim::montecarlo_segments(&sg, platform.lambda(), &cfg);
+    let mb = failsim::montecarlo_segments(&sg, platform.lambda(), &cfg);
     assert_eq!(ma.mean_makespan.to_bits(), mb.mean_makespan.to_bits());
     assert_eq!(ma.stderr.to_bits(), mb.stderr.to_bits());
     assert_eq!(ma.mean_failures.to_bits(), mb.mean_failures.to_bits());
+}
+
+#[test]
+fn non_memoryless_pipeline_is_bitwise_deterministic() {
+    // The quadrature cost path and the model-driven simulators are pure
+    // functions of (model, seed), like every exponential path before
+    // them.
+    let (w, _) = build(WorkflowClass::Montage, 23);
+    let model = FailureModel::weibull_from_pfail(0.7, 0.001, w.dag.mean_weight());
+    let platform = Platform::with_model(5, model, BW);
+    let run = || {
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        let em = pipe
+            .assess(Strategy::CkptSome, &PathApprox::default())
+            .expected_makespan;
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        let sim = failsim::simulate_segments_model(&sg, &model, 31);
+        let mut src = failsim::ModelFailures::new(model, 7);
+        let none = simulate_none(&w.dag, &pipe.schedule, &mut src, 100_000).unwrap();
+        (em, sim, none)
+    };
+    let (ea, sa, na) = run();
+    let (eb, sb, nb) = run();
+    assert_eq!(ea.to_bits(), eb.to_bits());
+    assert_eq!(sa, sb);
+    assert_eq!(na, nb);
 }
 
 #[test]

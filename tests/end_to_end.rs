@@ -104,7 +104,7 @@ fn simulation_validates_first_order_model() {
     let sg = pipe.segment_graph(Strategy::CkptSome);
     let sim = montecarlo_segments(
         &sg,
-        platform.lambda,
+        platform.lambda(),
         &SimConfig {
             runs: 3000,
             seed: 2,
