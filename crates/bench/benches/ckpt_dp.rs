@@ -2,8 +2,17 @@
 //! superchains of growing length, plus the direct `segment_cost` used by
 //! the simulator/cross-check path (now linear in segment width via the
 //! reusable epoch-stamped id sets instead of `Vec::contains` scans).
+//!
+//! The `checkpoint-dp-models` group is the RestartCurve headline: the
+//! same Weibull/LogNormal DP with per-query 128-panel quadrature
+//! (`direct`) vs the precomputed renewal curve (`curve`), and the
+//! `checkpoint-dp-scratch` group is the allocation-free datapoint
+//! (fresh buffers per superchain vs one reused `DpScratch`).
 
-use ckpt_core::{optimal_checkpoints, segment_cost_reusing, CostCtx, SegmentCostScratch};
+use ckpt_core::{
+    optimal_checkpoints, optimal_checkpoints_reusing, segment_cost_reusing, CostCtx, DpScratch,
+    FailureModel, RestartCurve, SegmentCostScratch,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mspg::TaskId;
 
@@ -41,6 +50,64 @@ fn bench_dp_superchain(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dp_models(c: &mut Criterion) {
+    // Non-memoryless DP: every T(i, j) is a renewal query. `direct`
+    // re-integrates per query (the pre-curve hot path); `curve` answers
+    // from the precomputed table.
+    let mut group = c.benchmark_group("checkpoint-dp-models");
+    group.sample_size(10);
+    let n = 100;
+    let w = pegasus::generic::chain(n, 3);
+    let chain: Vec<TaskId> = w.dag.task_ids().collect();
+    let total = w.dag.total_weight() + 2.0 * w.dag.total_data_volume() / 1e8;
+    let w_bar = w.dag.mean_weight();
+    let models = [
+        (
+            "weibull-k0.7",
+            FailureModel::weibull_from_pfail(0.7, 0.01, w_bar),
+        ),
+        (
+            "weibull-k2",
+            FailureModel::weibull_from_pfail(2.0, 0.01, w_bar),
+        ),
+        (
+            "lognormal-s1",
+            FailureModel::lognormal_from_pfail(1.0, 0.01, w_bar),
+        ),
+    ];
+    for (name, model) in models {
+        let direct_ctx = CostCtx::with_model(&w.dag, model, 1e8);
+        group.bench_with_input(BenchmarkId::new("direct", name), &chain, |b, chain| {
+            b.iter(|| optimal_checkpoints(&direct_ctx, chain))
+        });
+        let curve = RestartCurve::build(model, w_bar.min(total), total);
+        let curve_ctx = CostCtx::with_curve(&w.dag, model, 1e8, Some(&curve));
+        group.bench_with_input(BenchmarkId::new("curve", name), &chain, |b, chain| {
+            b.iter(|| optimal_checkpoints(&curve_ctx, chain))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_scratch(c: &mut Criterion) {
+    // The steady-state plan loop: the same superchain DP with fresh
+    // buffers per call vs one reused scratch (no per-superchain heap
+    // allocations once grown).
+    let mut group = c.benchmark_group("checkpoint-dp-scratch");
+    group.sample_size(20);
+    let w = pegasus::generic::chain(500, 3);
+    let chain: Vec<TaskId> = w.dag.task_ids().collect();
+    let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
+    group.bench_function("fresh-alloc", |b| {
+        b.iter(|| optimal_checkpoints(&ctx, &chain))
+    });
+    let mut scratch = DpScratch::new();
+    group.bench_function("reused-scratch", |b| {
+        b.iter(|| optimal_checkpoints_reusing(&ctx, &chain, &mut scratch))
+    });
+    group.finish();
+}
+
 fn bench_segment_cost(c: &mut Criterion) {
     // Wide segments are where the old O(width²) file dedup hurt: a
     // linearized bipartite block puts hundreds of files in one segment.
@@ -65,5 +132,12 @@ fn bench_segment_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dp, bench_dp_superchain, bench_segment_cost);
+criterion_group!(
+    benches,
+    bench_dp,
+    bench_dp_superchain,
+    bench_dp_models,
+    bench_dp_scratch,
+    bench_segment_cost
+);
 criterion_main!(benches);

@@ -35,5 +35,26 @@ fn bench_evaluators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_evaluators);
+fn bench_pathapprox_montage(c: &mut Criterion) {
+    // Montage's complete-bipartite levels are PathApprox's worst case
+    // (wide pred lists in the K-way merge); K = 256 is the production
+    // default. `reused` holds one evaluator across iterations (the
+    // steady-state assess loop: arena + heap + bitsets at their
+    // high-water marks, no per-run allocations); `fresh` constructs a
+    // new evaluator per run.
+    let w = instance(pegasus::WorkflowClass::Montage, 300, 1e-3, 42);
+    let pipe = pipeline_for(&w, 18, 0.01, 42);
+    let sg = pipe.segment_graph(Strategy::CkptAll);
+    let pdag = sg.pdag;
+
+    let mut group = c.benchmark_group("pathapprox-montage300-k256");
+    let reused = PathApprox::default();
+    group.bench_function("reused", |b| b.iter(|| reused.expected_makespan(&pdag)));
+    group.bench_function("fresh", |b| {
+        b.iter(|| PathApprox::default().expected_makespan(&pdag))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators, bench_pathapprox_montage);
 criterion_main!(benches);

@@ -51,6 +51,13 @@ fn main() {
         report.workers,
         report.mc_threads,
     );
+    // Per-model-block CPU attribution (sums of per-cell run_cell wall
+    // clocks; diagnostic only, never part of the CSV). This is the
+    // number BENCH_hotpath.json tracks for the non-exponential blocks.
+    for (label, range) in scenario.model_blocks() {
+        let block_wall: f64 = report.cell_walls[range].iter().sum();
+        eprintln!("block {label:18} {block_wall:7.2}s");
+    }
     // Per (model, strategy): how far the analytic path strays from the
     // simulated ground truth across the grid.
     let mut summary = EndpointSummary::new("model shape strategy", "pfail", &["rel_err_pct"]);

@@ -185,6 +185,10 @@ pub trait Scenario: Sync {
 pub struct RunReport<R> {
     /// All rows, in canonical grid order.
     pub rows: Vec<R>,
+    /// Wall-clock seconds each cell's `run_cell` took, in canonical cell
+    /// order (diagnostic only — never part of the CSV, so the
+    /// byte-identity guarantee is unaffected).
+    pub cell_walls: Vec<f64>,
     /// Number of cells executed.
     pub cells: usize,
     /// Resolved cell-level worker count.
@@ -218,12 +222,18 @@ pub fn run<S: Scenario>(
     };
     sink.begin(&scenario.header())?;
     let mut rows = Vec::with_capacity(cells.len());
+    let mut cell_walls = Vec::with_capacity(cells.len());
     let mut sink_err: Option<std::io::Error> = None;
     ordered_parallel(
         cells.len(),
         workers,
-        |i| scenario.run_cell(&cells[i], &ctx),
-        |_, cell_rows| {
+        |i| {
+            let t0 = Instant::now();
+            let out = scenario.run_cell(&cells[i], &ctx);
+            (out, t0.elapsed().as_secs_f64())
+        },
+        |_, (cell_rows, cell_wall)| {
+            cell_walls.push(cell_wall);
             for row in cell_rows {
                 if sink_err.is_none() {
                     if let Err(e) = sink.row(&scenario.csv(&row)) {
@@ -244,6 +254,7 @@ pub fn run<S: Scenario>(
     sink.finish()?;
     Ok(RunReport {
         rows,
+        cell_walls,
         cells: cells.len(),
         workers,
         mc_threads,

@@ -14,7 +14,7 @@ use mspg::linearize::Linearizer;
 use mspg::Workflow;
 use pegasus::ccr::scale_to_ccr;
 use pegasus::WorkflowClass;
-use probdag::{Dodin, MonteCarlo, NormalSculli, PathApprox};
+use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox};
 
 use crate::engine::{CcrAxis, Cell, CellCtx, Grid, ProcAxis, Scenario, StrategyAxis};
 use crate::{figure_csv, timed_eval, FigureRow, BANDWIDTH, FIGURE_HEADER, PFAILS, SIZES};
@@ -308,8 +308,12 @@ impl Scenario for ValidateScenario {
         let evaluator = PathApprox::default();
         let mut rows = Vec::with_capacity(3);
         for strategy in [Strategy::CkptAll, Strategy::CkptSome] {
-            let model = pipe.assess(strategy, &evaluator).expected_makespan;
+            // One segment graph serves both the analytic estimate and the
+            // simulation (assess = segment_graph + evaluator, so this is
+            // bit-identical to assessing separately at half the planning
+            // cost).
             let sg = pipe.segment_graph(strategy);
+            let model = evaluator.expected_makespan(&sg.pdag);
             let sim = montecarlo_segments(&sg, lambda, &cfg);
             rows.push(ValidateRow {
                 class: cell.class,
@@ -821,6 +825,25 @@ impl DistributionsScenario {
     fn model_of(&self, cell: &Cell) -> DistModel {
         self.models[cell.index / self.cells_per_model()]
     }
+
+    /// The contiguous cell-index range of each model's block, labelled
+    /// `family(shape)` — used by the binary to attribute per-block
+    /// wall-clock from [`crate::engine::RunReport::cell_walls`].
+    pub fn model_blocks(&self) -> Vec<(String, std::ops::Range<usize>)> {
+        let block = self.cells_per_model();
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(m, dist)| {
+                let label = match dist {
+                    DistModel::Exponential => "exponential".to_owned(),
+                    DistModel::Weibull { shape } => format!("weibull(k={shape})"),
+                    DistModel::LogNormal { sigma } => format!("lognormal(s={sigma})"),
+                };
+                (label, m * block..(m + 1) * block)
+            })
+            .collect()
+    }
 }
 
 impl Scenario for DistributionsScenario {
@@ -888,8 +911,10 @@ impl Scenario for DistributionsScenario {
             });
         };
         for strategy in [Strategy::CkptAll, Strategy::CkptSome, Strategy::ExitOnly] {
-            let model_em = pipe.assess(strategy, &evaluator).expected_makespan;
+            // One segment graph per strategy for both columns (see
+            // ValidateScenario::run_cell).
             let sg = pipe.segment_graph(strategy);
+            let model_em = evaluator.expected_makespan(&sg.pdag);
             let sim = montecarlo_segments_model(&sg, &model, &cfg);
             row(strategy, model_em, sim.mean_makespan, sim.stderr, 0);
         }

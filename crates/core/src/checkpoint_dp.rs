@@ -16,10 +16,12 @@
 
 use mspg::{Dag, TaskId};
 
-use crate::failure_model::FailureModel;
+use crate::failure_model::{FailureModel, RestartCurve};
 
 /// Cost context: the workflow, the processor failure model, and the
-/// stable storage bandwidth.
+/// stable storage bandwidth — plus, for non-memoryless models, an
+/// optional borrowed [`RestartCurve`] that answers renewal queries from
+/// a precomputed table instead of per-query quadrature.
 #[derive(Clone, Copy, Debug)]
 pub struct CostCtx<'a> {
     /// The workflow DAG (weights and file sizes).
@@ -28,6 +30,12 @@ pub struct CostCtx<'a> {
     pub model: FailureModel,
     /// Stable-storage bandwidth (bytes/s).
     pub bandwidth: f64,
+    /// Cached renewal curve for non-memoryless models (`None` falls back
+    /// to direct quadrature; ignored — never consulted — for the
+    /// exponential model, whose closed form short-circuits first).
+    /// `Pipeline` builds one per platform and threads it through every
+    /// cost path; see `DESIGN.md` §7.
+    pub curve: Option<&'a RestartCurve>,
 }
 
 impl<'a> CostCtx<'a> {
@@ -37,15 +45,47 @@ impl<'a> CostCtx<'a> {
             dag,
             model: FailureModel::exponential(lambda),
             bandwidth,
+            curve: None,
         }
     }
 
-    /// A context with an arbitrary failure model.
+    /// A context with an arbitrary failure model (renewal queries go
+    /// through direct quadrature; prefer [`CostCtx::with_curve`] on hot
+    /// paths).
     pub fn with_model(dag: &'a Dag, model: FailureModel, bandwidth: f64) -> Self {
         CostCtx {
             dag,
             model,
             bandwidth,
+            curve: None,
+        }
+    }
+
+    /// A context with an arbitrary failure model and a prebuilt renewal
+    /// curve for it.
+    ///
+    /// # Panics
+    /// Panics if `curve` was built for a different model (a mismatched
+    /// cache would silently answer the wrong renewal equation).
+    pub fn with_curve(
+        dag: &'a Dag,
+        model: FailureModel,
+        bandwidth: f64,
+        curve: Option<&'a RestartCurve>,
+    ) -> Self {
+        if let Some(c) = curve {
+            assert!(
+                *c.model() == model,
+                "renewal curve was built for {:?}, not {:?}",
+                c.model(),
+                model
+            );
+        }
+        CostCtx {
+            dag,
+            model,
+            bandwidth,
+            curve,
         }
     }
 
@@ -54,16 +94,20 @@ impl<'a> CostCtx<'a> {
     ///
     /// * Exponential model — Eq. (2)'s closed first-order form
     ///   `(1-λ·base)·base + λ·base·(3/2·base) = base + λ·base²/2`
-    ///   (bit-for-bit the paper's path);
-    /// * any other model — the exact renewal (restart) solve
-    ///   [`FailureModel::expected_restart_time`], evaluated by
-    ///   deterministic quadrature, with the discrete-event simulator as
-    ///   ground truth.
+    ///   (bit-for-bit the paper's path, never touching the curve);
+    /// * any other model — the exact renewal (restart) solve, answered
+    ///   from the [`RestartCurve`] when one is attached (within its
+    ///   documented tolerance) or by the direct deterministic quadrature
+    ///   of [`FailureModel::expected_restart_time`] otherwise, with the
+    ///   discrete-event simulator as ground truth.
     #[inline]
     pub fn expected_segment_time(&self, base: f64) -> f64 {
         match self.model {
             FailureModel::Exponential { lambda } => base + 0.5 * lambda * base * base,
-            model => model.expected_restart_time(base),
+            model => match self.curve {
+                Some(curve) => curve.expected_restart_time(base),
+                None => model.expected_restart_time(base),
+            },
         }
     }
 
@@ -240,33 +284,68 @@ pub struct CheckpointChoice {
 
 /// Optimal checkpoint positions for a superchain (Algorithm 2), `O(n²)`
 /// DP over all segment splits with incrementally computed `T(i,j)`.
+///
+/// Allocates fresh buffers per call; steady-state loops over many
+/// superchains should hold a [`DpScratch`] and call
+/// [`optimal_checkpoints_reusing`] instead.
 pub fn optimal_checkpoints(ctx: &CostCtx<'_>, chain: &[TaskId]) -> CheckpointChoice {
+    let mut scratch = DpScratch::new();
+    let expected_time = optimal_checkpoints_reusing(ctx, chain, &mut scratch);
+    CheckpointChoice {
+        ckpt_after: scratch.ckpt_after().to_vec(),
+        expected_time,
+    }
+}
+
+/// [`optimal_checkpoints`] with caller-owned scratch buffers: runs the
+/// DP with zero heap allocations once the scratch has grown to the
+/// workload's high-water mark. The chosen positions are left in
+/// [`DpScratch::ckpt_after`]; the optimal expected time is returned.
+pub fn optimal_checkpoints_reusing(
+    ctx: &CostCtx<'_>,
+    chain: &[TaskId],
+    scratch: &mut DpScratch,
+) -> f64 {
     let n = chain.len();
     assert!(n > 0, "empty superchain");
-    let t = SegmentTable::build(ctx, chain);
-    let mut etime = vec![f64::INFINITY; n];
-    let mut last = vec![usize::MAX; n];
+    scratch.fill_segment_bases(ctx, chain);
+    grow(&mut scratch.etime, n, 0.0);
+    grow(&mut scratch.last, n, usize::MAX);
+    grow(&mut scratch.ckpt, n, false);
+    let DpScratch {
+        base,
+        etime,
+        last,
+        ckpt,
+        ..
+    } = scratch;
     for j in 0..n {
-        etime[j] = t.expected(0, j);
+        etime[j] = ctx.expected_segment_time(base[j]);
         last[j] = usize::MAX;
         for i in 0..j {
-            let cand = etime[i] + t.expected(i + 1, j);
+            let cand = etime[i] + ctx.expected_segment_time(base[(i + 1) * n + j]);
             if cand < etime[j] {
                 etime[j] = cand;
                 last[j] = i;
             }
         }
     }
-    let mut ckpt_after = vec![false; n];
-    ckpt_after[n - 1] = true;
+    ckpt[..n].fill(false);
+    ckpt[n - 1] = true;
     let mut cur = n - 1;
     while last[cur] != usize::MAX {
         cur = last[cur];
-        ckpt_after[cur] = true;
+        ckpt[cur] = true;
     }
-    CheckpointChoice {
-        ckpt_after,
-        expected_time: etime[n - 1],
+    scratch.n_last = n;
+    scratch.etime[n - 1]
+}
+
+/// Grows `v` to at least `n` elements (never shrinks — the point is to
+/// keep the high-water allocation across calls).
+fn grow<T: Clone>(v: &mut Vec<T>, n: usize, fill: T) {
+    if v.len() < n {
+        v.resize(n, fill);
     }
 }
 
@@ -286,37 +365,87 @@ pub fn all_tasks(chain: &[TaskId]) -> Vec<bool> {
     vec![true; chain.len()]
 }
 
-/// Dense `base(i, j)` table built with an incremental `O(n·(E+n))` sweep:
-/// for each start `i`, extend `j` rightward maintaining R/W/C with
-/// per-file counters.
-struct SegmentTable<'a> {
-    ctx: &'a CostCtx<'a>,
-    n: usize,
+/// Reusable buffers for the checkpoint DP ([`optimal_checkpoints_reusing`]):
+/// the dense `base(i, j)` segment table, the per-file sweep stamps, and
+/// the DP's `etime`/`last`/`ckpt_after` arrays. One scratch amortizes
+/// every allocation across all superchains of a plan (and across plans),
+/// which is what makes the steady-state assess loop allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct DpScratch {
     /// `base[i * n + j]` = `R + W + C` of segment `[i..=j]` (seconds).
     base: Vec<f64>,
+    /// Position of each task within the current chain (`usize::MAX` =
+    /// outside); entries are restored to `MAX` after each fill.
+    pos: Vec<usize>,
+    /// Per-file "produced inside the current sweep" stamp.
+    stamp: Vec<u64>,
+    /// Per-file "already counted as read in the current sweep" stamp.
+    read_stamp: Vec<u64>,
+    /// Outside-consumer counts of files stamped in the current sweep.
+    outside_consumers: Vec<usize>,
+    /// First stamp value of the next fill (stamp arrays are zero-valid,
+    /// so marks start at 1 and advance by `n` per fill instead of being
+    /// cleared).
+    next_mark: u64,
+    /// DP expected-time table.
+    etime: Vec<f64>,
+    /// DP back-pointers.
+    last: Vec<usize>,
+    /// Chosen checkpoint positions of the last run.
+    ckpt: Vec<bool>,
+    /// Chain length of the last run (prefix of `ckpt` that is valid).
+    n_last: usize,
 }
 
-impl<'a> SegmentTable<'a> {
-    fn build(ctx: &'a CostCtx<'a>, chain: &[TaskId]) -> Self {
+impl DpScratch {
+    /// An empty scratch; buffers grow to the workload's high-water mark
+    /// on use and are never shrunk.
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// Checkpoint positions chosen by the most recent
+    /// [`optimal_checkpoints_reusing`] call (`ckpt_after[k]` = take a
+    /// checkpoint after `chain[k]`).
+    pub fn ckpt_after(&self) -> &[bool] {
+        &self.ckpt[..self.n_last]
+    }
+
+    /// Fills the dense `base(i, j)` table for `chain` with the
+    /// incremental `O(n·(E+n))` sweep: for each start `i`, extend `j`
+    /// rightward maintaining R/W/C with per-file counters. Bit-identical
+    /// arithmetic to the historical per-call `SegmentTable`; only the
+    /// buffer lifetimes changed.
+    fn fill_segment_bases(&mut self, ctx: &CostCtx<'_>, chain: &[TaskId]) {
         let dag = ctx.dag;
         let n = chain.len();
         let nf = dag.n_files();
-        // Position of each task within the chain (usize::MAX = outside).
-        let mut pos = vec![usize::MAX; dag.n_tasks()];
-        for (k, &t) in chain.iter().enumerate() {
-            pos[t.index()] = k;
+        grow(&mut self.pos, dag.n_tasks(), usize::MAX);
+        grow(&mut self.base, n * n, 0.0);
+        grow(&mut self.stamp, nf, 0);
+        grow(&mut self.read_stamp, nf, 0);
+        grow(&mut self.outside_consumers, nf, 0);
+        // Stamps are compared against `mark0 + i`; advancing the mark
+        // base by `n` per fill is an O(1) clear of both stamp arrays.
+        if self.next_mark > u64::MAX - (n as u64 + 1) {
+            self.stamp.fill(0);
+            self.read_stamp.fill(0);
+            self.next_mark = 1;
         }
-        let mut base = vec![0.0f64; n * n];
-        // Per-file stamped state for the current sweep start `i`.
-        let mut stamp = vec![usize::MAX; nf];
-        let mut read_stamp = vec![usize::MAX; nf];
-        let mut outside_consumers = vec![0usize; nf];
+        let mark0 = self.next_mark.max(1);
+        self.next_mark = mark0 + n as u64;
+        for (k, &t) in chain.iter().enumerate() {
+            self.pos[t.index()] = k;
+        }
+        let pos = &self.pos;
+        let (stamp, read_stamp) = (&mut self.stamp, &mut self.read_stamp);
+        let outside_consumers = &mut self.outside_consumers;
         for i in 0..n {
+            let mark = mark0 + i as u64;
             let mut r_bytes = 0.0f64;
             let mut w = 0.0f64;
             let mut c_bytes = 0.0f64;
-            for j in i..n {
-                let t = chain[j];
+            for (j, &t) in chain.iter().enumerate().skip(i) {
                 w += dag.weight(t);
                 // External inputs: producer outside [i..=j]. Producers
                 // precede consumers, so "outside" is fixed for fixed i.
@@ -326,14 +455,14 @@ impl<'a> SegmentTable<'a> {
                     if u_inside {
                         // A producer inside the segment: this consumer
                         // leaves the file's outside-consumer set.
-                        if stamp[fp] == i && outside_consumers[fp] > 0 {
+                        if stamp[fp] == mark && outside_consumers[fp] > 0 {
                             outside_consumers[fp] -= 1;
                             if outside_consumers[fp] == 0 {
                                 c_bytes -= dag.file(f).size;
                             }
                         }
-                    } else if read_stamp[fp] != i {
-                        read_stamp[fp] = i;
+                    } else if read_stamp[fp] != mark {
+                        read_stamp[fp] = mark;
                         r_bytes += dag.file(f).size;
                     }
                 }
@@ -344,14 +473,14 @@ impl<'a> SegmentTable<'a> {
                         .producer(f)
                         .is_some_and(|u| pos[u.index()] != usize::MAX && pos[u.index()] >= i);
                     if u_inside {
-                        if stamp[fp] == i && outside_consumers[fp] > 0 {
+                        if stamp[fp] == mark && outside_consumers[fp] > 0 {
                             outside_consumers[fp] -= 1;
                             if outside_consumers[fp] == 0 {
                                 c_bytes -= dag.file(f).size;
                             }
                         }
-                    } else if read_stamp[fp] != i {
-                        read_stamp[fp] = i;
+                    } else if read_stamp[fp] != mark {
+                        read_stamp[fp] = mark;
                         r_bytes += dag.file(f).size;
                     }
                 }
@@ -360,21 +489,19 @@ impl<'a> SegmentTable<'a> {
                 for &f in dag.output_files(t) {
                     let fp = f.index();
                     let consumers = dag.consumers(f).len();
-                    stamp[fp] = i;
+                    stamp[fp] = mark;
                     outside_consumers[fp] = consumers;
                     if consumers > 0 {
                         c_bytes += dag.file(f).size;
                     }
                 }
-                base[i * n + j] = (r_bytes + c_bytes) / ctx.bandwidth + w;
+                self.base[i * n + j] = (r_bytes + c_bytes) / ctx.bandwidth + w;
             }
         }
-        SegmentTable { ctx, n, base }
-    }
-
-    #[inline]
-    fn expected(&self, i: usize, j: usize) -> f64 {
-        self.ctx.expected_segment_time(self.base[i * self.n + j])
+        // Restore the position map for the next chain.
+        for &t in chain {
+            self.pos[t.index()] = usize::MAX;
+        }
     }
 }
 
@@ -546,19 +673,41 @@ mod tests {
         let w = pegasus::generate(pegasus::WorkflowClass::Montage, 60, 5);
         let sched = crate::allocate::allocate(&w, 3, &crate::allocate::AllocateConfig::default());
         let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e7);
+        // One scratch across all superchains: reuse must not leak state
+        // between chains (stamps, positions, stale base cells).
+        let mut scratch = DpScratch::new();
         for sc in &sched.superchains {
-            let table = SegmentTable::build(&ctx, &sc.tasks);
+            scratch.fill_segment_bases(&ctx, &sc.tasks);
             let n = sc.tasks.len();
             for i in 0..n {
                 for j in i..n {
                     let direct = segment_cost(&ctx, &sc.tasks, i, j);
-                    let got = table.base[i * n + j];
+                    let got = scratch.base[i * n + j];
                     assert!(
                         (got - direct.base()).abs() < 1e-9 * direct.base().max(1.0),
                         "segment [{i},{j}]: table {got} vs direct {}",
                         direct.base()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bitwise_identical_to_fresh() {
+        let w = pegasus::generate(pegasus::WorkflowClass::Genome, 120, 9);
+        let sched = crate::allocate::allocate(&w, 4, &crate::allocate::AllocateConfig::default());
+        let ctx = CostCtx::exponential(&w.dag, 3e-4, 1e7);
+        let mut scratch = DpScratch::new();
+        // Two passes over all superchains with one scratch (the second
+        // pass hits fully-grown, stale-valued buffers) against fresh
+        // per-chain allocation.
+        for _ in 0..2 {
+            for sc in &sched.superchains {
+                let et = optimal_checkpoints_reusing(&ctx, &sc.tasks, &mut scratch);
+                let fresh = optimal_checkpoints(&ctx, &sc.tasks);
+                assert_eq!(et.to_bits(), fresh.expected_time.to_bits());
+                assert_eq!(scratch.ckpt_after(), &fresh.ckpt_after[..]);
             }
         }
     }

@@ -1,13 +1,13 @@
 //! End-to-end evaluation pipeline: schedule → checkpoint → expected
 //! makespan, for all strategies of the paper.
 
-use mspg::Workflow;
+use mspg::{Dag, Workflow};
 use probdag::Evaluator;
 
 use crate::allocate::{allocate, AllocateConfig};
-use crate::checkpoint_dp::{exit_only, optimal_checkpoints, CostCtx};
+use crate::checkpoint_dp::{exit_only, optimal_checkpoints_reusing, CostCtx, DpScratch};
 use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
-use crate::failure_model::FailureModel;
+use crate::failure_model::{FailureModel, RestartCurve};
 use crate::platform::Platform;
 use crate::schedule::Schedule;
 
@@ -95,6 +95,11 @@ pub struct Pipeline<'a> {
     pub platform: Platform,
     /// The superchain schedule produced by `Allocate`.
     pub schedule: Schedule,
+    /// Cached renewal curve for non-memoryless platforms, built once per
+    /// pipeline over the workflow's span range and threaded through
+    /// every [`CostCtx`] this pipeline hands out (`None` for exponential
+    /// or never-failing models). See `DESIGN.md` §7.
+    curve: Option<RestartCurve>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -105,6 +110,7 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
+            curve: build_curve(&workflow.dag, &platform),
         }
     }
 
@@ -132,7 +138,14 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
+            curve: build_curve(&workflow.dag, &platform),
         }
+    }
+
+    /// The renewal curve backing this pipeline's cost paths, if any
+    /// (`None` for memoryless or never-failing platforms).
+    pub fn restart_curve(&self) -> Option<&RestartCurve> {
+        self.curve.as_ref()
     }
 
     fn ctx(&self) -> CostCtx<'_> {
@@ -140,6 +153,7 @@ impl<'a> Pipeline<'a> {
             dag: &self.workflow.dag,
             model: self.platform.model,
             bandwidth: self.platform.bandwidth,
+            curve: self.curve.as_ref(),
         }
     }
 
@@ -155,10 +169,14 @@ impl<'a> Pipeline<'a> {
         match strategy {
             Strategy::CkptAll => ckpt_after.fill(true),
             Strategy::CkptSome => {
+                // One DP scratch threaded across every superchain: the
+                // per-chain base table / etime / back-pointer buffers are
+                // allocated once at the largest chain and reused.
+                let mut scratch = DpScratch::new();
                 for sc in &self.schedule.superchains {
-                    let choice = optimal_checkpoints(&ctx, &sc.tasks);
+                    optimal_checkpoints_reusing(&ctx, &sc.tasks, &mut scratch);
                     for (k, &t) in sc.tasks.iter().enumerate() {
-                        ckpt_after[t.index()] = choice.ckpt_after[k];
+                        ckpt_after[t.index()] = scratch.ckpt_after()[k];
                     }
                 }
             }
@@ -198,19 +216,51 @@ impl<'a> Pipeline<'a> {
                 w_par,
             },
             _ => {
-                let plan = self.plan(strategy);
-                let n_checkpoints = plan.n_checkpoints();
-                let sg = coalesce(&self.ctx(), &self.schedule, &plan);
+                // The plan/coalesce pairing lives in `segment_graph`;
+                // every segment ends in exactly one checkpoint, so the
+                // segment count *is* the checkpoint count.
+                let sg = self.segment_graph(strategy);
                 Assessment {
                     strategy,
                     expected_makespan: evaluator.expected_makespan(&sg.pdag),
-                    n_checkpoints,
+                    n_checkpoints: sg.segments.len(),
                     n_segments: sg.segments.len(),
                     w_par,
                 }
             }
         }
     }
+}
+
+/// Builds the pipeline's renewal curve: `None` for memoryless or
+/// never-failing platforms; otherwise a [`RestartCurve`] covering every
+/// span the DP or coalescer can query on this workflow — from the
+/// smallest positive task weight (no segment's failure-free span is
+/// shorter than the weight of a task it contains) up to the whole
+/// workflow executed serially with every file read and checkpointed
+/// once. Spans outside (only reachable through zero-weight dummy tasks)
+/// fall back to direct quadrature.
+fn build_curve(dag: &Dag, platform: &Platform) -> Option<RestartCurve> {
+    if platform.model.is_memoryless() || platform.model.never_fails() {
+        return None;
+    }
+    let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
+    if b_hi <= 0.0 || !b_hi.is_finite() {
+        return None;
+    }
+    let min_weight = dag
+        .task_ids()
+        .map(|t| dag.weight(t))
+        .filter(|&w| w > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let b_lo = if min_weight.is_finite() {
+        min_weight.min(b_hi)
+    } else {
+        b_hi * 1e-6
+    };
+    // Bound the table (and its build cost) to 12 decades of span.
+    let b_lo = b_lo.max(b_hi * 1e-12);
+    Some(RestartCurve::build(platform.model, b_lo, b_hi))
 }
 
 #[cfg(test)]

@@ -254,6 +254,18 @@ impl FailureModel {
     /// Returns `∞` when `S(base)` underflows to zero (a span the model
     /// essentially never completes).
     pub fn expected_restart_time(&self, base: f64) -> f64 {
+        self.expected_restart_time_ref(base, QUAD_PANELS)
+    }
+
+    /// Reference renewal solve at a chosen Simpson resolution (even
+    /// panel count) — used by the `RestartCurve` validation tests to
+    /// bound the curve against a finer quadrature than the production
+    /// 128-panel path.
+    pub fn expected_restart_time_ref(&self, base: f64, panels: usize) -> f64 {
+        assert!(
+            panels >= 2 && panels.is_multiple_of(2),
+            "need an even panel count"
+        );
         assert!(base >= 0.0, "span must be non-negative");
         if base == 0.0 {
             return 0.0;
@@ -264,14 +276,7 @@ impl FailureModel {
         if let FailureModel::Exponential { lambda } = *self {
             return (lambda * base).exp_m1() / lambda;
         }
-        let n = QUAD_PANELS;
-        let h = base / n as f64;
-        let mut acc = self.survival(0.0) + self.survival(base);
-        for i in 1..n {
-            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
-            acc += w * self.survival(i as f64 * h);
-        }
-        let integral = acc * h / 3.0;
+        let integral = simpson_survival(self, base, panels);
         let s_end = self.survival(base);
         if s_end <= 0.0 {
             f64::INFINITY
@@ -289,6 +294,207 @@ impl FailureModel {
             FailureModel::LogNormal { .. } => "lognormal",
         }
     }
+}
+
+/// Log-spaced grid density of a [`RestartCurve`] (points per decade of
+/// span). 256 keeps the interpolation error well under
+/// [`RestartCurve::REL_TOL`] for every supported family (the binding
+/// constraint is the LogNormal's log-log hazard curvature; the Weibull
+/// hazard is *exactly* log-log linear, so its survival interpolation is
+/// error-free).
+const CURVE_POINTS_PER_DECADE: f64 = 256.0;
+
+/// Hard cap on curve grid points (a curve spanning more decades than
+/// this allows falls back to direct quadrature outside its range).
+const CURVE_MAX_POINTS: usize = 1 << 16;
+
+/// Precomputed renewal curve of a **non-memoryless** [`FailureModel`]:
+/// answers [`RestartCurve::expected_restart_time`] queries by monotone
+/// interpolation on a fixed log-spaced grid instead of re-running the
+/// 128-panel Simpson quadrature per query (~4 transcendental evaluations
+/// per query instead of 129).
+///
+/// The restart literature (Sodre, arXiv:1802.07455) treats
+/// `E[T(b)] = ∫₀^b S / S(b)` as a smooth monotone curve of the span `b`
+/// — exactly the object to tabulate once per model. The curve stores, at
+/// grid abscissae `t_j` covering `[b_lo, b_hi]`:
+///
+/// * the survival `S(t_j)` at each abscissa;
+/// * the survival prefix integral `I(t_j) = ∫₀^{t_j} S`, accumulated by
+///   per-cell Simpson at build time.
+///
+/// A query `E(b) = I(b) / S(b)` evaluates `S(b)` **exactly** (one
+/// survival call) and completes the prefix integral with a trapezoid
+/// over the sub-cell tail `[t_j, b]` between the stored `S(t_j)` and the
+/// exact `S(b)` — so the only approximation is the tail trapezoid, whose
+/// relative error is `O((Δln t)³)` and far below the documented bound.
+///
+/// ## Determinism and error contract
+///
+/// The curve is a pure function of `(model, b_lo, b_hi)` — no query
+/// adapts it — so any two curves built from the same inputs answer every
+/// query bit-identically, independent of thread count or query order.
+/// Queries **outside** `[b_lo, b_hi]` fall back to the direct
+/// [`FailureModel::expected_restart_time`] quadrature (bit-identical to
+/// the uncached path). Queries inside the range satisfy two bounds,
+/// property-tested across all families and span decades in
+/// `crates/core/tests/proptests.rs`:
+///
+/// * |curve(b) − simpson₁₂₈(b)| ≤ [`RestartCurve::REL_TOL`] ·
+///   simpson₁₂₈(b) against the production 128-panel Simpson solve. The
+///   bound is loose because at spans far beyond the model's mass scale
+///   the *reference* goes coarse (its uniform `b/128` step underresolves
+///   a survival integrand concentrated near 0) while the curve's
+///   log-spaced cells do not — the curve is the more accurate of the
+///   two there;
+/// * |curve(b) − simpson₄₀₉₆(b)| ≤ [`RestartCurve::REL_TOL_REF`] ·
+///   simpson₄₀₉₆(b) against a 32×-finer reference
+///   ([`FailureModel::expected_restart_time_ref`]), which bounds the
+///   curve's true error.
+///
+/// Exponential models never build or consult a curve:
+/// `CostCtx::expected_segment_time` short-circuits to the paper's closed
+/// form first, which is what keeps the E1–E8 CSV outputs bit-for-bit
+/// stable.
+#[derive(Clone, Debug)]
+pub struct RestartCurve {
+    model: FailureModel,
+    /// Grid abscissae (log-spaced, ascending).
+    ts: Vec<f64>,
+    /// Survival at each abscissa.
+    sv: Vec<f64>,
+    /// Prefix integral `∫₀^{t_j} S`.
+    integral: Vec<f64>,
+    ln_t0: f64,
+    /// `1 / ln r` where `r` is the grid ratio (for O(1) cell lookup).
+    inv_ln_r: f64,
+}
+
+impl RestartCurve {
+    /// Documented relative-error bound of in-range queries against the
+    /// production 128-panel Simpson renewal solve (loose only where the
+    /// reference itself is coarse — see the type docs).
+    pub const REL_TOL: f64 = 2e-2;
+
+    /// Documented relative-error bound of in-range queries against the
+    /// 4096-panel reference solve (the curve's true accuracy).
+    pub const REL_TOL_REF: f64 = 2e-5;
+
+    /// Builds the curve for spans in `[b_lo, b_hi]`.
+    ///
+    /// # Panics
+    /// Panics for memoryless or never-failing models (which have closed
+    /// forms and must not pay for a curve) and for non-positive or
+    /// non-finite range endpoints.
+    pub fn build(model: FailureModel, b_lo: f64, b_hi: f64) -> Self {
+        assert!(
+            !model.is_memoryless(),
+            "exponential models keep their closed form; no curve"
+        );
+        assert!(!model.never_fails(), "never-failing models need no curve");
+        assert!(
+            b_lo > 0.0 && b_hi >= b_lo && b_hi.is_finite(),
+            "bad span range [{b_lo}, {b_hi}]"
+        );
+        let decades = (b_hi / b_lo).log10().max(0.0);
+        let cells =
+            ((decades * CURVE_POINTS_PER_DECADE).ceil() as usize + 1).clamp(2, CURVE_MAX_POINTS);
+        let ln_t0 = b_lo.ln();
+        let ln_r = (b_hi.ln() - ln_t0) / cells as f64;
+        let n = cells + 1;
+        let mut ts = Vec::with_capacity(n);
+        for j in 0..n {
+            // exp is monotone, so the grid is strictly ascending; pin the
+            // endpoints so in-range queries never fall out by rounding.
+            let t = match j {
+                0 => b_lo,
+                _ if j == n - 1 => b_hi,
+                _ => (ln_t0 + j as f64 * ln_r).exp(),
+            };
+            ts.push(t);
+        }
+        let sv: Vec<f64> = ts.iter().map(|&t| model.survival(t)).collect();
+        // Head integral ∫₀^{t_0} S by the same fixed-panel Simpson the
+        // direct path uses, then one 2-point Simpson per cell.
+        let mut integral = Vec::with_capacity(n);
+        integral.push(simpson_survival(&model, ts[0], QUAD_PANELS));
+        for j in 1..n {
+            let (a, b) = (ts[j - 1], ts[j]);
+            let mid = model.survival(0.5 * (a + b));
+            let cell = (b - a) / 6.0 * (sv[j - 1] + 4.0 * mid + sv[j]);
+            integral.push(integral[j - 1] + cell);
+        }
+        RestartCurve {
+            model,
+            ts,
+            sv,
+            integral,
+            ln_t0,
+            inv_ln_r: if ln_r > 0.0 { 1.0 / ln_r } else { 0.0 },
+        }
+    }
+
+    /// The model this curve tabulates.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// The span range `[b_lo, b_hi]` answered from the table (queries
+    /// outside fall back to direct quadrature).
+    pub fn span_range(&self) -> (f64, f64) {
+        (self.ts[0], *self.ts.last().unwrap())
+    }
+
+    /// Number of grid points (diagnostic).
+    pub fn n_points(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Expected completion time of a restarted span of length `base` —
+    /// the cached equivalent of [`FailureModel::expected_restart_time`],
+    /// within [`RestartCurve::REL_TOL`] of it for in-range spans and
+    /// bit-identical to it outside the range.
+    pub fn expected_restart_time(&self, base: f64) -> f64 {
+        // Same domain contract as the direct path: a negative or NaN
+        // span is an upstream bug and must fail at the fault site, not
+        // flow through the DP as NaN.
+        assert!(base >= 0.0, "span must be non-negative");
+        if base == 0.0 {
+            return 0.0;
+        }
+        let n = self.ts.len();
+        if base < self.ts[0] || base > self.ts[n - 1] {
+            return self.model.expected_restart_time(base);
+        }
+        // O(1) cell lookup; clamp and nudge against float slop so
+        // ts[j] <= base <= ts[j+1].
+        let mut j = (((base.ln() - self.ln_t0) * self.inv_ln_r) as usize).min(n - 2);
+        while j > 0 && base < self.ts[j] {
+            j -= 1;
+        }
+        while j + 2 < n && base > self.ts[j + 1] {
+            j += 1;
+        }
+        let s_b = self.model.survival(base);
+        if s_b <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Prefix integral up to ts[j] plus the trapezoid tail.
+        let tail = (base - self.ts[j]) * 0.5 * (self.sv[j] + s_b);
+        (self.integral[j] + tail) / s_b
+    }
+}
+
+/// The direct path's composite Simpson `∫₀^b S` (the head integral of a
+/// curve shares the direct quadrature's arithmetic).
+fn simpson_survival(model: &FailureModel, b: f64, n: usize) -> f64 {
+    let h = b / n as f64;
+    let mut acc = model.survival(0.0) + model.survival(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * model.survival(i as f64 * h);
+    }
+    acc * h / 3.0
 }
 
 #[cfg(test)]
@@ -470,6 +676,97 @@ mod tests {
     #[should_panic(expected = "needs pfail in (0, 1)")]
     fn lognormal_from_pfail_rejects_zero() {
         FailureModel::lognormal_from_pfail(1.0, 0.0, 10.0);
+    }
+
+    #[test]
+    fn curve_matches_direct_simpson_within_tolerance() {
+        let w_bar = 10.0;
+        let models = [
+            FailureModel::weibull_from_pfail(0.7, 0.01, w_bar),
+            FailureModel::weibull_from_pfail(2.0, 0.01, w_bar),
+            FailureModel::weibull_from_pfail(1.0, 0.001, w_bar),
+            FailureModel::lognormal_from_pfail(1.0, 0.01, w_bar),
+            FailureModel::lognormal_from_pfail(0.5, 0.001, w_bar),
+        ];
+        for m in models {
+            let curve = RestartCurve::build(m, w_bar * 1e-3, w_bar * 1e3);
+            // Sweep spans across the six covered decades, off-grid.
+            for e in -29..=29 {
+                let b = w_bar * 10f64.powf(e as f64 / 10.0 + 0.037);
+                let direct = m.expected_restart_time(b);
+                let fine = m.expected_restart_time_ref(b, 4096);
+                let cached = curve.expected_restart_time(b);
+                if direct.is_infinite() {
+                    assert!(cached.is_infinite(), "{m:?} at b={b}");
+                    continue;
+                }
+                assert!(
+                    (cached - direct).abs() <= RestartCurve::REL_TOL * direct,
+                    "{m:?} at b={b}: cached {cached} vs direct {direct} \
+                     (rel {})",
+                    (cached - direct).abs() / direct
+                );
+                assert!(
+                    (cached - fine).abs() <= RestartCurve::REL_TOL_REF * fine,
+                    "{m:?} at b={b}: cached {cached} vs fine {fine} \
+                     (rel {})",
+                    (cached - fine).abs() / fine
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn curve_out_of_range_is_bitwise_direct() {
+        let m = FailureModel::weibull(1.3, 25.0);
+        let curve = RestartCurve::build(m, 1.0, 100.0);
+        for b in [0.01, 0.5, 150.0, 1e4] {
+            assert_eq!(
+                curve.expected_restart_time(b).to_bits(),
+                m.expected_restart_time(b).to_bits(),
+                "out-of-range span {b} must take the direct path"
+            );
+        }
+        assert_eq!(curve.expected_restart_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_span() {
+        for m in [
+            FailureModel::weibull(0.7, 40.0),
+            FailureModel::weibull(2.0, 40.0),
+            FailureModel::lognormal(3.0, 1.0),
+        ] {
+            let curve = RestartCurve::build(m, 0.1, 1000.0);
+            let mut prev = 0.0;
+            for i in 1..400 {
+                let b = 0.1 * (1000.0f64 / 0.1).powf(i as f64 / 400.0);
+                let e = curve.expected_restart_time(b);
+                assert!(e >= prev, "{m:?}: E({b}) = {e} < {prev}");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn curve_degenerate_range_still_answers() {
+        let m = FailureModel::weibull(2.0, 40.0);
+        let curve = RestartCurve::build(m, 5.0, 5.0);
+        let direct = m.expected_restart_time(5.0);
+        let cached = curve.expected_restart_time(5.0);
+        assert!((cached - direct).abs() <= RestartCurve::REL_TOL * direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "no curve")]
+    fn curve_rejects_exponential() {
+        RestartCurve::build(FailureModel::exponential(0.1), 1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need no curve")]
+    fn curve_rejects_never_failing() {
+        RestartCurve::build(FailureModel::weibull_from_pfail(2.0, 0.0, 1.0), 1.0, 10.0);
     }
 
     #[test]

@@ -55,12 +55,12 @@ pub mod schedule;
 
 pub use allocate::{allocate, AllocateConfig};
 pub use checkpoint_dp::{
-    optimal_checkpoints, segment_cost, segment_cost_reusing, CostCtx, SegmentCost,
-    SegmentCostScratch,
+    optimal_checkpoints, optimal_checkpoints_reusing, segment_cost, segment_cost_reusing, CostCtx,
+    DpScratch, SegmentCost, SegmentCostScratch,
 };
 pub use coalesce::{coalesce, CheckpointPlan, Segment, SegmentGraph};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
-pub use failure_model::FailureModel;
+pub use failure_model::{FailureModel, RestartCurve};
 pub use pfail::{lambda_from_pfail, pfail_from_lambda};
 pub use platform::Platform;
 pub use propmap::{propmap, PropMapResult};

@@ -1,12 +1,12 @@
 //! Property-based tests for the scheduling and checkpointing algorithms.
 
 use ckpt_core::{
-    allocate, optimal_checkpoints, segment_cost, AllocateConfig, CostCtx, Pipeline, Platform,
-    Strategy,
+    allocate, optimal_checkpoints, segment_cost, AllocateConfig, CostCtx, FailureModel, Pipeline,
+    Platform, RestartCurve, Strategy,
 };
 use mspg::gen::{random_workflow, GenConfig};
 use mspg::linearize::Linearizer;
-use probdag::PathApprox;
+use probdag::{Evaluator, PathApprox};
 use proptest::prelude::*;
 
 fn wf(n: usize, seed: u64) -> mspg::Workflow {
@@ -142,5 +142,122 @@ proptest! {
         prop_assert!(ckpt_core::theorem1(w1 * 1.5, p, l) >= base);
         prop_assert!(ckpt_core::theorem1(w1, p + 1, l) >= base);
         prop_assert!(ckpt_core::theorem1(w1, p, l + 1e-6) >= base);
+    }
+
+    /// The RestartCurve honors its documented error contract for every
+    /// family, shape, calibration, and span decade: within
+    /// [`RestartCurve::REL_TOL`] of the production 128-panel Simpson
+    /// solve and within [`RestartCurve::REL_TOL_REF`] of the 4096-panel
+    /// reference, across the curve's full tabulated range.
+    #[test]
+    fn restart_curve_matches_direct_simpson(
+        family in 0usize..3,
+        shape_pct in 40u32..250,       // Weibull k / LogNormal σ × 100
+        pfail_exp in 2u32..5,          // pfail ∈ {1e-2 .. 1e-4}
+        w_bar in 0.5f64..500.0,
+        span_log10 in -300i32..300,    // b = w̄ · 10^(log10/100) ± jitter
+        jitter in 0.0f64..0.01,
+    ) {
+        let shape = shape_pct as f64 / 100.0;
+        let pfail = 10f64.powi(-(pfail_exp as i32));
+        let model = match family {
+            0 => FailureModel::weibull_from_pfail(shape, pfail, w_bar),
+            1 => FailureModel::weibull_from_pfail(1.0, pfail, w_bar),
+            _ => FailureModel::lognormal_from_pfail(shape, pfail, w_bar),
+        };
+        let curve = RestartCurve::build(model, w_bar * 1e-3, w_bar * 1e3);
+        let b = w_bar * 10f64.powf(span_log10 as f64 / 100.0 + jitter);
+        let (lo, hi) = curve.span_range();
+        // Out-of-range queries are bit-identical to the direct path by
+        // construction; the interesting contract is in-range.
+        let b = b.clamp(lo, hi);
+        let cached = curve.expected_restart_time(b);
+        let direct = model.expected_restart_time(b);
+        if !direct.is_finite() {
+            prop_assert!(!cached.is_finite(), "{model:?} at b={b}: cached {cached}");
+            return;
+        }
+        prop_assert!(
+            (cached - direct).abs() <= RestartCurve::REL_TOL * direct,
+            "{model:?} at b={b}: cached {cached} vs direct {direct}"
+        );
+        let fine = model.expected_restart_time_ref(b, 4096);
+        prop_assert!(
+            (cached - fine).abs() <= RestartCurve::REL_TOL_REF * fine,
+            "{model:?} at b={b}: cached {cached} vs fine {fine} (rel {})",
+            (cached - fine).abs() / fine
+        );
+    }
+
+    /// Exponential cost queries never touch an attached curve: with the
+    /// closed form short-circuiting first, an exponential `CostCtx`
+    /// must produce bit-identical segment times and two-state
+    /// probabilities whether or not a (foreign-model) curve is wired in
+    /// — this is the E1–E8 byte-stability guarantee at the unit level.
+    #[test]
+    fn exponential_queries_never_touch_the_curve(
+        lambda in 1e-7f64..0.1,
+        base in 1e-3f64..1e4,
+    ) {
+        let dag = mspg::Dag::new();
+        let foreign = FailureModel::weibull(2.0, 42.0);
+        let curve = RestartCurve::build(foreign, 1e-3, 1e4);
+        let model = FailureModel::exponential(lambda);
+        let bare = CostCtx::with_model(&dag, model, 1e7);
+        // Deliberately wire a foreign-model curve past the constructor's
+        // mismatch guard: if the exponential arm ever consulted it, the
+        // bit-equality below would break loudly.
+        let wired = CostCtx {
+            curve: Some(&curve),
+            ..bare
+        };
+        prop_assert_eq!(
+            bare.expected_segment_time(base).to_bits(),
+            wired.expected_segment_time(base).to_bits()
+        );
+        prop_assert_eq!(
+            bare.two_state_p_high(base).to_bits(),
+            wired.two_state_p_high(base).to_bits()
+        );
+        // And both equal the paper's closed form exactly.
+        prop_assert_eq!(
+            bare.expected_segment_time(base).to_bits(),
+            (base + 0.5 * lambda * base * base).to_bits()
+        );
+    }
+
+    /// The curve-backed pipeline agrees with the quadrature-backed
+    /// pipeline within the documented tolerance at the end-to-end level:
+    /// same plans, and expected makespans within a few × REL_TOL_REF
+    /// (the evaluator composes ~n segment queries).
+    #[test]
+    fn curve_backed_pipeline_tracks_direct_quadrature(
+        n in 2usize..50, p in 1usize..6, seed: u64, family in 0usize..2,
+    ) {
+        let w = wf(n, seed);
+        let w_bar = w.dag.mean_weight();
+        let model = if family == 0 {
+            FailureModel::weibull_from_pfail(0.7, 0.01, w_bar)
+        } else {
+            FailureModel::lognormal_from_pfail(1.0, 0.01, w_bar)
+        };
+        let platform = Platform::with_model(p, model, 1e7);
+        let cfg = AllocateConfig { linearizer: Linearizer::RandomTopo, seed };
+        let pipe = Pipeline::new(&w, platform, &cfg);
+        prop_assert!(pipe.restart_curve().is_some());
+        // Direct-quadrature reference: the same schedule, costs through
+        // CostCtx::with_model (no curve).
+        let direct_ctx = CostCtx::with_model(&w.dag, model, 1e7);
+        let plan = pipe.plan(Strategy::CkptSome);
+        let sg_curve = pipe.segment_graph(Strategy::CkptSome);
+        let sg_direct = ckpt_core::coalesce(&direct_ctx, &pipe.schedule, &plan);
+        prop_assert_eq!(sg_curve.segments.len(), sg_direct.segments.len());
+        let ev = PathApprox::default();
+        let em_curve = ev.expected_makespan(&sg_curve.pdag);
+        let em_direct = ev.expected_makespan(&sg_direct.pdag);
+        prop_assert!(
+            (em_curve - em_direct).abs() <= 1e-3 * em_direct,
+            "curve {em_curve} vs direct {em_direct}"
+        );
     }
 }

@@ -97,8 +97,17 @@ impl ModelFailures {
         if proc >= self.streams.len() {
             self.streams.resize_with(proc + 1, || None);
         }
-        let seed = seedmix::substream(self.seed, proc as u64);
-        self.streams[proc].get_or_insert_with(|| StdRng::seed_from_u64(seed))
+        // Mix the substream seed only on first touch of a processor —
+        // this runs once per (run, proc), not once per draw (the CkptNone
+        // divergence regime draws millions of times per grid cell).
+        let slot = &mut self.streams[proc];
+        if slot.is_none() {
+            *slot = Some(StdRng::seed_from_u64(seedmix::substream(
+                self.seed,
+                proc as u64,
+            )));
+        }
+        slot.as_mut().expect("just initialized")
     }
 }
 

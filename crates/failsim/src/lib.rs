@@ -31,7 +31,7 @@ pub use montecarlo::{
     montecarlo_none, montecarlo_none_model, montecarlo_segments, montecarlo_segments_model,
     NoneMcStats, SimConfig,
 };
-pub use none_exec::{simulate_none, Diverged};
+pub use none_exec::{simulate_none, simulate_none_reference, Diverged};
 pub use segment_exec::{
     simulate_segments, simulate_segments_downtime, simulate_segments_model,
     simulate_segments_model_downtime,

@@ -95,6 +95,52 @@ pub fn simulate_none(
     failures: &mut dyn FailureSource,
     max_failures: usize,
 ) -> Result<ExecStats, Diverged> {
+    simulate_none_impl(dag, sched, failures, max_failures, true)
+}
+
+/// [`simulate_none`] with the hot-path machinery disabled: every failure
+/// event takes the full heap round-trip through the dispatcher, and
+/// `start_ready` exhaustively rescans every processor after every event.
+/// Bit-identical to [`simulate_none`] by construction; exists so the
+/// equivalence is *pinned by test*
+/// (`sim_properties::fail_restart_fast_path_is_bitwise_equivalent`)
+/// rather than argued once and silently regressed later.
+#[doc(hidden)]
+pub fn simulate_none_reference(
+    dag: &Dag,
+    sched: &Schedule,
+    failures: &mut dyn FailureSource,
+    max_failures: usize,
+) -> Result<ExecStats, Diverged> {
+    simulate_none_impl(dag, sched, failures, max_failures, false)
+}
+
+/// The engine. `inline_fail_cycles` enables two hot-path mechanisms,
+/// both of which leave the processed event sequence — and therefore
+/// every draw, state transition, and statistic — bit-identical:
+///
+/// * **inline fail cycles** — when the failure event a handler is about
+///   to push is *strictly below* every key in the event heap (the
+///   steady state of a diverging run: one processor fails, restarts its
+///   task, and fails again before anything else happens), the event is
+///   processed in place instead of doing a push + pop + dispatch round
+///   trip. Event keys `(time, seq)` are unique and totally ordered, and
+///   the fast path *reserves* the failure's `seq` exactly where the
+///   slow path pushes it, so every later event's tie-break key is
+///   unchanged and the elision fires only when that key would be the
+///   next pop anyway;
+/// * **dirty-processor tracking** — `start_ready` checks only
+///   processors whose startability could have changed since their last
+///   unsuccessful check (see the `dirty` worklist below). Unsuccessful
+///   checks have no side effects, so skipping provably-unprogressable
+///   processors preserves the exact sequence of starts and demands.
+fn simulate_none_impl(
+    dag: &Dag,
+    sched: &Schedule,
+    failures: &mut dyn FailureSource,
+    max_failures: usize,
+    inline_fail_cycles: bool,
+) -> Result<ExecStats, Diverged> {
     let n = dag.n_tasks();
     let p = sched.n_procs;
     // Static maps.
@@ -109,9 +155,46 @@ pub fn simulate_none(
         }
         proc_orders.push(order);
     }
+    // Flat (CSR) adjacency for the event loop's hottest scans: the
+    // dependence-edge tuples of `Dag` carry file ids the simulator never
+    // reads, and a task's consumers collapse to at most `p` distinct
+    // processors for dirty-marking.
+    let mut pred_off = Vec::with_capacity(n + 1);
+    let mut pred_tasks: Vec<u32> = Vec::new();
+    let mut cons_off = Vec::with_capacity(n + 1);
+    let mut cons_procs: Vec<u32> = Vec::new();
+    {
+        let mut proc_seen = vec![u32::MAX; p];
+        pred_off.push(0u32);
+        cons_off.push(0u32);
+        for t in dag.task_ids() {
+            for &(u, _) in dag.preds(t) {
+                pred_tasks.push(u.0);
+            }
+            pred_off.push(pred_tasks.len() as u32);
+            for &(v, _) in dag.succs(t) {
+                let r = proc_of[v.index()];
+                if proc_seen[r] != t.0 {
+                    proc_seen[r] = t.0;
+                    cons_procs.push(r as u32);
+                }
+            }
+            cons_off.push(cons_procs.len() as u32);
+        }
+    }
+    let preds_of = |t: TaskId| -> &[u32] {
+        &pred_tasks[pred_off[t.index()] as usize..pred_off[t.index() + 1] as usize]
+    };
+    let cons_procs_of = |t: TaskId| -> &[u32] {
+        &cons_procs[cons_off[t.index()] as usize..cons_off[t.index() + 1] as usize]
+    };
     // Dynamic state.
     let mut state = vec![TState::Queued; n];
     let mut ever_done = vec![false; n];
+    // Tasks whose output is live in each processor's memory (exactly the
+    // tasks of that processor in state DoneLive) — a failure drains this
+    // list instead of sweeping the processor's whole task order.
+    let mut live: Vec<Vec<TaskId>> = vec![Vec::new(); p];
     let mut queues: Vec<BinaryHeap<Reverse<(u32, u32)>>> =
         (0..p).map(|_| BinaryHeap::new()).collect();
     for q in 0..p {
@@ -148,6 +231,18 @@ pub fn simulate_none(
         }
     }
 
+    // Dirty-processor worklist for `start_ready`: a processor is checked
+    // only if something that could change its startability happened since
+    // its last unsuccessful check — it became idle, its queue changed, or
+    // a predecessor of (potentially) its front task transitioned to
+    // DoneLive / DoneLost. Checking a clean processor provably cannot
+    // progress, and an unsuccessful check has no side effects, so
+    // skipping clean processors leaves the exact sequence of successful
+    // starts/demands — and therefore every event sequence number —
+    // identical to the exhaustive rescan (pinned by
+    // `sim_properties::fail_restart_fast_path_is_bitwise_equivalent`).
+    let mut dirty = vec![true; p];
+
     // Starts the front task of every idle processor whose predecessors are
     // all DoneLive; lost predecessors are demanded for re-execution on
     // their own processors. Loops until no processor can start (a fresh
@@ -157,6 +252,13 @@ pub fn simulate_none(
             loop {
                 let mut progressed = false;
                 for q in 0..p {
+                    if inline_fail_cycles {
+                        // Fast engine: skip provably-unprogressable procs.
+                        if !dirty[q] {
+                            continue;
+                        }
+                        dirty[q] = false;
+                    }
                     if current[q].is_some() {
                         continue;
                     }
@@ -165,17 +267,22 @@ pub fn simulate_none(
                     };
                     let t = TaskId(tid);
                     let mut ready = true;
-                    for &(u, _) in dag.preds(t) {
-                        match state[u.index()] {
+                    for &u in preds_of(t) {
+                        let ui = u as usize;
+                        match state[ui] {
                             TState::DoneLive => {}
                             TState::DoneLost => {
                                 // Demand re-execution of the producer on
                                 // its own processor; re-scan so that an
                                 // idle processor picks the demand up in
                                 // this same instant.
-                                state[u.index()] = TState::Queued;
+                                state[ui] = TState::Queued;
                                 stats.n_reexecs += 1;
-                                queues[proc_of[u.index()]].push(Reverse((pos_of[u.index()], u.0)));
+                                let r = proc_of[ui];
+                                queues[r].push(Reverse((pos_of[ui], u)));
+                                // r's queue (and possibly its front)
+                                // changed.
+                                dirty[r] = true;
                                 ready = false;
                                 progressed = true;
                             }
@@ -211,6 +318,12 @@ pub fn simulate_none(
                 }
                 let (t, _) = current[q].take().expect("done on idle proc");
                 state[t.index()] = TState::DoneLive;
+                live[q].push(t);
+                // q idles, and t's consumers may have become startable.
+                dirty[q] = true;
+                for &r in cons_procs_of(t) {
+                    dirty[r as usize] = true;
+                }
                 if !ever_done[t.index()] {
                     ever_done[t.index()] = true;
                     if is_sink[t.index()] {
@@ -224,30 +337,63 @@ pub fn simulate_none(
                 start_ready!(now);
             }
             Event::Fail(q) => {
-                stats.n_failures += 1;
-                if stats.n_failures > max_failures {
-                    return Err(Diverged {
-                        n_failures: stats.n_failures,
-                    });
-                }
-                // Abort the running task.
-                if let Some((t, started)) = current[q].take() {
-                    stats.wasted_time += now - started;
-                    state[t.index()] = TState::Queued;
-                    queues[q].push(Reverse((pos_of[t.index()], t.0)));
-                    epoch[q] += 1;
-                }
-                // All live outputs on q are lost.
-                for &t in &proc_orders[q] {
-                    if state[t.index()] == TState::DoneLive {
-                        state[t.index()] = TState::DoneLost;
+                let mut now = now;
+                loop {
+                    stats.n_failures += 1;
+                    if stats.n_failures > max_failures {
+                        return Err(Diverged {
+                            n_failures: stats.n_failures,
+                        });
                     }
+                    // Abort the running task.
+                    if let Some((t, started)) = current[q].take() {
+                        stats.wasted_time += now - started;
+                        state[t.index()] = TState::Queued;
+                        queues[q].push(Reverse((pos_of[t.index()], t.0)));
+                        epoch[q] += 1;
+                        // q idles with a changed queue.
+                        dirty[q] = true;
+                    }
+                    // All live outputs on q are lost; consumers blocked on
+                    // a lost output can now issue a re-execution demand.
+                    for t in live[q].drain(..) {
+                        if state[t.index()] == TState::DoneLive {
+                            state[t.index()] = TState::DoneLost;
+                            for &r in cons_procs_of(t) {
+                                dirty[r as usize] = true;
+                            }
+                        }
+                    }
+                    let next = failures.next_failure(q, now);
+                    // Reserve the next Fail(q)'s sequence number *here* —
+                    // where the slow path pushes it — so every later
+                    // event's tie-break key is identical whether or not
+                    // the fast path below elides the heap transit.
+                    let fail_seq = if next.is_finite() {
+                        seq += 1;
+                        Some(seq)
+                    } else {
+                        None
+                    };
+                    start_ready!(now);
+                    let Some(fs) = fail_seq else {
+                        break;
+                    };
+                    let key = Key(next, fs);
+                    let is_next_event = inline_fail_cycles
+                        && match events.peek() {
+                            None => true,
+                            Some(&Reverse((top, _))) => key < top,
+                        };
+                    if is_next_event {
+                        // Fail(q) at `next` is strictly the earliest
+                        // pending event: process it in place.
+                        now = next;
+                        continue;
+                    }
+                    events.push(Reverse((key, EventBox(Event::Fail(q)))));
+                    break;
                 }
-                let next = failures.next_failure(q, now);
-                if next.is_finite() {
-                    push(&mut events, &mut seq, next, Event::Fail(q));
-                }
-                start_ready!(now);
             }
         }
     }

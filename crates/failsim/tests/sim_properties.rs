@@ -2,8 +2,8 @@
 
 use ckpt_core::{allocate, AllocateConfig, CostCtx, FailureModel, Pipeline, Platform, Strategy};
 use failsim::{
-    montecarlo_segments_model, simulate_none, simulate_segments, simulate_segments_model,
-    ExpFailures, ModelFailures, SimConfig, TraceFailures,
+    montecarlo_segments_model, simulate_none, simulate_none_reference, simulate_segments,
+    simulate_segments_model, ExpFailures, ModelFailures, SimConfig, TraceFailures,
 };
 use mspg::gen::{random_workflow, GenConfig};
 use proptest::prelude::*;
@@ -108,6 +108,14 @@ proptest! {
         prop_assert_eq!(sg.segments.len(), 1);
         let base = sg.segments[0].cost.base();
         let expected = CostCtx::with_model(&w.dag, model, 1e7).expected_segment_time(base);
+        // The cached renewal curve must agree with the direct quadrature
+        // here too (the simulator cross-checks both cost paths).
+        let cached = CostCtx::with_curve(&w.dag, model, 1e7, pipe.restart_curve())
+            .expected_segment_time(base);
+        prop_assert!(
+            (cached - expected).abs() <= 1e-3 * expected.max(1e-12) + 1e-12,
+            "family {family}: curve {cached} vs direct {expected}"
+        );
         let mc = montecarlo_segments_model(&sg, &model, &SimConfig {
             runs: 4000,
             seed,
@@ -143,6 +151,66 @@ proptest! {
         let na = simulate_none(&w.dag, &pipe.schedule, &mut exp_src, 100_000);
         let nb = simulate_none(&w.dag, &pipe.schedule, &mut wei_src, 100_000);
         prop_assert_eq!(na, nb);
+    }
+
+    /// The CkptNone fail-restart fast path (inline handling of failure
+    /// events that are already the strict heap minimum) must be
+    /// *bit-for-bit* equivalent to the reference dispatcher-only engine:
+    /// same stats, same divergence verdict, same draw consumption — for
+    /// every model family, across rates dense enough to exercise both
+    /// the inline cycles and the mixed-event regime, and under scripted
+    /// traces whose exact time ties stress the (time, seq) ordering.
+    #[test]
+    fn fail_restart_fast_path_is_bitwise_equivalent(
+        n in 2usize..40,
+        p in 1usize..5,
+        seed: u64,
+        family in 0usize..4,
+        hazard_exp in 0u32..5,
+    ) {
+        let w = wf(n, seed);
+        let sched = allocate(&w, p, &AllocateConfig { seed, ..Default::default() });
+        let pfail = 1.0 - (-(10f64.powi(-(hazard_exp as i32)))).exp();
+        let w_bar = w.dag.mean_weight();
+        let model = match family {
+            0 => FailureModel::exponential_from_pfail(pfail, w_bar),
+            1 => FailureModel::weibull_from_pfail(0.7, pfail, w_bar),
+            2 => FailureModel::weibull_from_pfail(2.0, pfail, w_bar),
+            _ => FailureModel::lognormal_from_pfail(1.0, pfail.max(1e-9), w_bar),
+        };
+        let mut fast_src = ModelFailures::new(model, seed);
+        let mut ref_src = ModelFailures::new(model, seed);
+        let fast = simulate_none(&w.dag, &sched, &mut fast_src, 3000);
+        let reference = simulate_none_reference(&w.dag, &sched, &mut ref_src, 3000);
+        prop_assert_eq!(fast, reference);
+        // Draw consumption must match too: both sources must produce the
+        // same next value afterwards.
+        prop_assert_eq!(
+            fast_src.sample_interarrival(0).to_bits(),
+            ref_src.sample_interarrival(0).to_bits()
+        );
+    }
+
+    /// Fast-path equivalence under scripted traces with exact ties
+    /// (integer failure times landing on integer task boundaries).
+    #[test]
+    fn fail_restart_fast_path_handles_tied_traces(
+        n in 2usize..30,
+        p in 1usize..4,
+        seed: u64,
+        fail_times in prop::collection::vec(1u32..40, 0..16),
+    ) {
+        let w = wf(n, seed);
+        let sched = allocate(&w, p, &AllocateConfig { seed, ..Default::default() });
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); p];
+        for (i, t) in fail_times.iter().enumerate() {
+            traces[i % p].push(*t as f64);
+        }
+        let mut fast_src = TraceFailures::new(traces.clone());
+        let mut ref_src = TraceFailures::new(traces);
+        let fast = simulate_none(&w.dag, &sched, &mut fast_src, 100_000);
+        let reference = simulate_none_reference(&w.dag, &sched, &mut ref_src, 100_000);
+        prop_assert_eq!(fast, reference);
     }
 
     /// Monte Carlo means respond monotonically to the failure rate (with

@@ -19,16 +19,33 @@
 //! low-variance 2-state regime (`p_high = λ·(r+w)`, `λ → 0`) they are
 //! dominated with overwhelming probability, which is why §VI-B finds the
 //! method both fastest and closest to Monte Carlo.
+//!
+//! ## Allocation discipline
+//!
+//! The K-best DP is the steady-state assess loop's inner kernel (it runs
+//! once per strategy per grid cell), so all of its working memory lives
+//! in a [`PathApprox`]-owned scratch reused across runs: per-node
+//! candidate lists are slices of one flat arena (`start[v] ± len[v]`
+//! instead of a `Vec<Vec<_>>` per run), the K-way-merge heap, the path
+//! bitsets, and the topological-order buffers all keep their high-water
+//! allocations. The candidate-generation order is identical to the
+//! historical nested-`Vec` implementation, so estimates are bit-for-bit
+//! unchanged.
+
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 
 use crate::normal::clark_max_corr;
 use crate::pdag::{NodeId, ProbDag};
 use crate::Evaluator;
 
-/// The PathApprox estimator.
-#[derive(Clone, Copy, Debug)]
+/// The PathApprox estimator. Carries its reusable scratch; cloning
+/// yields a fresh (empty) scratch with the same configuration.
+#[derive(Debug)]
 pub struct PathApprox {
     /// Number of candidate longest-expected-length paths (`K`).
     pub k_paths: usize,
+    scratch: RefCell<Scratch>,
 }
 
 impl Default for PathApprox {
@@ -36,12 +53,18 @@ impl Default for PathApprox {
         // 64 saturates small graphs but visibly underestimates the maximum
         // on ~300-node-wide levels (Genome at high pfail: −3% vs Monte
         // Carlo); 256 is within 0.3% of Monte Carlo there and still cheap.
-        PathApprox { k_paths: 256 }
+        PathApprox::with_k(256)
+    }
+}
+
+impl Clone for PathApprox {
+    fn clone(&self) -> Self {
+        PathApprox::with_k(self.k_paths)
     }
 }
 
 /// One end of a candidate path in the K-best DP.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct PathEnd {
     /// Exact mean of the path's duration sum.
     mean: f64,
@@ -52,7 +75,36 @@ struct PathEnd {
     parent: Option<(NodeId, u32)>,
 }
 
+/// Reusable working memory of one [`PathApprox`] (see the module docs).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Topological order plus its work buffers.
+    order: Vec<NodeId>,
+    indeg: Vec<usize>,
+    ready: Vec<NodeId>,
+    /// Flat arena of per-node candidate lists.
+    arena: Vec<PathEnd>,
+    /// Arena offset of each node's list.
+    start: Vec<u32>,
+    /// Length of each node's list.
+    len: Vec<u32>,
+    /// K-way merge heap of (mean, pred-slot, index-into-pred-list).
+    heap: BinaryHeap<(OrdF64, u32, u32)>,
+    /// Global K best complete paths (sink, index, mean, var).
+    best: Vec<(NodeId, u32, f64, f64)>,
+    /// Flat per-path node bitsets (`best.len() × words`).
+    bits: Vec<u64>,
+}
+
 impl PathApprox {
+    /// A PathApprox with the given `K` and an empty scratch.
+    pub fn with_k(k_paths: usize) -> Self {
+        PathApprox {
+            k_paths,
+            scratch: RefCell::new(Scratch::default()),
+        }
+    }
+
     /// Estimated expected makespan.
     pub fn run(&self, dag: &ProbDag) -> f64 {
         let n = dag.n_nodes();
@@ -60,70 +112,91 @@ impl PathApprox {
             return 0.0;
         }
         let k = self.k_paths.max(1);
-        let order = dag.topo_order();
+        let mut guard = self.scratch.borrow_mut();
+        let Scratch {
+            order,
+            indeg,
+            ready,
+            arena,
+            start,
+            len,
+            heap,
+            best,
+            bits,
+        } = &mut *guard;
+        dag.topo_order_into(order, indeg, ready);
         // K-best expected-length paths ending at each node. Each node's
         // list is sorted by decreasing mean, so the k best extensions are
         // obtained by a k-way merge over the predecessor lists — O((P+k)
         // log P) per node instead of sorting P·k candidates, which matters
         // on the complete-bipartite levels of Montage-like graphs.
-        let mut ends: Vec<Vec<PathEnd>> = vec![Vec::new(); n];
-        for &v in &order {
+        arena.clear();
+        start.clear();
+        start.resize(n, 0);
+        len.clear();
+        len.resize(n, 0);
+        for &v in order.iter() {
             let m_v = dag.dist(v).mean();
             let var_v = dag.dist(v).variance();
             let preds = dag.preds(v);
-            let mut cands: Vec<PathEnd> = Vec::with_capacity(k.min(preds.len() * k).max(1));
+            let at = arena.len() as u32;
+            start[v.index()] = at;
             if preds.is_empty() {
-                cands.push(PathEnd {
+                arena.push(PathEnd {
                     mean: m_v,
                     var: var_v,
                     parent: None,
                 });
             } else {
-                // Heap of (mean, pred-slot, index-into-pred-list), keyed on
-                // the candidate path mean.
-                let mut heap: std::collections::BinaryHeap<(OrdF64, u32, u32)> =
-                    std::collections::BinaryHeap::with_capacity(preds.len());
+                heap.clear();
                 for (slot, &u) in preds.iter().enumerate() {
-                    if let Some(pe) = ends[u.index()].first() {
+                    if len[u.index()] > 0 {
+                        let pe = arena[start[u.index()] as usize];
                         heap.push((OrdF64(pe.mean), slot as u32, 0));
                     }
                 }
-                while cands.len() < k {
+                while (arena.len() as u32 - at) < k as u32 {
                     let Some((_, slot, idx)) = heap.pop() else {
                         break;
                     };
                     let u = preds[slot as usize];
-                    let pe = ends[u.index()][idx as usize];
-                    cands.push(PathEnd {
+                    let pe = arena[(start[u.index()] + idx) as usize];
+                    arena.push(PathEnd {
                         mean: pe.mean + m_v,
                         var: pe.var + var_v,
                         parent: Some((u, idx)),
                     });
-                    if let Some(next) = ends[u.index()].get(idx as usize + 1) {
+                    if idx + 1 < len[u.index()] {
+                        let next = arena[(start[u.index()] + idx + 1) as usize];
                         heap.push((OrdF64(next.mean), slot, idx + 1));
                     }
                 }
             }
-            ends[v.index()] = cands;
+            len[v.index()] = arena.len() as u32 - at;
         }
         // Global K best complete paths (over all sinks).
-        let mut best: Vec<(NodeId, u32, f64, f64)> = Vec::new();
-        for v in dag.sink_nodes() {
-            for (i, pe) in ends[v.index()].iter().enumerate() {
-                best.push((v, i as u32, pe.mean, pe.var));
+        best.clear();
+        for v in dag.node_ids() {
+            if !dag.succs(v).is_empty() {
+                continue;
+            }
+            for i in 0..len[v.index()] {
+                let pe = arena[(start[v.index()] + i) as usize];
+                best.push((v, i, pe.mean, pe.var));
             }
         }
         best.sort_by(|a, b| b.2.total_cmp(&a.2));
         best.truncate(k);
         // Reconstruct node sets (bitsets) for covariance computation.
         let words = n.div_ceil(64);
-        let mut nodesets: Vec<Vec<u64>> = Vec::with_capacity(best.len());
-        for &(v, i, _, _) in &best {
-            let mut bits = vec![0u64; words];
+        bits.clear();
+        bits.resize(best.len() * words, 0);
+        for (p, &(v, i, _, _)) in best.iter().enumerate() {
+            let path_bits = &mut bits[p * words..(p + 1) * words];
             let (mut node, mut idx) = (v, i);
             loop {
-                bits[node.index() / 64] |= 1u64 << (node.index() % 64);
-                match ends[node.index()][idx as usize].parent {
+                path_bits[node.index() / 64] |= 1u64 << (node.index() % 64);
+                match arena[(start[node.index()] + idx) as usize].parent {
                     Some((u, j)) => {
                         node = u;
                         idx = j;
@@ -131,7 +204,6 @@ impl PathApprox {
                     None => break,
                 }
             }
-            nodesets.push(bits);
         }
         // Sequential Clark max in decreasing-mean order. The running max
         // is not a path, so its covariance with the next candidate is
@@ -142,7 +214,13 @@ impl PathApprox {
         let (mut m, mut var) = (best[0].2, best[0].3);
         for j in 1..best.len() {
             let cov = (0..j)
-                .map(|i| shared_variance(dag, &nodesets[i], &nodesets[j]))
+                .map(|i| {
+                    shared_variance(
+                        dag,
+                        &bits[i * words..(i + 1) * words],
+                        &bits[j * words..(j + 1) * words],
+                    )
+                })
                 .fold(0.0f64, f64::max)
                 .min(var)
                 .min(best[j].3);
@@ -303,7 +381,7 @@ mod tests {
         let c = g.add_node(two(2.4, 3.6, 0.5));
         g.add_edge(a, b);
         g.add_edge(a, c);
-        let est = PathApprox { k_paths: 1 }.run(&g);
+        let est = PathApprox::with_k(1).run(&g);
         let best_mean = (0.5 * 1.0 + 0.5 * 1.5) + (0.5 * 2.4 + 0.5 * 3.6);
         assert!((est - best_mean).abs() < 1e-12);
     }
@@ -319,8 +397,38 @@ mod tests {
         g.add_edge(a, c);
         g.add_edge(b, d);
         g.add_edge(c, d);
-        let e1 = PathApprox { k_paths: 1 }.run(&g);
-        let e8 = PathApprox { k_paths: 8 }.run(&g);
+        let e1 = PathApprox::with_k(1).run(&g);
+        let e8 = PathApprox::with_k(8).run(&g);
         assert!(e8 >= e1 - 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        // One evaluator across many different graphs: stale scratch
+        // contents must never leak into a later estimate.
+        let graphs: Vec<ProbDag> = (0..6)
+            .map(|i| {
+                let mut g = ProbDag::new();
+                let nodes: Vec<_> = (0..(3 + 7 * i))
+                    .map(|j| g.add_node(two(1.0 + j as f64, 2.0 + j as f64, 0.1)))
+                    .collect();
+                for w in nodes.windows(2) {
+                    g.add_edge(w[0], w[1]);
+                }
+                // A few cross edges for multi-path structure.
+                for j in (2..nodes.len()).step_by(3) {
+                    g.add_edge(nodes[j - 2], nodes[j]);
+                }
+                g
+            })
+            .collect();
+        let reused = pa();
+        // Warm the scratch on the biggest graph first, then sweep.
+        let _ = reused.run(graphs.last().unwrap());
+        for g in &graphs {
+            let fresh = pa().run(g);
+            let warm = reused.run(g);
+            assert_eq!(fresh.to_bits(), warm.to_bits());
+        }
     }
 }

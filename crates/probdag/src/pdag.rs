@@ -168,10 +168,28 @@ impl ProbDag {
 
     /// A deterministic topological order. Panics on cycles.
     pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        self.topo_order_into(&mut order, &mut Vec::new(), &mut Vec::new());
+        order
+    }
+
+    /// [`ProbDag::topo_order`] into caller-owned buffers (`order` is
+    /// cleared and filled; `indeg`/`ready` are work space) — the same
+    /// deterministic order with zero allocations once the buffers have
+    /// grown to the graph size. Panics on cycles.
+    pub fn topo_order_into(
+        &self,
+        order: &mut Vec<NodeId>,
+        indeg: &mut Vec<usize>,
+        ready: &mut Vec<NodeId>,
+    ) {
         let n = self.n_nodes();
-        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
-        let mut ready: Vec<NodeId> = self.node_ids().filter(|v| indeg[v.index()] == 0).collect();
-        let mut order = Vec::with_capacity(n);
+        indeg.clear();
+        indeg.extend((0..n).map(|v| self.pred[v].len()));
+        ready.clear();
+        ready.extend(self.node_ids().filter(|v| indeg[v.index()] == 0));
+        order.clear();
+        order.reserve(n);
         while let Some(v) = ready.pop() {
             order.push(v);
             for &w in &self.succ[v.index()] {
@@ -182,7 +200,6 @@ impl ProbDag {
             }
         }
         assert_eq!(order.len(), n, "ProbDag has a cycle");
-        order
     }
 
     /// Makespan when every node takes the duration selected by `pick`.
