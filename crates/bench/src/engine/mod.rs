@@ -1,4 +1,4 @@
-//! # engine — the unified parallel scenario engine (E1–E8)
+//! # engine — the unified parallel scenario engine (E1–E10)
 //!
 //! The paper's evaluation is one big Cartesian grid — workflow class ×
 //! size × processor count × pfail × CCR × strategy — which the harness

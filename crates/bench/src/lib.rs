@@ -1,7 +1,7 @@
 //! # ckpt-bench — experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation (§VI).
-//! See DESIGN.md §5 for the experiment index (E1–E8) and §5.1 for the
+//! See DESIGN.md §5 for the experiment index (E1–E10) and §5.1 for the
 //! scenario engine; EXPERIMENTS.md tracks paper-vs-measured results.
 //! Binaries (all driven through [`engine`] by the scenarios in
 //! [`scenarios`], all accepting `--threads`):
@@ -14,7 +14,10 @@
 //! * `ablation` — E6 (linearization), E7 (naive coalescing), E8 (Ligo
 //!   incomplete-bipartite footnote);
 //! * `distributions` — E9: the four strategies under Weibull / LogNormal
-//!   failure models against the exponential baseline (DESIGN.md §6).
+//!   failure models against the exponential baseline (DESIGN.md §6);
+//! * `strategies` — E10: the checkpoint-policy comparison (DP vs
+//!   Young/Daly periodic vs risk-threshold vs structural crossover,
+//!   DESIGN.md §8).
 
 pub mod engine;
 pub mod scenarios;

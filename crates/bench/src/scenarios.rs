@@ -1,10 +1,16 @@
-//! The experiment scenarios E1–E9, expressed against the
+//! The experiment scenarios E1–E10, expressed against the
 //! [`crate::engine`]. Each harness binary is now a thin CLI shell around
 //! one of these types; the grids, seeds, caching and parallelism all
 //! live here and in the engine. E1–E8 reproduce the paper's evaluation;
 //! E9 ([`DistributionsScenario`]) extends it along the failure-model
-//! axis (Weibull / LogNormal vs the exponential baseline).
+//! axis (Weibull / LogNormal vs the exponential baseline), and E10
+//! ([`StrategiesScenario`]) along the checkpoint-policy axis (the DP vs
+//! Young/Daly periodic, risk-threshold, and structural placements).
 
+use ckpt_core::policy::{
+    CheckpointPolicy, CkptAllPolicy, DalyPeriodic, DpOptimalPolicy, ExitOnlyPolicy,
+    GreedyCrossover, RiskThreshold,
+};
 use ckpt_core::{allocate, AllocateConfig, FailureModel, Schedule, Strategy};
 use failsim::{
     montecarlo_none, montecarlo_none_model, montecarlo_segments, montecarlo_segments_model,
@@ -956,6 +962,301 @@ impl Scenario for DistributionsScenario {
     }
 }
 
+/// A checkpoint-policy point of the E10 `strategies` grid: the builtin
+/// policy plus its knob, instantiable per cell.
+#[derive(Clone, Copy, Debug)]
+pub enum PolicyChoice {
+    /// The paper's DP placement (CkptSome).
+    DpOptimal,
+    /// Checkpoint after every task.
+    CkptAll,
+    /// Checkpoint superchain exits only.
+    ExitOnly,
+    /// Young/Daly periodic checkpointing with the model-derived period.
+    Daly,
+    /// Adaptive risk-threshold checkpointing with the given per-segment
+    /// failure-probability bound.
+    Risk {
+        /// Per-segment failure-probability bound, in `(0, 1)`.
+        max_risk: f64,
+    },
+    /// The structural crossover heuristic.
+    Crossover,
+}
+
+impl PolicyChoice {
+    /// Builds the policy object this choice names.
+    pub fn instantiate(&self) -> Box<dyn CheckpointPolicy> {
+        match *self {
+            PolicyChoice::DpOptimal => Box::new(DpOptimalPolicy),
+            PolicyChoice::CkptAll => Box::new(CkptAllPolicy),
+            PolicyChoice::ExitOnly => Box::new(ExitOnlyPolicy),
+            PolicyChoice::Daly => Box::new(DalyPeriodic::auto()),
+            PolicyChoice::Risk { max_risk } => Box::new(RiskThreshold::new(max_risk)),
+            PolicyChoice::Crossover => Box::new(GreedyCrossover),
+        }
+    }
+
+    /// The policy's display name (CSV label). Knob values are **not**
+    /// encoded in the label, so a grid should carry at most one point
+    /// per policy family — two `Risk` points would emit
+    /// indistinguishable rows.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            PolicyChoice::DpOptimal => DpOptimalPolicy.name(),
+            PolicyChoice::CkptAll => CkptAllPolicy.name(),
+            PolicyChoice::ExitOnly => ExitOnlyPolicy.name(),
+            PolicyChoice::Daly => DalyPeriodic::auto().name(),
+            PolicyChoice::Risk { .. } => "RiskThreshold",
+            PolicyChoice::Crossover => GreedyCrossover.name(),
+        }
+    }
+}
+
+/// One row of the E10 `strategies` table.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Processor count.
+    pub procs: usize,
+    /// Per-task failure probability every model is calibrated to.
+    pub pfail: f64,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Failure-model family.
+    pub model: &'static str,
+    /// Shape knob of the family.
+    pub shape: f64,
+    /// Checkpoint-policy name.
+    pub policy: &'static str,
+    /// Analytic expected makespan (renewal cost path + PathApprox).
+    pub model_em: f64,
+    /// Simulated mean makespan.
+    pub sim_em: f64,
+    /// Standard error of the simulated mean.
+    pub sim_stderr: f64,
+    /// |model − sim| / sim, percent.
+    pub rel_err_pct: f64,
+    /// Coalesced segments (= checkpointed tasks).
+    pub segments: usize,
+    /// Files the placement checkpoints.
+    pub ckpt_files: usize,
+    /// Bytes the placement checkpoints.
+    pub ckpt_bytes: f64,
+}
+
+/// E10 — the checkpoint-policy study: the DP placement against the
+/// classical competitors (Young/Daly periodic, adaptive risk-threshold,
+/// structural crossover) and the paper's baselines, under exponential
+/// and non-memoryless failure models, every family calibrated to the
+/// cell's `pfail`. Quantifies what the DP actually buys over periodic
+/// checkpointing — especially under wear-out, where memoryless-tuned
+/// periods should visibly lose.
+///
+/// The cell list is the Cartesian grid `policy × model × class × size ×
+/// pfail` with the **policy axis outermost** (then the model axis), so
+/// every `(policy, model)` block reuses the same per-lane workflow
+/// instances, schedules, and simulation seeds — a paired comparison
+/// along both new axes.
+#[derive(Clone, Debug)]
+pub struct StrategiesScenario {
+    /// Checkpoint policies (blocks, outermost axis).
+    pub policies: Vec<PolicyChoice>,
+    /// Failure-model family points (inner block axis).
+    pub models: Vec<DistModel>,
+    /// Workflow classes.
+    pub classes: Vec<WorkflowClass>,
+    /// Workflow sizes.
+    pub sizes: Vec<usize>,
+    /// Per-task failure probabilities.
+    pub pfails: Vec<f64>,
+    /// Simulated executions per cell.
+    pub runs: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+/// CSV header of the E10 table.
+pub const STRATEGIES_HEADER: &str = "class,size,procs,pfail,ccr,model,shape,policy,\
+     model_em,sim_em,sim_stderr,rel_err_pct,segments,ckpt_files,ckpt_bytes";
+
+impl StrategiesScenario {
+    /// The default study: all six builtin policies under the
+    /// exponential baseline and both Weibull regimes, on the two
+    /// structurally extreme classes (Genome's deep lanes, Montage's
+    /// wide levels).
+    pub fn standard(runs: usize, sizes: Vec<usize>, base_seed: u64) -> Self {
+        StrategiesScenario {
+            policies: vec![
+                PolicyChoice::DpOptimal,
+                PolicyChoice::CkptAll,
+                PolicyChoice::ExitOnly,
+                PolicyChoice::Daly,
+                PolicyChoice::Risk { max_risk: 0.1 },
+                PolicyChoice::Crossover,
+            ],
+            models: vec![
+                DistModel::Exponential,
+                DistModel::Weibull { shape: 0.7 },
+                DistModel::Weibull { shape: 2.0 },
+            ],
+            classes: vec![WorkflowClass::Genome, WorkflowClass::Montage],
+            sizes,
+            pfails: vec![0.01, 0.001],
+            runs,
+            base_seed,
+        }
+    }
+
+    fn base_grid(&self) -> Grid {
+        Grid {
+            classes: self.classes.clone(),
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::PaperIndex(1),
+            pfails: self.pfails.clone(),
+            ccrs: CcrAxis::ClassMid,
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+    }
+
+    /// Cells per `(policy, model)` block, computed arithmetically from
+    /// the base grid's axes; `cells()` asserts it against the actual
+    /// enumeration.
+    fn cells_per_block(&self) -> usize {
+        self.classes.len() * self.sizes.len() * self.pfails.len()
+    }
+
+    /// The `(policy, model)` pair a cell belongs to.
+    fn block_of(&self, cell: &Cell) -> (PolicyChoice, DistModel) {
+        let block = cell.index / self.cells_per_block();
+        (
+            self.policies[block / self.models.len()],
+            self.models[block % self.models.len()],
+        )
+    }
+
+    /// The contiguous cell-index range of each `(policy, model)` block,
+    /// labelled `policy/family(shape)` — used by the binary to
+    /// attribute per-block wall-clock.
+    pub fn blocks(&self) -> Vec<(String, std::ops::Range<usize>)> {
+        let block = self.cells_per_block();
+        let mut out = Vec::with_capacity(self.policies.len() * self.models.len());
+        for (p, policy) in self.policies.iter().enumerate() {
+            for (m, dist) in self.models.iter().enumerate() {
+                let i = p * self.models.len() + m;
+                let label = format!(
+                    "{}/{}({})",
+                    policy.name(),
+                    match dist {
+                        DistModel::Exponential => "exponential",
+                        DistModel::Weibull { .. } => "weibull",
+                        DistModel::LogNormal { .. } => "lognormal",
+                    },
+                    dist.shape()
+                );
+                out.push((label, i * block..(i + 1) * block));
+            }
+        }
+        out
+    }
+}
+
+impl Scenario for StrategiesScenario {
+    type Row = StrategyRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        assert!(!self.policies.is_empty(), "need at least one policy");
+        assert!(!self.models.is_empty(), "need at least one model");
+        let base = self.base_grid().cells();
+        assert_eq!(
+            base.len(),
+            self.cells_per_block(),
+            "cells_per_block out of sync with base_grid"
+        );
+        let blocks = self.policies.len() * self.models.len();
+        let mut cells = Vec::with_capacity(base.len() * blocks);
+        for _ in 0..blocks {
+            for c in &base {
+                cells.push(Cell {
+                    index: cells.len(),
+                    ..c.clone()
+                });
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<StrategyRow> {
+        let (choice, dist) = self.block_of(cell);
+        let w = ctx.scaled_instance(cell, 0);
+        let model = dist.calibrate(cell.pfail, w.dag.mean_weight());
+        let pipe = ctx.pipeline_with_model(cell, 0, &w, Linearizer::RandomTopo, model);
+        let policy = choice.instantiate();
+        // One segment graph serves the analytic assessment (with its
+        // placement census) and the simulation ground truth.
+        let sg = pipe.segment_graph_policy(policy.as_ref());
+        let assessment = pipe.assess_graph(policy.name(), &sg, &PathApprox::default());
+        let cfg = SimConfig {
+            runs: self.runs,
+            seed: ctx.instance_seed(cell, 0),
+            threads: ctx.mc_threads,
+            max_failures: 10_000,
+        };
+        let sim = montecarlo_segments_model(&sg, &model, &cfg);
+        vec![StrategyRow {
+            class: cell.class,
+            size: cell.size,
+            procs: cell.procs,
+            pfail: cell.pfail,
+            ccr: cell.ccr,
+            model: model.family_name(),
+            shape: dist.shape(),
+            policy: assessment.policy,
+            model_em: assessment.expected_makespan,
+            sim_em: sim.mean_makespan,
+            sim_stderr: sim.stderr,
+            rel_err_pct: if sim.mean_makespan.is_finite() {
+                100.0 * (assessment.expected_makespan - sim.mean_makespan).abs() / sim.mean_makespan
+            } else {
+                f64::INFINITY
+            },
+            segments: assessment.n_segments,
+            ckpt_files: assessment.ckpt_files,
+            ckpt_bytes: assessment.ckpt_bytes,
+        }]
+    }
+
+    fn header(&self) -> String {
+        STRATEGIES_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &StrategyRow) -> String {
+        format!(
+            "{},{},{},{},{:.6e},{},{},{},{:.4},{:.4},{:.4},{:.3},{},{},{:.6e}",
+            r.class.name(),
+            r.size,
+            r.procs,
+            r.pfail,
+            r.ccr,
+            r.model,
+            r.shape,
+            r.policy,
+            r.model_em,
+            r.sim_em,
+            r.sim_stderr,
+            r.rel_err_pct,
+            r.segments,
+            r.ckpt_files,
+            r.ckpt_bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1034,6 +1335,68 @@ mod tests {
         // exponential machinery: same strategies, finite errors.
         assert!(report.rows.iter().any(|r| r.model == "exponential"));
         assert!(report.rows.iter().any(|r| r.model == "weibull"));
+    }
+
+    #[test]
+    fn strategies_cells_repeat_the_base_grid_per_policy_and_model() {
+        let s = StrategiesScenario::standard(10, vec![50], 5);
+        let cells = s.cells();
+        // 6 policies × 3 models × (2 classes × 1 size × 2 pfails).
+        assert_eq!(cells.len(), 6 * 3 * (2 * 2));
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Every block shares lane seeds with the base grid (paired
+        // comparison along both the policy and the model axis).
+        let block = s.cells_per_block();
+        for k in 0..cells.len() {
+            assert_eq!(cells[k].seed, cells[k % block].seed);
+            assert_eq!(cells[k].pfail, cells[k % block].pfail);
+        }
+        assert_eq!(s.blocks().len(), 6 * 3);
+    }
+
+    #[test]
+    fn strategies_mini_run_ranks_the_dp_first() {
+        let s = StrategiesScenario {
+            policies: vec![
+                PolicyChoice::DpOptimal,
+                PolicyChoice::Daly,
+                PolicyChoice::Risk { max_risk: 0.1 },
+                PolicyChoice::Crossover,
+            ],
+            models: vec![DistModel::Exponential, DistModel::Weibull { shape: 2.0 }],
+            classes: vec![WorkflowClass::Genome],
+            sizes: vec![50],
+            pfails: vec![0.01],
+            runs: 20,
+            base_seed: 13,
+        };
+        let report = engine::run(&s, &EngineConfig::with_threads(2), &mut NullSink).unwrap();
+        let block = s.cells_per_block();
+        assert_eq!(report.rows.len(), 4 * 2 * block);
+        for r in &report.rows {
+            assert!(r.model_em > 0.0 && r.sim_em > 0.0, "{r:?}");
+            assert!(r.segments >= 1 && r.ckpt_files >= 1);
+            assert!(r.ckpt_bytes > 0.0);
+        }
+        // Paired comparison: for each (model, cell) the DP's analytic
+        // expected makespan is never (meaningfully) beaten by any other
+        // policy on the same instance, schedule, and calibrated model.
+        let n_models = s.models.len();
+        for (i, r) in report.rows.iter().enumerate() {
+            let dp = &report.rows[i % (n_models * block)];
+            assert_eq!(dp.policy, "CkptSome");
+            assert_eq!(dp.model, r.model);
+            assert!(
+                dp.model_em <= r.model_em * 1.02,
+                "{} under {}: DP {} vs {}",
+                r.policy,
+                r.model,
+                dp.model_em,
+                r.model_em
+            );
+        }
     }
 
     #[test]

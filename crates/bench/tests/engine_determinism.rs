@@ -5,7 +5,10 @@
 //! canonical order before they reach the sink.
 
 use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
-use ckpt_bench::scenarios::{DistModel, DistributionsScenario, FigureScenario, ValidateScenario};
+use ckpt_bench::scenarios::{
+    DistModel, DistributionsScenario, FigureScenario, PolicyChoice, StrategiesScenario,
+    ValidateScenario,
+};
 use pegasus::WorkflowClass;
 
 fn csv<S: Scenario>(scenario: &S, threads: usize) -> String {
@@ -75,6 +78,35 @@ fn parallel_distributions_grid_is_byte_identical_to_serial() {
     // plus the header.
     assert_eq!(serial.lines().count(), 2 * 3 * 4 + 1);
     for threads in [2, 8] {
+        assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_strategies_grid_is_byte_identical_to_serial() {
+    // The E10 checkpoint-policy scenario repeats the base grid once per
+    // (policy, model) block and nests a segment simulation in every
+    // cell; its CSV must hold the engine's byte-identity guarantee for
+    // any thread count, including budgets beyond the cell count.
+    let scenario = StrategiesScenario {
+        policies: vec![
+            PolicyChoice::DpOptimal,
+            PolicyChoice::Daly,
+            PolicyChoice::Risk { max_risk: 0.1 },
+            PolicyChoice::Crossover,
+        ],
+        models: vec![DistModel::Exponential, DistModel::Weibull { shape: 2.0 }],
+        classes: vec![WorkflowClass::Genome, WorkflowClass::Montage],
+        sizes: vec![50],
+        pfails: vec![0.01],
+        runs: 30,
+        base_seed: 21,
+    };
+    let serial = csv(&scenario, 1);
+    // 4 policies × 2 models × 2 classes × 1 size × 1 pfail cells, one
+    // row each, plus the header.
+    assert_eq!(serial.lines().count(), 4 * 2 * 2 + 1);
+    for threads in [2, 8, 32] {
         assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
     }
 }

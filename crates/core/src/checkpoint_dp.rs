@@ -155,16 +155,18 @@ impl SegmentCost {
 /// An epoch-stamped id set: O(1) insert/contains keyed by a dense id
 /// (`TaskId`/`FileId` index), with O(1) clearing between uses — the
 /// reusable-bitset replacement for the `Vec::contains` scans that made
-/// [`segment_cost`] quadratic in segment width.
+/// [`segment_cost`] quadratic in segment width. Shared crate-wide by the
+/// segment-cost sweeps, the policy subsystem's membership tests, and the
+/// placement-stats accounting.
 #[derive(Clone, Debug, Default)]
-struct IdSet {
+pub(crate) struct IdSet {
     stamp: Vec<u32>,
     epoch: u32,
 }
 
 impl IdSet {
     /// Clears the set and ensures capacity for ids `< n`.
-    fn reset(&mut self, n: usize) {
+    pub(crate) fn reset(&mut self, n: usize) {
         if self.stamp.len() < n {
             self.stamp.resize(n, 0);
         }
@@ -177,7 +179,7 @@ impl IdSet {
 
     /// Inserts `i`; returns `true` if it was not already present.
     #[inline]
-    fn insert(&mut self, i: usize) -> bool {
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
         if self.stamp[i] == self.epoch {
             false
         } else {
@@ -187,7 +189,7 @@ impl IdSet {
     }
 
     #[inline]
-    fn contains(&self, i: usize) -> bool {
+    pub(crate) fn contains(&self, i: usize) -> bool {
         self.stamp[i] == self.epoch
     }
 }

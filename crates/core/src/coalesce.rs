@@ -8,10 +8,10 @@
 //! dependence + same-processor serialization) is what the §II-B
 //! evaluators compute the expected makespan of.
 
-use mspg::TaskId;
+use mspg::{Dag, TaskId};
 use probdag::{NodeDist, NodeId, ProbDag};
 
-use crate::checkpoint_dp::{segment_cost_reusing, CostCtx, SegmentCost, SegmentCostScratch};
+use crate::checkpoint_dp::{segment_cost_reusing, CostCtx, IdSet, SegmentCost, SegmentCostScratch};
 use crate::schedule::Schedule;
 
 /// Per-task checkpoint decisions (indexed by task id): `ckpt_after[t]`
@@ -53,6 +53,23 @@ pub struct SegmentGraph {
     pub task_segment: Vec<u32>,
 }
 
+/// Aggregate placement statistics of a segment graph — derived in one
+/// place from the coalesced graph so every consumer (`Pipeline::assess`,
+/// the experiment scenarios, the E10 CSV) agrees on the counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacementStats {
+    /// Coalesced segments. Every segment ends in exactly one
+    /// checkpoint, so this is also the checkpoint count.
+    pub segments: usize,
+    /// Files written to stable storage by segment checkpoints. Each
+    /// file's producer lives in exactly one segment, so no file is
+    /// counted twice.
+    pub ckpt_files: usize,
+    /// Total bytes those checkpoints write
+    /// (`total_checkpoint_time() × bandwidth`).
+    pub ckpt_bytes: f64,
+}
+
 impl SegmentGraph {
     /// Total checkpoint write time across segments (failure-free).
     pub fn total_checkpoint_time(&self) -> f64 {
@@ -62,6 +79,36 @@ impl SegmentGraph {
     /// Total stable-storage read time across segments (failure-free).
     pub fn total_read_time(&self) -> f64 {
         self.segments.iter().map(|s| s.cost.r).sum()
+    }
+
+    /// Placement statistics of this graph: segment count plus the
+    /// checkpointed-file census (a file counts when its producing
+    /// segment has a consumer outside itself — the same "needed later"
+    /// rule `segment_cost` prices).
+    pub fn placement_stats(&self, dag: &Dag) -> PlacementStats {
+        let mut seen = IdSet::default();
+        let mut ckpt_files = 0usize;
+        let mut ckpt_bytes = 0.0f64;
+        for (s_idx, seg) in self.segments.iter().enumerate() {
+            seen.reset(dag.n_files());
+            for &t in &seg.tasks {
+                for &f in dag.output_files(t) {
+                    let needed_later = dag
+                        .consumers(f)
+                        .iter()
+                        .any(|&v| self.task_segment[v.index()] != s_idx as u32);
+                    if needed_later && seen.insert(f.index()) {
+                        ckpt_files += 1;
+                        ckpt_bytes += dag.file(f).size;
+                    }
+                }
+            }
+        }
+        PlacementStats {
+            segments: self.segments.len(),
+            ckpt_files,
+            ckpt_bytes,
+        }
     }
 }
 
@@ -240,6 +287,29 @@ mod tests {
             ckpt_after: vec![false; w.dag.n_tasks()],
         };
         coalesce(&ctx, &sched, &plan);
+    }
+
+    #[test]
+    fn placement_stats_agree_with_segment_costs() {
+        let w = generate(WorkflowClass::Montage, 300, 4);
+        let sched = allocate(&w, 18, &AllocateConfig::default());
+        let bw = 1e7;
+        let ctx = CostCtx::exponential(&w.dag, 1e-5, bw);
+        for plan in [plan_all(&w.dag), plan_some(&ctx, &sched)] {
+            let sg = coalesce(&ctx, &sched, &plan);
+            let stats = sg.placement_stats(&w.dag);
+            assert_eq!(stats.segments, sg.segments.len());
+            // The byte census prices exactly what the segment costs
+            // price: C-time × bandwidth.
+            let c_bytes = sg.total_checkpoint_time() * bw;
+            assert!(
+                (stats.ckpt_bytes - c_bytes).abs() < 1e-6 * c_bytes.max(1.0),
+                "{} vs {}",
+                stats.ckpt_bytes,
+                c_bytes
+            );
+            assert!(stats.ckpt_files > 0);
+        }
     }
 
     #[test]

@@ -1,17 +1,26 @@
 //! End-to-end evaluation pipeline: schedule → checkpoint → expected
-//! makespan, for all strategies of the paper.
+//! makespan, for all strategies of the paper — and, since the policy
+//! subsystem, for any [`CheckpointPolicy`].
 
 use mspg::{Dag, Workflow};
 use probdag::Evaluator;
 
 use crate::allocate::{allocate, AllocateConfig};
-use crate::checkpoint_dp::{exit_only, optimal_checkpoints_reusing, CostCtx, DpScratch};
+use crate::checkpoint_dp::CostCtx;
 use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
 use crate::failure_model::{FailureModel, RestartCurve};
 use crate::platform::Platform;
+use crate::policy::{
+    plan_with_policy, CheckpointPolicy, CkptAllPolicy, DpOptimalPolicy, ExitOnlyPolicy,
+    PolicyScratch,
+};
 use crate::schedule::Schedule;
 
 /// The checkpointing strategies compared in §VI.
+///
+/// Since the policy subsystem this enum is a thin constructor over the
+/// builtin [`CheckpointPolicy`] implementations ([`Strategy::policy`]);
+/// it remains the stable axis of the legacy experiments (E1–E9).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Checkpoint every task's output (the production default).
@@ -34,6 +43,22 @@ impl Strategy {
             Strategy::CkptNone => "CkptNone",
             Strategy::CkptSome => "CkptSome",
             Strategy::ExitOnly => "ExitOnly",
+        }
+    }
+
+    /// The builtin placement policy this strategy routes through, or
+    /// `None` for [`Strategy::CkptNone`] (which has no placement — it
+    /// is assessed by Theorem 1 and simulated by the crossover-cascade
+    /// executor).
+    pub fn policy(self) -> Option<&'static dyn CheckpointPolicy> {
+        static ALL: CkptAllPolicy = CkptAllPolicy;
+        static DP: DpOptimalPolicy = DpOptimalPolicy;
+        static EXIT: ExitOnlyPolicy = ExitOnlyPolicy;
+        match self {
+            Strategy::CkptAll => Some(&ALL),
+            Strategy::CkptSome => Some(&DP),
+            Strategy::ExitOnly => Some(&EXIT),
+            Strategy::CkptNone => None,
         }
     }
 }
@@ -67,17 +92,26 @@ pub fn theorem1_model(w_par: f64, n_procs: usize, model: &FailureModel) -> f64 {
     }
 }
 
-/// Outcome of assessing one strategy on one scheduled workflow.
+/// Outcome of assessing one policy (or legacy strategy) on one
+/// scheduled workflow.
 #[derive(Clone, Debug)]
 pub struct Assessment {
-    /// The strategy assessed.
-    pub strategy: Strategy,
+    /// Display name of the policy assessed (a [`Strategy::name`] for
+    /// the legacy strategies).
+    pub policy: &'static str,
     /// Estimated expected makespan (seconds).
     pub expected_makespan: f64,
-    /// Number of checkpointed tasks (0 for CkptNone).
+    /// Number of checkpointed tasks (0 for CkptNone). Derived from the
+    /// segment graph — every segment ends in exactly one checkpoint —
+    /// so this always equals [`Assessment::n_segments`] for placement
+    /// policies.
     pub n_checkpoints: usize,
     /// Number of coalesced segments (tasks for CkptAll; 0 for CkptNone).
     pub n_segments: usize,
+    /// Files written to stable storage by the placement's checkpoints.
+    pub ckpt_files: usize,
+    /// Bytes those checkpoints write.
+    pub ckpt_bytes: f64,
     /// Failure-free parallel time of the schedule *without* storage I/O.
     pub w_par: f64,
 }
@@ -163,71 +197,95 @@ impl<'a> Pipeline<'a> {
     /// Panics for [`Strategy::CkptNone`], which has no checkpoint plan —
     /// use [`Pipeline::assess`].
     pub fn plan(&self, strategy: Strategy) -> CheckpointPlan {
-        let dag = &self.workflow.dag;
-        let ctx = self.ctx();
-        let mut ckpt_after = vec![false; dag.n_tasks()];
-        match strategy {
-            Strategy::CkptAll => ckpt_after.fill(true),
-            Strategy::CkptSome => {
-                // One DP scratch threaded across every superchain: the
-                // per-chain base table / etime / back-pointer buffers are
-                // allocated once at the largest chain and reused.
-                let mut scratch = DpScratch::new();
-                for sc in &self.schedule.superchains {
-                    optimal_checkpoints_reusing(&ctx, &sc.tasks, &mut scratch);
-                    for (k, &t) in sc.tasks.iter().enumerate() {
-                        ckpt_after[t.index()] = scratch.ckpt_after()[k];
-                    }
-                }
-            }
-            Strategy::ExitOnly => {
-                for sc in &self.schedule.superchains {
-                    let choice = exit_only(&sc.tasks);
-                    for (k, &t) in sc.tasks.iter().enumerate() {
-                        ckpt_after[t.index()] = choice[k];
-                    }
-                }
-            }
-            Strategy::CkptNone => panic!("CkptNone has no checkpoint plan"),
-        }
-        CheckpointPlan { ckpt_after }
+        let policy = strategy.policy().expect("CkptNone has no checkpoint plan");
+        self.plan_policy(policy)
+    }
+
+    /// The checkpoint plan a placement policy induces on this schedule
+    /// (one [`PolicyScratch`] threaded across every superchain: the DP
+    /// tables and sweep buffers are allocated once at the largest chain
+    /// and reused).
+    pub fn plan_policy(&self, policy: &dyn CheckpointPolicy) -> CheckpointPlan {
+        self.plan_policy_reusing(policy, &mut PolicyScratch::new())
+    }
+
+    /// [`Pipeline::plan_policy`] with caller-owned scratch buffers
+    /// (steady-state loops over many plans amortize every allocation).
+    pub fn plan_policy_reusing(
+        &self,
+        policy: &dyn CheckpointPolicy,
+        scratch: &mut PolicyScratch,
+    ) -> CheckpointPlan {
+        plan_with_policy(&self.ctx(), &self.schedule, policy, scratch)
     }
 
     /// The coalesced 2-state segment graph for a checkpointing strategy.
     pub fn segment_graph(&self, strategy: Strategy) -> SegmentGraph {
-        let plan = self.plan(strategy);
+        let policy = strategy.policy().expect("CkptNone has no segment graph");
+        self.segment_graph_policy(policy)
+    }
+
+    /// The coalesced 2-state segment graph for a placement policy.
+    pub fn segment_graph_policy(&self, policy: &dyn CheckpointPolicy) -> SegmentGraph {
+        let plan = self.plan_policy(policy);
         coalesce(&self.ctx(), &self.schedule, &plan)
     }
 
     /// Assesses a strategy with the given 2-state DAG evaluator
     /// (irrelevant for CkptNone, which uses the Theorem 1 closed form).
     pub fn assess(&self, strategy: Strategy, evaluator: &dyn Evaluator) -> Assessment {
-        let w_par = self.schedule.failure_free_parallel_time(&self.workflow.dag);
-        match strategy {
-            Strategy::CkptNone => Assessment {
-                strategy,
-                expected_makespan: theorem1_model(
-                    w_par,
-                    self.platform.n_procs,
-                    &self.platform.model,
-                ),
-                n_checkpoints: 0,
-                n_segments: 0,
-                w_par,
-            },
-            _ => {
-                // The plan/coalesce pairing lives in `segment_graph`;
-                // every segment ends in exactly one checkpoint, so the
-                // segment count *is* the checkpoint count.
-                let sg = self.segment_graph(strategy);
+        match strategy.policy() {
+            None => {
+                let w_par = self.schedule.failure_free_parallel_time(&self.workflow.dag);
                 Assessment {
-                    strategy,
-                    expected_makespan: evaluator.expected_makespan(&sg.pdag),
-                    n_checkpoints: sg.segments.len(),
-                    n_segments: sg.segments.len(),
+                    policy: strategy.name(),
+                    expected_makespan: theorem1_model(
+                        w_par,
+                        self.platform.n_procs,
+                        &self.platform.model,
+                    ),
+                    n_checkpoints: 0,
+                    n_segments: 0,
+                    ckpt_files: 0,
+                    ckpt_bytes: 0.0,
                     w_par,
                 }
             }
+            Some(policy) => self.assess_policy(policy, evaluator),
+        }
+    }
+
+    /// Assesses a placement policy: plan → coalesce → evaluate, with
+    /// all placement statistics derived from the segment graph in one
+    /// place.
+    pub fn assess_policy(
+        &self,
+        policy: &dyn CheckpointPolicy,
+        evaluator: &dyn Evaluator,
+    ) -> Assessment {
+        let sg = self.segment_graph_policy(policy);
+        self.assess_graph(policy.name(), &sg, evaluator)
+    }
+
+    /// Assessment of an already-built segment graph — the shared path
+    /// when one graph serves both an analytic column and a simulation
+    /// column (see the validate/distributions/strategies scenarios).
+    pub fn assess_graph(
+        &self,
+        policy: &'static str,
+        sg: &SegmentGraph,
+        evaluator: &dyn Evaluator,
+    ) -> Assessment {
+        let w_par = self.schedule.failure_free_parallel_time(&self.workflow.dag);
+        let stats = sg.placement_stats(&self.workflow.dag);
+        Assessment {
+            policy,
+            expected_makespan: evaluator.expected_makespan(&sg.pdag),
+            n_checkpoints: stats.segments,
+            n_segments: stats.segments,
+            ckpt_files: stats.ckpt_files,
+            ckpt_bytes: stats.ckpt_bytes,
+            w_par,
         }
     }
 }

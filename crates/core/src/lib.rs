@@ -23,7 +23,12 @@
 //! * [`failure_model`] — the pluggable failure-distribution subsystem
 //!   (Exponential / Weibull / LogNormal) behind every cost path: Eq. (2)
 //!   stays closed-form for the exponential case, non-memoryless models
-//!   ride an exact renewal solve by deterministic quadrature.
+//!   ride an exact renewal solve by deterministic quadrature;
+//! * [`policy`] — the pluggable checkpoint-placement subsystem: the
+//!   paper's placements as builtin [`policy::CheckpointPolicy`]s (the
+//!   [`Strategy`] enum is a thin constructor over them) plus classical
+//!   competitors — Young/Daly periodic, adaptive risk-threshold, and
+//!   the structural crossover heuristic.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +55,7 @@ pub mod evaluate;
 pub mod failure_model;
 pub mod pfail;
 pub mod platform;
+pub mod policy;
 pub mod propmap;
 pub mod schedule;
 
@@ -58,10 +64,14 @@ pub use checkpoint_dp::{
     optimal_checkpoints, optimal_checkpoints_reusing, segment_cost, segment_cost_reusing, CostCtx,
     DpScratch, SegmentCost, SegmentCostScratch,
 };
-pub use coalesce::{coalesce, CheckpointPlan, Segment, SegmentGraph};
+pub use coalesce::{coalesce, CheckpointPlan, PlacementStats, Segment, SegmentGraph};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
 pub use failure_model::{FailureModel, RestartCurve};
 pub use pfail::{lambda_from_pfail, pfail_from_lambda};
 pub use platform::Platform;
+pub use policy::{
+    placement_expected_time, plan_with_policy, CheckpointPolicy, CkptAllPolicy, DalyPeriodic,
+    DpOptimalPolicy, ExitOnlyPolicy, GreedyCrossover, PolicyScratch, RiskThreshold,
+};
 pub use propmap::{propmap, PropMapResult};
 pub use schedule::{Schedule, Superchain};

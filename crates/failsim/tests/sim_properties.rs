@@ -1,5 +1,6 @@
 //! Property-based tests for the discrete-event simulators.
 
+use ckpt_core::policy::{CheckpointPolicy, DalyPeriodic, GreedyCrossover, RiskThreshold};
 use ckpt_core::{allocate, AllocateConfig, CostCtx, FailureModel, Pipeline, Platform, Strategy};
 use failsim::{
     montecarlo_segments_model, simulate_none, simulate_none_reference, simulate_segments,
@@ -211,6 +212,47 @@ proptest! {
         let fast = simulate_none(&w.dag, &sched, &mut fast_src, 100_000);
         let reference = simulate_none_reference(&w.dag, &sched, &mut ref_src, 100_000);
         prop_assert_eq!(fast, reference);
+    }
+
+    /// Policy-built segment graphs drive the executors unchanged: for
+    /// every new checkpoint policy, the simulated mean over the
+    /// policy's coalesced graph matches the analytic estimate the same
+    /// graph's 2-state laws encode (the E10 scenario's two columns), to
+    /// first order in the per-segment failure mass.
+    #[test]
+    fn policy_segment_graphs_drive_the_simulator(n in 10usize..50, p in 1usize..5,
+                                                 seed: u64, family in 0usize..2) {
+        let w = wf(n, seed);
+        let w_bar = w.dag.mean_weight();
+        let model = if family == 0 {
+            FailureModel::exponential_from_pfail(0.001, w_bar)
+        } else {
+            FailureModel::weibull_from_pfail(2.0, 0.001, w_bar)
+        };
+        let platform = Platform::with_model(p, model, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let policies: [&dyn CheckpointPolicy; 3] = [
+            &DalyPeriodic { period: None },
+            &RiskThreshold { max_risk: 0.1 },
+            &GreedyCrossover,
+        ];
+        for policy in policies {
+            let sg = pipe.segment_graph_policy(policy);
+            let analytic: f64 = probdag::Evaluator::expected_makespan(
+                &probdag::PathApprox::default(), &sg.pdag);
+            let mc = montecarlo_segments_model(&sg, &model, &SimConfig {
+                runs: 1500,
+                seed,
+                threads: 1,
+                ..Default::default()
+            });
+            let tol = 5.0 * mc.stderr + 0.02 * analytic;
+            prop_assert!(
+                (mc.mean_makespan - analytic).abs() < tol,
+                "{}: sim {} vs analytic {analytic} (stderr {})",
+                policy.name(), mc.mean_makespan, mc.stderr
+            );
+        }
     }
 
     /// Monte Carlo means respond monotonically to the failure rate (with

@@ -85,10 +85,7 @@ fn main() {
         let a = pipe.assess(strategy, &evaluator);
         println!(
             "{:10} {:>17.1}s {:>13} {:>10}",
-            a.strategy.name(),
-            a.expected_makespan,
-            a.n_checkpoints,
-            a.n_segments
+            a.policy, a.expected_makespan, a.n_checkpoints, a.n_segments
         );
     }
 }

@@ -49,8 +49,9 @@ pub use seedmix;
 pub mod prelude {
     pub use ckpt_core::{
         allocate, lambda_from_pfail, optimal_checkpoints, theorem1, theorem1_model, AllocateConfig,
-        Assessment, CheckpointPlan, CostCtx, FailureModel, Pipeline, Platform, Schedule,
-        SegmentGraph, Strategy, Superchain,
+        Assessment, CheckpointPlan, CheckpointPolicy, CostCtx, DalyPeriodic, FailureModel,
+        GreedyCrossover, Pipeline, Platform, RiskThreshold, Schedule, SegmentGraph, Strategy,
+        Superchain,
     };
     pub use failsim::{
         simulate_none, simulate_segments, simulate_segments_model, ExpFailures, ModelFailures,

@@ -71,7 +71,7 @@ fn pipeline_assessments_are_bitwise_deterministic() {
             x.expected_makespan.to_bits(),
             y.expected_makespan.to_bits(),
             "{}: expected makespan must be bit-identical",
-            x.strategy
+            x.policy
         );
         assert_eq!(x.n_checkpoints, y.n_checkpoints);
         assert_eq!(x.n_segments, y.n_segments);
