@@ -3,14 +3,14 @@
 //! PathApprox) on the 2-state DAGs the pipeline produces. Cells run on
 //! the scenario engine; `--threads` buys cell-level parallelism while
 //! each cell's nested Monte Carlo gets the separate `--mc-threads`
-//! budget (default 1 — the MC estimate depends on its partitioning, so
-//! this knob is part of the result definition, and the default keeps
-//! the table reproducible and unoversubscribed; the `runtime_s` column
-//! is wall-clock by design and never byte-stable).
+//! budget (default 0 = all cores — MC estimates are bit-identical
+//! functions of `(seed, trials)`, so the budget only sets the pace;
+//! the `runtime_s` column is wall-clock by design and never
+//! byte-stable).
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin accuracy [-- --trials 300000]
-//!     [--seed 42] [--threads 0] [--mc-threads 1] [--out results]
+//!     [--seed 42] [--threads 0] [--mc-threads 0] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -22,7 +22,7 @@ fn main() {
     let trials: usize = args.get_or("trials", 300_000);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
-    let mc_threads: usize = args.get_or("mc-threads", 1);
+    let mc_threads: usize = args.get_or("mc-threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let pfail = 0.01;
     let scenario = AccuracyScenario {

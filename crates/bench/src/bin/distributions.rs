@@ -4,14 +4,14 @@
 //! calibrated so an average task fails with the cell's `pfail`. The
 //! analytic column drives the quadrature renewal cost path; the
 //! simulation column is its discrete-event ground truth. Cells run on
-//! the scenario engine's thread pool; like every other scenario the CSV
-//! is byte-identical for every `--threads` value (nested simulation gets
-//! the explicit `--mc-threads` budget, default 1).
+//! the scenario engine's thread pool; the CSV is byte-identical for
+//! every `--threads` *and* `--mc-threads` value — both are pure speed
+//! knobs (nested simulation defaults to all cores, `--mc-threads 0`).
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin distributions
 //!     [-- --runs 400] [--sizes 50] [--seed 42] [--threads 0]
-//!     [--mc-threads 1] [--out results]
+//!     [--mc-threads 0] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -24,7 +24,7 @@ fn main() {
     let runs: usize = args.get_or("runs", 400);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
-    let mc_threads: usize = args.get_or("mc-threads", 1);
+    let mc_threads: usize = args.get_or("mc-threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let sizes: Vec<usize> = args
         .get("sizes")

@@ -8,13 +8,13 @@
 //! discrete-event simulation ground truth and the placement census
 //! (segments / checkpointed files / bytes). Cells run on the scenario
 //! engine's thread pool; the CSV is byte-identical for every
-//! `--threads` value (nested simulation gets the explicit
-//! `--mc-threads` budget, default 1).
+//! `--threads` *and* `--mc-threads` value — both are pure speed knobs
+//! (nested simulation defaults to all cores, `--mc-threads 0`).
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin strategies
 //!     [-- --runs 400] [--sizes 50] [--seed 42] [--threads 0]
-//!     [--mc-threads 1] [--out results]
+//!     [--mc-threads 0] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -27,7 +27,7 @@ fn main() {
     let runs: usize = args.get_or("runs", 400);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
-    let mc_threads: usize = args.get_or("mc-threads", 1);
+    let mc_threads: usize = args.get_or("mc-threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let sizes: Vec<usize> = args
         .get("sizes")

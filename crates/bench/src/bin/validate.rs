@@ -8,12 +8,12 @@
 //!
 //! Cells run on the scenario engine; `--threads` buys cell-level
 //! parallelism, while each cell's nested simulation gets the separate
-//! `--mc-threads` budget (default 1, which keeps the CSV byte-identical
-//! for every `--threads` value and avoids oversubscription).
+//! `--mc-threads` budget (default 0 = all cores). Both are pure speed
+//! knobs: the CSV is byte-identical for every combination.
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin validate [-- --runs 5000]
-//!     [--seed 42] [--threads 0] [--mc-threads 1] [--out results]
+//!     [--seed 42] [--threads 0] [--mc-threads 0] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -26,7 +26,7 @@ fn main() {
     let runs: usize = args.get_or("runs", 5000);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
-    let mc_threads: usize = args.get_or("mc-threads", 1);
+    let mc_threads: usize = args.get_or("mc-threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let scenario = ValidateScenario {
         runs,

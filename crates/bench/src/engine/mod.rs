@@ -21,18 +21,21 @@
 //! ## Thread budget
 //!
 //! `EngineConfig::threads` (0 = all cores) buys **cell-level**
-//! parallelism only: the engine runs `min(threads, cells)` workers.
-//! Monte Carlo work nested *inside* a cell gets the separate, explicit
-//! [`EngineConfig::mc_threads`] budget (default 1) via
-//! [`CellCtx::mc_threads`]. Keeping the two budgets independent is what
-//! makes the byte-identity guarantee unconditional: a Monte Carlo
-//! estimate is a pure function of `(seed, trials, mc_threads)` — its
-//! per-worker streams and fold order depend on its thread count — so
-//! deriving `mc_threads` from the cell budget would silently change
-//! values whenever `--threads` exceeded the cell count. The default of
-//! 1 also prevents `workers × mc` oversubscription; raise it only for
-//! grids with fewer cells than cores (and then pin it on both sides of
-//! any comparison).
+//! parallelism: the engine runs `min(threads, cells)` workers. Monte
+//! Carlo work nested *inside* a cell gets the separate
+//! [`EngineConfig::mc_threads`] budget (default 0 = all cores) via
+//! [`CellCtx::mc_threads`]. Both budgets are **pure speed knobs**:
+//! every Monte Carlo estimate in the workspace is a bit-identical
+//! function of `(seed, runs)` — each replication owns its own `seedmix`
+//! stream and result slot, and aggregation folds in canonical run order
+//! (see `DESIGN.md` §5.1 and the `sim_properties` /
+//! `evaluator_consistency` proptests) — so any combination of
+//! `--threads` and `--mc-threads` produces the same CSV bytes. Pick
+//! them for wall-clock alone: cell workers amortize planning across the
+//! grid, while `mc_threads` parallelizes inside long cells (the E9/E10
+//! CkptNone blocks, where one wear-out cell dominates the whole run).
+//! Oversubscribing `workers × mc_threads` past the core count costs
+//! some scheduling overhead but never changes a value.
 
 pub mod cache;
 pub mod pool;
@@ -59,19 +62,19 @@ use crate::BANDWIDTH;
 pub struct EngineConfig {
     /// Cell-level worker budget (0 = all available cores).
     pub threads: usize,
-    /// Thread budget for Monte Carlo work nested inside one cell.
-    /// Part of the result definition, not just a speed knob (see the
-    /// module docs); 0 is coerced to the deterministic default of 1.
+    /// Thread budget for Monte Carlo work nested inside one cell
+    /// (0 = all available cores, the default). A pure speed knob: MC
+    /// estimates are bit-identical functions of `(seed, runs)` for any
+    /// budget, so this never affects the CSV.
     pub mc_threads: usize,
 }
 
 impl EngineConfig {
-    /// `threads` cell workers with the deterministic single-threaded
-    /// nested Monte Carlo default.
+    /// `threads` cell workers with fully parallel nested Monte Carlo.
     pub fn with_threads(threads: usize) -> Self {
         EngineConfig {
             threads,
-            mc_threads: 1,
+            mc_threads: 0,
         }
     }
 }
@@ -86,9 +89,10 @@ impl Default for EngineConfig {
 /// Monte Carlo thread budget.
 pub struct CellCtx<'e> {
     cache: &'e WorkflowCache,
-    /// Thread budget for Monte Carlo work nested inside one cell. Plumb
-    /// this into `probdag::MonteCarlo::threads` / `failsim::SimConfig::
-    /// threads`; never pass 0 (all cores) from inside a cell.
+    /// Thread budget for Monte Carlo work nested inside one cell
+    /// (0 = all cores). Plumb this into `probdag::MonteCarlo::threads` /
+    /// `failsim::SimConfig::threads`; it only sets the pace, never the
+    /// values.
     pub mc_threads: usize,
 }
 
@@ -193,7 +197,7 @@ pub struct RunReport<R> {
     pub cells: usize,
     /// Resolved cell-level worker count.
     pub workers: usize,
-    /// Nested Monte Carlo budget each cell received.
+    /// Nested Monte Carlo budget each cell received (0 = all cores).
     pub mc_threads: usize,
     /// Wall-clock seconds for the whole run.
     pub wall: f64,
@@ -214,7 +218,7 @@ pub fn run<S: Scenario>(
     let workers = seedmix::resolve_threads(cfg.threads)
         .min(cells.len())
         .max(1);
-    let mc_threads = cfg.mc_threads.max(1);
+    let mc_threads = cfg.mc_threads;
     let cache = WorkflowCache::new();
     let ctx = CellCtx {
         cache: &cache,
@@ -340,27 +344,22 @@ mod tests {
     }
 
     #[test]
-    fn mc_budget_is_explicit_and_independent_of_cell_workers() {
-        // Cell workers cap at the cell count; the nested MC budget never
-        // follows `threads` (that would change Monte Carlo partitioning
-        // — and therefore results — with the worker count).
+    fn mc_budget_is_independent_of_cell_workers() {
+        // Cell workers cap at the cell count; the nested MC budget is
+        // its own knob (default 0 = all cores) and passes through
+        // unchanged — it is a pure speed knob, so no coercion is needed
+        // for determinism.
         let report = run(&Probe, &EngineConfig::with_threads(4), &mut NullSink).unwrap();
         assert_eq!(report.workers, 4);
-        assert_eq!(report.mc_threads, 1);
+        assert_eq!(report.mc_threads, 0);
         let report = run(&Probe, &EngineConfig::with_threads(24), &mut NullSink).unwrap();
         assert_eq!(report.workers, 6);
-        assert_eq!(report.mc_threads, 1);
-        // Explicit opt-in (0 coerces to the deterministic default of 1).
+        assert_eq!(report.mc_threads, 0);
         let cfg = EngineConfig {
             threads: 2,
             mc_threads: 3,
         };
         assert_eq!(run(&Probe, &cfg, &mut NullSink).unwrap().mc_threads, 3);
-        let cfg = EngineConfig {
-            threads: 2,
-            mc_threads: 0,
-        };
-        assert_eq!(run(&Probe, &cfg, &mut NullSink).unwrap().mc_threads, 1);
     }
 
     /// A sink that fails on the nth row.

@@ -889,6 +889,7 @@ impl Scenario for DistributionsScenario {
             // budget censors those runs quickly instead of grinding
             // through the default million-failure budget per run.
             max_failures: 10_000,
+            ..Default::default()
         };
         let evaluator = PathApprox::default();
         let mut rows = Vec::with_capacity(4);
@@ -1206,6 +1207,7 @@ impl Scenario for StrategiesScenario {
             seed: ctx.instance_seed(cell, 0),
             threads: ctx.mc_threads,
             max_failures: 10_000,
+            ..Default::default()
         };
         let sim = montecarlo_segments_model(&sg, &model, &cfg);
         vec![StrategyRow {

@@ -1,8 +1,10 @@
-//! The engine's core guarantee (ISSUE 2 acceptance bar): for a fixed
-//! scenario and base seed, the emitted CSV is **byte-identical for every
-//! thread count** — cells may execute in any order on any worker, but
-//! seeds derive from grid coordinates and rows are re-sequenced into
-//! canonical order before they reach the sink.
+//! The engine's core guarantee (ISSUE 2 acceptance bar, extended by
+//! ISSUE 6): for a fixed scenario and base seed, the emitted CSV is
+//! **byte-identical for every `threads` and `mc_threads` value** —
+//! cells may execute in any order on any worker, seeds derive from
+//! grid coordinates, rows are re-sequenced into canonical order before
+//! they reach the sink, and every nested Monte Carlo estimate is a
+//! pure function of `(seed, runs)` regardless of its thread budget.
 
 use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
 use ckpt_bench::scenarios::{
@@ -43,11 +45,10 @@ fn parallel_figure_grid_is_byte_identical_to_serial() {
 #[test]
 fn parallel_validation_with_nested_mc_is_byte_identical_to_serial() {
     // The validation scenario nests Monte Carlo simulation inside each
-    // cell; the per-cell MC budget is an explicit engine parameter
-    // (default 1), never derived from `--threads`, so the simulated
-    // streams are identical across thread counts — including budgets
-    // larger than the 9-cell grid, where a derived budget would have
-    // silently switched the MC partitioning.
+    // cell; each replication draws from its own derived stream and the
+    // results reduce in canonical run-index order, so the simulated
+    // estimates are identical across cell-worker counts — including
+    // budgets larger than the 9-cell grid.
     let scenario = ValidateScenario {
         runs: 60,
         sizes: vec![50],
@@ -108,6 +109,33 @@ fn parallel_strategies_grid_is_byte_identical_to_serial() {
     assert_eq!(serial.lines().count(), 4 * 2 * 2 + 1);
     for threads in [2, 8, 32] {
         assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn csv_is_byte_identical_across_mc_thread_budgets() {
+    // ISSUE 6 acceptance bar: `mc_threads` is a pure speed knob. The
+    // nested Monte Carlo partitions its replications differently under
+    // each budget, but per-replication streams and canonical-order
+    // reduction make every estimate — and therefore the CSV — a pure
+    // function of `(seed, runs)`.
+    let scenario = ValidateScenario {
+        runs: 60,
+        sizes: vec![50],
+        base_seed: 7,
+    };
+    let csv_at = |mc_threads: usize| {
+        let mut sink = StringSink::new();
+        let cfg = EngineConfig {
+            threads: 2,
+            mc_threads,
+        };
+        engine::run(&scenario, &cfg, &mut sink).unwrap();
+        sink.csv
+    };
+    let baseline = csv_at(1);
+    for mc_threads in [4, 0] {
+        assert_eq!(baseline, csv_at(mc_threads), "mc_threads={mc_threads}");
     }
 }
 

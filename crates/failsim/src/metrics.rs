@@ -32,18 +32,43 @@ pub struct McStats {
 
 impl McStats {
     /// Aggregates per-run statistics.
+    ///
+    /// Contract:
+    /// * `runs.is_empty()` → every statistic is `NaN` with `runs == 0`
+    ///   (there is no sample; callers that can distinguish "no data"
+    ///   from "censored" should do so before aggregating — see
+    ///   [`crate::montecarlo::NoneMcStats`]);
+    /// * `runs.len() == 1` → the mean columns are the single run's
+    ///   values and `stderr` is `NaN` (the unbiased sample variance is
+    ///   undefined for n = 1);
+    /// * otherwise `stderr` is the standard error of the mean using the
+    ///   *unbiased* (`n − 1`) sample variance. The folds run in slice
+    ///   order, so the result is bit-identical for a fixed input order.
     pub fn from_runs(runs: &[ExecStats]) -> McStats {
-        assert!(!runs.is_empty());
+        if runs.is_empty() {
+            return McStats {
+                mean_makespan: f64::NAN,
+                stderr: f64::NAN,
+                mean_failures: f64::NAN,
+                mean_wasted: f64::NAN,
+                runs: 0,
+            };
+        }
         let n = runs.len() as f64;
         let mean = runs.iter().map(|r| r.makespan).sum::<f64>() / n;
-        let var = runs
-            .iter()
-            .map(|r| (r.makespan - mean) * (r.makespan - mean))
-            .sum::<f64>()
-            / n;
+        let stderr = if runs.len() < 2 {
+            f64::NAN
+        } else {
+            let var = runs
+                .iter()
+                .map(|r| (r.makespan - mean) * (r.makespan - mean))
+                .sum::<f64>()
+                / (n - 1.0);
+            (var / n).sqrt()
+        };
         McStats {
             mean_makespan: mean,
-            stderr: (var / n).sqrt(),
+            stderr,
             mean_failures: runs.iter().map(|r| r.n_failures as f64).sum::<f64>() / n,
             mean_wasted: runs.iter().map(|r| r.wasted_time).sum::<f64>() / n,
             runs: runs.len(),
@@ -76,6 +101,32 @@ mod tests {
         assert_eq!(agg.mean_failures, 2.0);
         assert_eq!(agg.mean_wasted, 4.0);
         assert_eq!(agg.runs, 2);
-        assert!((agg.stderr - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+        // Unbiased sample variance: ((10−12)² + (14−12)²)/(2−1) = 8;
+        // stderr = sqrt(8/2) = 2.
+        assert!((agg.stderr - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_has_undefined_stderr() {
+        let runs = [ExecStats {
+            makespan: 10.0,
+            n_failures: 1,
+            wasted_time: 2.0,
+            n_reexecs: 1,
+        }];
+        let agg = McStats::from_runs(&runs);
+        assert_eq!(agg.mean_makespan, 10.0);
+        assert_eq!(agg.runs, 1);
+        assert!(agg.stderr.is_nan());
+    }
+
+    #[test]
+    fn empty_input_is_all_nan_not_a_panic() {
+        let agg = McStats::from_runs(&[]);
+        assert_eq!(agg.runs, 0);
+        assert!(agg.mean_makespan.is_nan());
+        assert!(agg.stderr.is_nan());
+        assert!(agg.mean_failures.is_nan());
+        assert!(agg.mean_wasted.is_nan());
     }
 }

@@ -255,6 +255,47 @@ proptest! {
         }
     }
 
+    /// Monte Carlo estimates are pure functions of `(seed, runs)`: every
+    /// aggregate from both engines (segment renewal and CkptNone
+    /// cascade) is bit-identical across thread budgets.
+    #[test]
+    fn montecarlo_is_partition_invariant(n in 2usize..40, p in 1usize..5,
+                                         seed: u64, family in 0usize..3) {
+        let w = wf(n, seed);
+        let w_bar = w.dag.mean_weight();
+        let model = match family {
+            0 => FailureModel::exponential_from_pfail(0.01, w_bar),
+            1 => FailureModel::weibull_from_pfail(2.0, 0.01, w_bar),
+            _ => FailureModel::lognormal_from_pfail(1.0, 0.01, w_bar),
+        };
+        let platform = Platform::with_model(p, model, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig { seed, ..Default::default() });
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        // A small failure budget keeps diverging cascades cheap while
+        // still exercising the censoring path across budgets.
+        let cfg = |threads| SimConfig {
+            runs: 64, seed, threads, max_failures: 500, ..Default::default()
+        };
+        let seg1 = montecarlo_segments_model(&sg, &model, &cfg(1));
+        let none1 = failsim::montecarlo_none_model(
+            &w.dag, &pipe.schedule, &model, &cfg(1));
+        for threads in [2usize, 3, 7, 16] {
+            let seg = montecarlo_segments_model(&sg, &model, &cfg(threads));
+            prop_assert_eq!(seg1.mean_makespan.to_bits(), seg.mean_makespan.to_bits());
+            prop_assert_eq!(seg1.stderr.to_bits(), seg.stderr.to_bits());
+            prop_assert_eq!(seg1.mean_failures.to_bits(), seg.mean_failures.to_bits());
+            prop_assert_eq!(seg1.mean_wasted.to_bits(), seg.mean_wasted.to_bits());
+            let none = failsim::montecarlo_none_model(
+                &w.dag, &pipe.schedule, &model, &cfg(threads));
+            prop_assert_eq!(none1.stats.mean_makespan.to_bits(),
+                            none.stats.mean_makespan.to_bits());
+            prop_assert_eq!(none1.stats.stderr.to_bits(), none.stats.stderr.to_bits());
+            prop_assert_eq!(none1.stats.mean_failures.to_bits(),
+                            none.stats.mean_failures.to_bits());
+            prop_assert_eq!(none1.diverged, none.diverged);
+        }
+    }
+
     /// Monte Carlo means respond monotonically to the failure rate (with
     /// generous statistical slack).
     #[test]

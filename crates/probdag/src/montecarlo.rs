@@ -10,17 +10,18 @@ use crate::Evaluator;
 /// Monte Carlo estimator: samples every node duration independently and
 /// takes the longest path, `trials` times.
 ///
-/// Trials are distributed over `threads` OS threads (fork-join via
-/// `std::thread::scope`; each thread owns an independent RNG stream derived
-/// from `seed`, so results are deterministic for a fixed
-/// `(seed, threads)`).
+/// Every trial owns an independent `seedmix` stream derived from
+/// `(seed, trial_index)`, and the makespans are reduced in canonical
+/// trial order — so the result is a bit-identical function of
+/// `(seed, trials)` alone. `threads` is a pure speed knob.
 #[derive(Clone, Debug)]
 pub struct MonteCarlo {
     /// Number of sampled executions.
     pub trials: usize,
     /// Base RNG seed.
     pub seed: u64,
-    /// Worker threads (0 = use all available cores).
+    /// Worker threads (0 = use all available cores). Never affects the
+    /// estimate, only wall-clock.
     pub threads: usize,
 }
 
@@ -47,9 +48,15 @@ pub struct McResult {
 
 impl MonteCarlo {
     /// Runs the estimator, returning mean and standard error.
+    ///
+    /// `stderr` uses the unbiased (`n − 1`) sample variance, computed in
+    /// a second pass over the stored makespans — the running
+    /// `Σx²/n − mean²` form cancels catastrophically for
+    /// large-offset/low-variance DAGs (makespans near 1e9 with unit
+    /// spread lose all significant digits in f64). For `trials == 1`
+    /// the sample variance is undefined and `stderr` is reported as 0.
     pub fn run(&self, dag: &ProbDag) -> McResult {
         assert!(self.trials > 0);
-        let threads = seedmix::resolve_threads(self.threads).min(self.trials);
         let order = dag.topo_order();
         // Pre-extract the sampling parameters into flat arrays: the trial
         // loop then touches only contiguous memory.
@@ -75,62 +82,62 @@ impl MonteCarlo {
                 }
             }
         }
-        let chunk = self.trials / threads;
-        let extra = self.trials % threads;
-        let (sum, sum_sq) = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let my_trials = chunk + usize::from(w < extra);
-                let order = &order;
-                let (low, high, p) = (&low, &high, &p);
-                let seed = seedmix::stream_seed(self.seed, w as u64);
-                handles.push(scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut finish = vec![0.0f64; n];
-                    let mut sample = vec![0.0f64; n];
-                    let mut s = 0.0f64;
-                    let mut s2 = 0.0f64;
-                    for _ in 0..my_trials {
-                        for i in 0..n {
-                            sample[i] = if p[i] > 0.0 && rng.gen::<f64>() < p[i] {
-                                high[i]
-                            } else {
-                                low[i]
-                            };
+        // Each trial draws from its own stream (so trial t's sample is a
+        // pure function of (seed, t), whatever worker runs it) and lands
+        // in its canonical slot. Chunked claiming amortizes the shared
+        // counter over the ~µs trials; the scratch buffers are reused
+        // per worker without affecting any result.
+        let makespans = seedmix::parallel_slots_with(
+            self.trials,
+            self.threads,
+            256,
+            || (vec![0.0f64; n], vec![0.0f64; n]),
+            |(finish, sample), t| {
+                let mut rng = StdRng::seed_from_u64(seedmix::stream_seed(self.seed, t as u64));
+                for i in 0..n {
+                    sample[i] = if p[i] > 0.0 && rng.gen::<f64>() < p[i] {
+                        high[i]
+                    } else {
+                        low[i]
+                    };
+                }
+                let mut best = 0.0f64;
+                for &v in order.iter() {
+                    let vi = v.index();
+                    let mut start = 0.0f64;
+                    for u in dag.preds(v) {
+                        let f = finish[u.index()];
+                        if f > start {
+                            start = f;
                         }
-                        let mut best = 0.0f64;
-                        for &v in order.iter() {
-                            let vi = v.index();
-                            let mut start = 0.0f64;
-                            for u in dag.preds(v) {
-                                let f = finish[u.index()];
-                                if f > start {
-                                    start = f;
-                                }
-                            }
-                            let f = start + sample[vi];
-                            finish[vi] = f;
-                            if f > best {
-                                best = f;
-                            }
-                        }
-                        s += best;
-                        s2 += best * best;
                     }
-                    (s, s2)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("MC worker panicked"))
-                .fold((0.0, 0.0), |(a, b), (s, s2)| (a + s, b + s2))
-        });
+                    let f = start + sample[vi];
+                    finish[vi] = f;
+                    if f > best {
+                        best = f;
+                    }
+                }
+                best
+            },
+        );
+        // Two-pass mean/variance in canonical trial order: immune to the
+        // Σx²/n − mean² cancellation and partition-invariant by
+        // construction.
         let nf = self.trials as f64;
-        let mean = sum / nf;
-        let var = (sum_sq / nf - mean * mean).max(0.0);
+        let mean = makespans.iter().sum::<f64>() / nf;
+        let stderr = if self.trials < 2 {
+            0.0
+        } else {
+            let var = makespans
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (nf - 1.0);
+            (var / nf).sqrt()
+        };
         McResult {
             mean,
-            stderr: (var / nf).sqrt(),
+            stderr,
             trials: self.trials,
         }
     }
@@ -205,6 +212,58 @@ mod tests {
             threads: 3,
         };
         assert_eq!(mc.run(&g).mean, mc.run(&g).mean);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_budgets() {
+        let mut g = ProbDag::new();
+        let a = g.add_node(two(1.0, 2.0, 0.5));
+        let b = g.add_node(two(3.0, 5.0, 0.1));
+        let c = g.add_node(NodeDist::Certain(0.5));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        let run = |threads| {
+            MonteCarlo {
+                trials: 10_000,
+                seed: 99,
+                threads,
+            }
+            .run(&g)
+        };
+        let serial = run(1);
+        for threads in [2, 3, 7, 16] {
+            let r = run(threads);
+            assert_eq!(serial.mean.to_bits(), r.mean.to_bits(), "threads={threads}");
+            assert_eq!(
+                serial.stderr.to_bits(),
+                r.stderr.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_survives_large_offsets() {
+        // Makespans near 1e9 with unit spread: the old running
+        // Σx²/n − mean² form cancels at ~1e18·ε ≈ 222, swamping the true
+        // variance of 1.0. The two-pass form must recover it.
+        let mut g = ProbDag::new();
+        let base = g.add_node(NodeDist::Certain(1e9));
+        let t = g.add_node(two(0.0, 2.0, 0.5));
+        g.add_edge(base, t);
+        let mc = MonteCarlo {
+            trials: 100_000,
+            seed: 5,
+            threads: 2,
+        };
+        let r = mc.run(&g);
+        // True variance = 2²·0.25 = 1, so stderr ≈ sqrt(1/n).
+        let expect = (1.0f64 / mc.trials as f64).sqrt();
+        assert!(
+            (r.stderr - expect).abs() < 0.05 * expect,
+            "stderr {} vs {expect}",
+            r.stderr
+        );
     }
 
     #[test]

@@ -86,6 +86,95 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Evaluates `f(i)` for every `i in 0..n` on up to `threads` workers
+/// (0 = all cores) and returns the results **in canonical index order**,
+/// whatever the thread count or scheduling.
+///
+/// This is the canonical-reduction half of the workspace's Monte Carlo
+/// determinism contract: [`stream_seed`] makes replication `i`'s *input*
+/// a pure function of `(base, i)`, and `parallel_slots` makes the
+/// *output order* a pure function of nothing at all — so any fold over
+/// the returned slice (sums, variance passes, censoring filters) is
+/// bit-identical for every thread budget. Workers claim indices off a
+/// shared atomic counter (replications can differ in cost by orders of
+/// magnitude — e.g. diverging cascade simulations — so static striding
+/// would idle workers) and each result is scattered into its own slot
+/// after the join.
+///
+/// `f` must be a pure function of `i`; the helper guarantees each index
+/// is evaluated exactly once.
+pub fn parallel_slots<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_slots_with(n, threads, 1, || (), |(), i| f(i))
+}
+
+/// [`parallel_slots`] with per-worker scratch and chunked index claiming.
+///
+/// `init` builds one scratch value per worker (reusable buffers — the
+/// results must still be pure functions of `i` alone); `chunk` indices
+/// are claimed per atomic operation (use > 1 when `f` is so cheap that
+/// counter contention would dominate, e.g. probdag's ~µs trials; keep 1
+/// when per-index cost varies wildly).
+pub fn parallel_slots_with<S, T, I, F>(
+    n: usize,
+    threads: usize,
+    chunk: usize,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let (next, init, f) = (&next, &init, &f);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        for i in lo..(lo + chunk).min(n) {
+                            local.push((i, f(&mut scratch, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_slots worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for part in parts {
+        for (i, v) in part {
+            debug_assert!(out[i].is_none(), "index {i} computed twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index computed exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +244,42 @@ mod tests {
     fn resolve_threads_semantics() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn parallel_slots_preserves_canonical_order_for_any_thread_count() {
+        // Results must land in index order bit-for-bit, whatever the
+        // partitioning — including budgets far beyond the item count.
+        let serial = parallel_slots(97, 1, |i| splitmix64(i as u64));
+        for threads in [2, 3, 7, 16, 128] {
+            assert_eq!(
+                serial,
+                parallel_slots(97, threads, |i| splitmix64(i as u64)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_slots_handles_empty_and_single() {
+        assert!(parallel_slots(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_slots(1, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn parallel_slots_with_chunked_claiming_matches_serial() {
+        let f = |s: &mut u64, i: usize| {
+            // Scratch may mutate arbitrarily; the result depends on i only.
+            *s = s.wrapping_add(1);
+            splitmix64(i as u64 ^ 0xABCD)
+        };
+        let serial = parallel_slots_with(1000, 1, 64, || 0u64, f);
+        for threads in [2, 5, 16] {
+            assert_eq!(
+                serial,
+                parallel_slots_with(1000, threads, 64, || 0u64, f),
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -83,17 +83,24 @@ fn montecarlo_evaluator_is_bitwise_deterministic() {
     let (w, platform) = build(WorkflowClass::Montage, 3);
     let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
     let sg = pipe.segment_graph(Strategy::CkptSome);
-    // Pin the thread count: trials are partitioned over workers, so the
-    // per-worker RNG streams (and the fold order) depend on it.
-    let mc = MonteCarlo {
-        trials: 20_000,
-        seed: 99,
-        threads: 2,
+    // Each trial owns its own seed stream and the reduction runs in
+    // canonical trial order, so the estimate is a pure function of
+    // (seed, trials) — the thread budget must not matter.
+    let run = |threads: usize| {
+        MonteCarlo {
+            trials: 20_000,
+            seed: 99,
+            threads,
+        }
+        .run(&sg.pdag)
     };
-    let a = mc.run(&sg.pdag);
-    let b = mc.run(&sg.pdag);
+    let a = run(2);
+    let b = run(2);
     assert_eq!(a.mean.to_bits(), b.mean.to_bits());
     assert_eq!(a.stderr.to_bits(), b.stderr.to_bits());
+    let c = run(7);
+    assert_eq!(a.mean.to_bits(), c.mean.to_bits());
+    assert_eq!(a.stderr.to_bits(), c.stderr.to_bits());
 }
 
 #[test]
