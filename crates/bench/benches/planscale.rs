@@ -1,0 +1,46 @@
+//! Criterion bench: the checkpoint DP's scaling curve, 10³ → 10⁶ tasks.
+//!
+//! Chains this long satisfy the subquadratic kernel's preconditions
+//! (additive segment costs, monotone profiles, convex exponential
+//! model), so `optimal_checkpoints_reusing` runs the candidate-queue
+//! kernel in O(n log n) probes — the quadratic fallback would need an
+//! O(n²) base table (~4 TB at 10⁶ tasks) and is benched separately at
+//! the sizes where it is feasible, for the crossover picture.
+
+use ckpt_core::checkpoint_dp::optimal_checkpoints_exact_quadratic;
+use ckpt_core::{CostCtx, DpScratch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspg::TaskId;
+
+fn bench_kernel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planscale");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let w = pegasus::generic::chain(n, 3);
+        let chain: Vec<TaskId> = w.dag.task_ids().collect();
+        let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
+        let mut scratch = DpScratch::new();
+        group.bench_with_input(BenchmarkId::new("dp-kernel", n), &chain, |b, chain| {
+            b.iter(|| ckpt_core::optimal_checkpoints_reusing(&ctx, chain, &mut scratch))
+        });
+        assert!(
+            scratch.last_run_used_kernel(),
+            "scaling chains must ride the kernel (n={n})"
+        );
+    }
+    // The exact quadratic path at the largest size where its O(n²)
+    // base table is still reasonable, for the crossover comparison.
+    for &n in &[1_000usize, 4_000] {
+        let w = pegasus::generic::chain(n, 3);
+        let chain: Vec<TaskId> = w.dag.task_ids().collect();
+        let ctx = CostCtx::exponential(&w.dag, 1e-4, 1e8);
+        let mut scratch = DpScratch::new();
+        group.bench_with_input(BenchmarkId::new("dp-quadratic", n), &chain, |b, chain| {
+            b.iter(|| optimal_checkpoints_exact_quadratic(&ctx, chain, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_scaling);
+criterion_main!(benches);

@@ -10,7 +10,8 @@
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin accuracy [-- --trials 300000]
-//!     [--seed 42] [--threads 0] [--mc-threads 0] [--out results]
+//!     [--seed 42] [--threads 0] [--mc-threads 0] [--plan-threads 1]
+//!     [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -23,6 +24,7 @@ fn main() {
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
     let mc_threads: usize = args.get_or("mc-threads", 0);
+    let plan_threads: usize = args.get_or("plan-threads", 1);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let pfail = 0.01;
     let scenario = AccuracyScenario {
@@ -37,6 +39,7 @@ fn main() {
     let cfg = EngineConfig {
         threads,
         mc_threads,
+        plan_threads,
     };
     let report = engine::run(&scenario, &cfg, &mut sink).expect("write CSV");
     println!(
@@ -64,4 +67,5 @@ fn main() {
         report.workers,
         report.mc_threads
     );
+    eprintln!("stage walls: {}", report.stages.summary());
 }

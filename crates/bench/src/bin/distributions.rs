@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run -p ckpt_bench --release --bin distributions
 //!     [-- --runs 400] [--sizes 50] [--seed 42] [--threads 0]
-//!     [--mc-threads 0] [--out results]
+//!     [--mc-threads 0] [--plan-threads 1] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -25,6 +25,7 @@ fn main() {
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
     let mc_threads: usize = args.get_or("mc-threads", 0);
+    let plan_threads: usize = args.get_or("plan-threads", 1);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let sizes: Vec<usize> = args
         .get("sizes")
@@ -37,6 +38,7 @@ fn main() {
     let cfg = EngineConfig {
         threads,
         mc_threads,
+        plan_threads,
     };
     println!("# E9 failure-distribution study ({runs} simulated runs per cell and strategy)");
     let scenario = DistributionsScenario::standard(runs, sizes, seed);
@@ -51,6 +53,7 @@ fn main() {
         report.workers,
         report.mc_threads,
     );
+    eprintln!("stage walls: {}", report.stages.summary());
     // Per-model-block CPU attribution (sums of per-cell run_cell wall
     // clocks; diagnostic only, never part of the CSV). This is the
     // number BENCH_hotpath.json tracks for the non-exponential blocks.

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin figures [-- --workflow genome|montage|ligo]
-//!     [--points 9] [--instances 3] [--seed 42] [--threads 0] [--out results]
+//!     [--points 9] [--instances 3] [--seed 42] [--threads 0]
+//!     [--plan-threads 1] [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -27,7 +28,8 @@ fn main() {
         Some(c) => vec![c.parse().expect("unknown workflow class")],
         None => WorkflowClass::ALL.to_vec(),
     };
-    let cfg = EngineConfig::with_threads(threads);
+    let mut cfg = EngineConfig::with_threads(threads);
+    cfg.plan_threads = args.get_or("plan-threads", 1);
     for class in classes {
         let fig = match class {
             WorkflowClass::Genome => "fig5",
@@ -53,6 +55,7 @@ fn main() {
             report.cache.schedule_hits,
             report.cache.schedule_hits + report.cache.schedule_misses,
         );
+        eprintln!("stage walls: {}", report.stages.summary());
         // Shape summary on stdout: per (size, procs, pfail), the CCR
         // endpoints.
         println!("# {fig} ({class}) shape summary");

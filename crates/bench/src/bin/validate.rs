@@ -13,7 +13,8 @@
 //!
 //! ```text
 //! cargo run -p ckpt_bench --release --bin validate [-- --runs 5000]
-//!     [--seed 42] [--threads 0] [--mc-threads 0] [--out results]
+//!     [--seed 42] [--threads 0] [--mc-threads 0] [--plan-threads 1]
+//!     [--out results]
 //! ```
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
@@ -27,6 +28,7 @@ fn main() {
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
     let mc_threads: usize = args.get_or("mc-threads", 0);
+    let plan_threads: usize = args.get_or("plan-threads", 1);
     let out_dir: String = args.get_or("out", "results".to_owned());
     let scenario = ValidateScenario {
         runs,
@@ -39,6 +41,7 @@ fn main() {
     let cfg = EngineConfig {
         threads,
         mc_threads,
+        plan_threads,
     };
     let report = engine::run(&scenario, &cfg, &mut sink).expect("write CSV");
     println!(
@@ -78,4 +81,5 @@ fn main() {
         report.workers,
         report.mc_threads
     );
+    eprintln!("stage walls: {}", report.stages.summary());
 }

@@ -41,11 +41,13 @@ pub mod cache;
 pub mod pool;
 pub mod sink;
 pub mod spec;
+pub mod stage;
 
 pub use cache::{CacheStats, WorkflowCache};
 pub use pool::ordered_parallel;
 pub use sink::{CsvFileSink, NullSink, RowSink, StringSink};
 pub use spec::{CcrAxis, Cell, Grid, ProcAxis, StrategyAxis};
+pub use stage::{Stage, StageReport, StageWalls, STAGES};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,14 +69,24 @@ pub struct EngineConfig {
     /// estimates are bit-identical functions of `(seed, runs)` for any
     /// budget, so this never affects the CSV.
     pub mc_threads: usize,
+    /// Thread budget for per-superchain checkpoint placement inside one
+    /// cell's `Pipeline::plan` (1 = serial, the default; 0 = all
+    /// cores). A pure speed knob: policy placement is a pure function
+    /// of each superchain, so placements — and hence the CSV — are
+    /// bit-identical for any budget (see `DESIGN.md` §9). Cell workers
+    /// already saturate the cores on full grids, so this mostly pays on
+    /// single huge workflows (the `planscale` binary).
+    pub plan_threads: usize,
 }
 
 impl EngineConfig {
-    /// `threads` cell workers with fully parallel nested Monte Carlo.
+    /// `threads` cell workers with fully parallel nested Monte Carlo and
+    /// serial per-cell planning.
     pub fn with_threads(threads: usize) -> Self {
         EngineConfig {
             threads,
             mc_threads: 0,
+            plan_threads: 1,
         }
     }
 }
@@ -85,49 +97,73 @@ impl Default for EngineConfig {
     }
 }
 
-/// Per-cell execution context: the shared cache plus the cell's nested
-/// Monte Carlo thread budget.
+/// Per-cell execution context: the shared cache, the cell's nested
+/// thread budgets, and the shared per-stage wall accumulator.
 pub struct CellCtx<'e> {
     cache: &'e WorkflowCache,
+    stages: &'e StageWalls,
     /// Thread budget for Monte Carlo work nested inside one cell
     /// (0 = all cores). Plumb this into `probdag::MonteCarlo::threads` /
     /// `failsim::SimConfig::threads`; it only sets the pace, never the
     /// values.
     pub mc_threads: usize,
+    /// Per-superchain placement budget handed to every pipeline this
+    /// context builds (see [`EngineConfig::plan_threads`]).
+    pub plan_threads: usize,
 }
 
 impl CellCtx<'_> {
+    /// Runs `f`, charging its elapsed wall time to `stage` in the run's
+    /// shared [`StageWalls`]. Scenarios wrap their planning and
+    /// evaluation calls in this; generation and scheduling are timed by
+    /// the [`CellCtx`] accessors themselves.
+    #[inline]
+    pub fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        self.stages.time(stage, f)
+    }
+
     /// Seed of instance `i` of this cell's `(class, size)` lane.
     pub fn instance_seed(&self, cell: &Cell, i: usize) -> u64 {
         seedmix::stream_seed(cell.seed, i as u64)
     }
 
     /// The cached **unscaled** workflow instance `i` of this cell's lane.
+    ///
+    /// Charged to [`Stage::Generate`] (near-zero on cache hits).
     pub fn instance(&self, cell: &Cell, i: usize) -> Arc<Workflow> {
-        self.cache
-            .workflow(cell.class, cell.size, self.instance_seed(cell, i))
+        self.timed(Stage::Generate, || {
+            self.cache
+                .workflow(cell.class, cell.size, self.instance_seed(cell, i))
+        })
     }
 
     /// A clone of instance `i` rescaled to the cell's CCR at the
-    /// experiment bandwidth.
+    /// experiment bandwidth. Charged to [`Stage::Generate`].
     pub fn scaled_instance(&self, cell: &Cell, i: usize) -> Workflow {
-        let mut w = (*self.instance(cell, i)).clone();
-        scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
-        w
+        let w = self.instance(cell, i);
+        self.timed(Stage::Generate, || {
+            let mut w = (*w).clone();
+            scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
+            w
+        })
     }
 
     /// The cached schedule of instance `i` on the cell's processors.
+    ///
+    /// Charged to [`Stage::Schedule`] (near-zero on cache hits).
     pub fn schedule(&self, cell: &Cell, i: usize, linearizer: Linearizer) -> Arc<Schedule> {
-        self.cache.schedule(
-            cell.class,
-            cell.size,
-            self.instance_seed(cell, i),
-            cell.procs,
-            &AllocateConfig {
-                linearizer,
-                seed: 0, // overwritten by the cache with the instance seed
-            },
-        )
+        self.timed(Stage::Schedule, || {
+            self.cache.schedule(
+                cell.class,
+                cell.size,
+                self.instance_seed(cell, i),
+                cell.procs,
+                &AllocateConfig {
+                    linearizer,
+                    seed: 0, // overwritten by the cache with the instance seed
+                },
+            )
+        })
     }
 
     /// The evaluation pipeline of the rescaled instance `w` (a clone
@@ -158,6 +194,7 @@ impl CellCtx<'_> {
         let platform = Platform::with_model(cell.procs, model, BANDWIDTH);
         let schedule = self.schedule(cell, i, linearizer);
         Pipeline::with_schedule(w, platform, (*schedule).clone())
+            .with_plan_threads(self.plan_threads)
     }
 }
 
@@ -199,6 +236,12 @@ pub struct RunReport<R> {
     pub workers: usize,
     /// Nested Monte Carlo budget each cell received (0 = all cores).
     pub mc_threads: usize,
+    /// Per-superchain placement budget each pipeline received.
+    pub plan_threads: usize,
+    /// Per-stage wall seconds, summed across workers (diagnostic only —
+    /// never part of the CSV). Only stages a scenario routes through
+    /// [`CellCtx::timed`] (or the timed accessors) are non-zero.
+    pub stages: StageReport,
     /// Wall-clock seconds for the whole run.
     pub wall: f64,
     /// Workflow/schedule cache counters.
@@ -220,9 +263,12 @@ pub fn run<S: Scenario>(
         .max(1);
     let mc_threads = cfg.mc_threads;
     let cache = WorkflowCache::new();
+    let stages = StageWalls::new();
     let ctx = CellCtx {
         cache: &cache,
+        stages: &stages,
         mc_threads,
+        plan_threads: cfg.plan_threads,
     };
     sink.begin(&scenario.header())?;
     let mut rows = Vec::with_capacity(cells.len());
@@ -262,6 +308,8 @@ pub fn run<S: Scenario>(
         cells: cells.len(),
         workers,
         mc_threads,
+        plan_threads: cfg.plan_threads,
+        stages: stages.report(),
         wall: start.elapsed().as_secs_f64(),
         cache: cache.stats(),
     })
@@ -358,8 +406,23 @@ mod tests {
         let cfg = EngineConfig {
             threads: 2,
             mc_threads: 3,
+            plan_threads: 4,
         };
-        assert_eq!(run(&Probe, &cfg, &mut NullSink).unwrap().mc_threads, 3);
+        let report = run(&Probe, &cfg, &mut NullSink).unwrap();
+        assert_eq!(report.mc_threads, 3);
+        assert_eq!(report.plan_threads, 4);
+    }
+
+    #[test]
+    fn timed_accessors_fill_the_stage_report() {
+        let report = run(&Probe, &EngineConfig::with_threads(1), &mut NullSink).unwrap();
+        // Probe only generates instances: Generate accumulates, the
+        // untouched stages stay exactly zero.
+        assert!(report.stages.generate > 0.0);
+        assert_eq!(report.stages.schedule, 0.0);
+        assert_eq!(report.stages.plan, 0.0);
+        assert_eq!(report.stages.evaluate, 0.0);
+        assert!(report.stages.summary().starts_with("generate "));
     }
 
     /// A sink that fails on the nth row.

@@ -1,0 +1,165 @@
+//! Per-stage wall-clock accounting for the planning pipeline.
+//!
+//! The grid binaries report where a run spends its time — workflow
+//! generation, scheduling, checkpoint planning, or evaluation — without
+//! touching the CSV stream. [`StageWalls`] is a lock-free accumulator
+//! shared by all cell workers: scenarios wrap the relevant calls in
+//! `CellCtx::timed` (or the `CellCtx` accessors do it for them), and the
+//! engine snapshots the totals into the [`RunReport`](super::RunReport).
+//!
+//! Totals are summed **across workers**, so with `N` cell workers the
+//! stage seconds can add up to `N ×` the run's wall clock; they measure
+//! where compute went, not elapsed time. Purely diagnostic: stage walls
+//! never feed back into any value, so the byte-identity guarantee of the
+//! engine is unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A pipeline stage whose wall time the engine accounts separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Workflow generation (cache misses) and per-cell CCR rescaling.
+    Generate,
+    /// Proportional-mapping allocation and linearization (cache misses).
+    Schedule,
+    /// Checkpoint placement: the superchain DP / policies and
+    /// segment-graph coalescing.
+    Plan,
+    /// Expected-makespan evaluation: estimators and simulation.
+    Evaluate,
+}
+
+/// All stages, in reporting order.
+pub const STAGES: [Stage; 4] = [
+    Stage::Generate,
+    Stage::Schedule,
+    Stage::Plan,
+    Stage::Evaluate,
+];
+
+impl Stage {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Generate => "generate",
+            Stage::Schedule => "schedule",
+            Stage::Plan => "plan",
+            Stage::Evaluate => "evaluate",
+        }
+    }
+}
+
+/// Thread-safe accumulator of per-stage wall time in nanoseconds.
+///
+/// `add`/`time` are relaxed atomic adds — cheap enough to leave enabled
+/// unconditionally on every hot path the engine times.
+#[derive(Debug, Default)]
+pub struct StageWalls {
+    nanos: [AtomicU64; 4],
+}
+
+impl StageWalls {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        StageWalls::default()
+    }
+
+    /// Adds `nanos` to `stage`'s total.
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        self.nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, charging its elapsed wall time to `stage`.
+    #[inline]
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(stage, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Accumulated seconds of `stage`.
+    pub fn seconds(&self, stage: Stage) -> f64 {
+        self.nanos[stage as usize].load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Snapshot of all stage totals.
+    pub fn report(&self) -> StageReport {
+        StageReport {
+            generate: self.seconds(Stage::Generate),
+            schedule: self.seconds(Stage::Schedule),
+            plan: self.seconds(Stage::Plan),
+            evaluate: self.seconds(Stage::Evaluate),
+        }
+    }
+}
+
+/// A snapshot of accumulated per-stage walls, in seconds (summed across
+/// workers — see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageReport {
+    /// Seconds spent generating/rescaling workflows.
+    pub generate: f64,
+    /// Seconds spent scheduling.
+    pub schedule: f64,
+    /// Seconds spent placing checkpoints.
+    pub plan: f64,
+    /// Seconds spent evaluating expected makespans.
+    pub evaluate: f64,
+}
+
+impl StageReport {
+    /// Seconds of `stage`.
+    pub fn seconds(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Generate => self.generate,
+            Stage::Schedule => self.schedule,
+            Stage::Plan => self.plan,
+            Stage::Evaluate => self.evaluate,
+        }
+    }
+
+    /// One-line stderr summary, e.g.
+    /// `generate 0.42s | schedule 0.10s | plan 1.73s | evaluate 6.05s`.
+    pub fn summary(&self) -> String {
+        STAGES
+            .iter()
+            .map(|&s| format!("{} {:.2}s", s.name(), self.seconds(s)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_into_the_right_stage() {
+        let walls = StageWalls::new();
+        let x = walls.time(Stage::Plan, || 2 + 2);
+        assert_eq!(x, 4);
+        walls.add(Stage::Plan, 1_500_000_000);
+        walls.add(Stage::Evaluate, 250_000_000);
+        let r = walls.report();
+        assert!(r.plan >= 1.5);
+        assert!((r.evaluate - 0.25).abs() < 1e-9);
+        assert_eq!(r.generate, 0.0);
+        assert_eq!(r.schedule, 0.0);
+    }
+
+    #[test]
+    fn summary_lists_all_stages_in_order() {
+        let r = StageReport {
+            generate: 1.0,
+            schedule: 0.5,
+            plan: 0.25,
+            evaluate: 2.0,
+        };
+        assert_eq!(
+            r.summary(),
+            "generate 1.00s | schedule 0.50s | plan 0.25s | evaluate 2.00s"
+        );
+    }
+}

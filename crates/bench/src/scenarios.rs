@@ -22,7 +22,7 @@ use pegasus::ccr::scale_to_ccr;
 use pegasus::WorkflowClass;
 use probdag::{Dodin, Evaluator, MonteCarlo, NormalSculli, PathApprox};
 
-use crate::engine::{CcrAxis, Cell, CellCtx, Grid, ProcAxis, Scenario, StrategyAxis};
+use crate::engine::{CcrAxis, Cell, CellCtx, Grid, ProcAxis, Scenario, Stage, StrategyAxis};
 use crate::{figure_csv, timed_eval, FigureRow, BANDWIDTH, FIGURE_HEADER, PFAILS, SIZES};
 
 /// E1/E2/E3 — one figure: relative expected makespan of CkptAll and
@@ -87,12 +87,23 @@ impl Scenario for FigureScenario {
             let w = ctx.scaled_instance(cell, i);
             actual = w.n_tasks();
             let pipe = ctx.pipeline(cell, i, &w, Linearizer::RandomTopo);
-            let some = pipe.assess(Strategy::CkptSome, &evaluator);
+            // assess = segment_graph (Plan) + assess_graph (Evaluate);
+            // split so the stage walls attribute each half.
+            let assess = |strategy: Strategy| {
+                let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
+                ctx.timed(Stage::Evaluate, || {
+                    pipe.assess_graph(strategy.name(), &sg, &evaluator)
+                })
+            };
+            let some = assess(Strategy::CkptSome);
             em_some += some.expected_makespan;
             ckpts += some.n_checkpoints;
-            em_all += pipe.assess(Strategy::CkptAll, &evaluator).expected_makespan;
-            em_none += pipe
-                .assess(Strategy::CkptNone, &evaluator)
+            em_all += assess(Strategy::CkptAll).expected_makespan;
+            // CkptNone is the Theorem 1 closed form — no planning stage.
+            em_none += ctx
+                .timed(Stage::Evaluate, || {
+                    pipe.assess(Strategy::CkptNone, &evaluator)
+                })
                 .expected_makespan;
         }
         let nf = cell.instances as f64;
@@ -184,30 +195,33 @@ impl Scenario for AccuracyScenario {
         let strategy = cell.strategy.expect("accuracy cells carry a strategy");
         let w = ctx.scaled_instance(cell, 0);
         let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
-        let sg = pipe.segment_graph(strategy);
+        let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
         let mc = MonteCarlo {
             trials: self.trials,
             seed: ctx.instance_seed(cell, 0),
             threads: ctx.mc_threads,
         };
-        let t0 = std::time::Instant::now();
-        let truth = mc.run(&sg.pdag);
-        let mc_time = t0.elapsed().as_secs_f64();
-        let evals: Vec<(&'static str, f64, f64)> = vec![
-            ("MonteCarlo", truth.mean, mc_time),
-            {
-                let (v, t) = timed_eval(&Dodin::default(), &sg.pdag);
-                ("Dodin", v, t)
-            },
-            {
-                let (v, t) = timed_eval(&NormalSculli, &sg.pdag);
-                ("Normal", v, t)
-            },
-            {
-                let (v, t) = timed_eval(&PathApprox::default(), &sg.pdag);
-                ("PathApprox", v, t)
-            },
-        ];
+        let (truth, evals) = ctx.timed(Stage::Evaluate, || {
+            let t0 = std::time::Instant::now();
+            let truth = mc.run(&sg.pdag);
+            let mc_time = t0.elapsed().as_secs_f64();
+            let evals: Vec<(&'static str, f64, f64)> = vec![
+                ("MonteCarlo", truth.mean, mc_time),
+                {
+                    let (v, t) = timed_eval(&Dodin::default(), &sg.pdag);
+                    ("Dodin", v, t)
+                },
+                {
+                    let (v, t) = timed_eval(&NormalSculli, &sg.pdag);
+                    ("Normal", v, t)
+                },
+                {
+                    let (v, t) = timed_eval(&PathApprox::default(), &sg.pdag);
+                    ("PathApprox", v, t)
+                },
+            ];
+            (truth, evals)
+        });
         evals
             .into_iter()
             .map(|(name, v, t)| AccuracyRow {
@@ -318,9 +332,9 @@ impl Scenario for ValidateScenario {
             // simulation (assess = segment_graph + evaluator, so this is
             // bit-identical to assessing separately at half the planning
             // cost).
-            let sg = pipe.segment_graph(strategy);
-            let model = evaluator.expected_makespan(&sg.pdag);
-            let sim = montecarlo_segments(&sg, lambda, &cfg);
+            let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
+            let model = ctx.timed(Stage::Evaluate, || evaluator.expected_makespan(&sg.pdag));
+            let sim = ctx.timed(Stage::Evaluate, || montecarlo_segments(&sg, lambda, &cfg));
             rows.push(ValidateRow {
                 class: cell.class,
                 size: cell.size,
@@ -334,10 +348,14 @@ impl Scenario for ValidateScenario {
                 diverged: 0,
             });
         }
-        let model = pipe
-            .assess(Strategy::CkptNone, &evaluator)
+        let model = ctx
+            .timed(Stage::Evaluate, || {
+                pipe.assess(Strategy::CkptNone, &evaluator)
+            })
             .expected_makespan;
-        let sim = montecarlo_none(&w.dag, &pipe.schedule, lambda, &cfg);
+        let sim = ctx.timed(Stage::Evaluate, || {
+            montecarlo_none(&w.dag, &pipe.schedule, lambda, &cfg)
+        });
         rows.push(ValidateRow {
             class: cell.class,
             size: cell.size,
@@ -429,9 +447,12 @@ impl Scenario for LinearizationScenario {
         let w = ctx.scaled_instance(cell, 0);
         let evaluator = PathApprox::default();
         let em = |lin: Linearizer| {
-            ctx.pipeline(cell, 0, &w, lin)
-                .assess(Strategy::CkptSome, &evaluator)
-                .expected_makespan
+            let pipe = ctx.pipeline(cell, 0, &w, lin);
+            let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(Strategy::CkptSome));
+            ctx.timed(Stage::Evaluate, || {
+                pipe.assess_graph(Strategy::CkptSome.name(), &sg, &evaluator)
+            })
+            .expected_makespan
         };
         let em_random = em(Linearizer::RandomTopo);
         let em_minvolume = em(Linearizer::MinVolume);
@@ -519,12 +540,15 @@ impl Scenario for NaiveCoalesceScenario {
         let w = ctx.scaled_instance(cell, 0);
         let pipe = ctx.pipeline(cell, 0, &w, Linearizer::RandomTopo);
         let evaluator = PathApprox::default();
-        let em_exit_only = pipe
-            .assess(Strategy::ExitOnly, &evaluator)
-            .expected_makespan;
-        let em_ckptsome = pipe
-            .assess(Strategy::CkptSome, &evaluator)
-            .expected_makespan;
+        let em = |strategy: Strategy| {
+            let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
+            ctx.timed(Stage::Evaluate, || {
+                pipe.assess_graph(strategy.name(), &sg, &evaluator)
+            })
+            .expected_makespan
+        };
+        let em_exit_only = em(Strategy::ExitOnly);
+        let em_ckptsome = em(Strategy::CkptSome);
         vec![NaiveCoalesceRow {
             class: cell.class,
             size: cell.size,
@@ -623,18 +647,25 @@ impl LigoFootnoteScenario {
         }
     }
 
-    fn rel_all(&self, w: &Workflow, schedule: &Schedule, cell: &Cell) -> f64 {
-        let mut w = w.clone();
-        scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
+    fn rel_all(&self, w: &Workflow, schedule: &Schedule, cell: &Cell, ctx: &CellCtx<'_>) -> f64 {
+        let w = ctx.timed(Stage::Generate, || {
+            let mut w = w.clone();
+            scale_to_ccr(&mut w, cell.ccr, BANDWIDTH);
+            w
+        });
         let lambda = ckpt_core::lambda_from_pfail(cell.pfail, w.dag.mean_weight());
         let platform = ckpt_core::Platform::new(cell.procs, lambda, BANDWIDTH);
-        let pipe = ckpt_core::Pipeline::with_schedule(&w, platform, schedule.clone());
+        let pipe = ckpt_core::Pipeline::with_schedule(&w, platform, schedule.clone())
+            .with_plan_threads(ctx.plan_threads);
         let evaluator = PathApprox::default();
-        let all = pipe.assess(Strategy::CkptAll, &evaluator).expected_makespan;
-        let some = pipe
-            .assess(Strategy::CkptSome, &evaluator)
-            .expected_makespan;
-        all / some
+        let em = |strategy: Strategy| {
+            let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
+            ctx.timed(Stage::Evaluate, || {
+                pipe.assess_graph(strategy.name(), &sg, &evaluator)
+            })
+            .expected_makespan
+        };
+        em(Strategy::CkptAll) / em(Strategy::CkptSome)
     }
 }
 
@@ -657,9 +688,9 @@ impl Scenario for LigoFootnoteScenario {
         .cells()
     }
 
-    fn run_cell(&self, cell: &Cell, _ctx: &CellCtx<'_>) -> Vec<LigoFootnoteRow> {
-        let rel_all_mainline = self.rel_all(&self.mainline, &self.mainline_schedule, cell);
-        let rel_all_patched = self.rel_all(&self.patched, &self.patched_schedule, cell);
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<LigoFootnoteRow> {
+        let rel_all_mainline = self.rel_all(&self.mainline, &self.mainline_schedule, cell, ctx);
+        let rel_all_patched = self.rel_all(&self.patched, &self.patched_schedule, cell, ctx);
         vec![LigoFootnoteRow {
             ccr: cell.ccr,
             pfail: cell.pfail,
@@ -920,15 +951,21 @@ impl Scenario for DistributionsScenario {
         for strategy in [Strategy::CkptAll, Strategy::CkptSome, Strategy::ExitOnly] {
             // One segment graph per strategy for both columns (see
             // ValidateScenario::run_cell).
-            let sg = pipe.segment_graph(strategy);
-            let model_em = evaluator.expected_makespan(&sg.pdag);
-            let sim = montecarlo_segments_model(&sg, &model, &cfg);
+            let sg = ctx.timed(Stage::Plan, || pipe.segment_graph(strategy));
+            let model_em = ctx.timed(Stage::Evaluate, || evaluator.expected_makespan(&sg.pdag));
+            let sim = ctx.timed(Stage::Evaluate, || {
+                montecarlo_segments_model(&sg, &model, &cfg)
+            });
             row(strategy, model_em, sim.mean_makespan, sim.stderr, 0);
         }
-        let model_em = pipe
-            .assess(Strategy::CkptNone, &evaluator)
+        let model_em = ctx
+            .timed(Stage::Evaluate, || {
+                pipe.assess(Strategy::CkptNone, &evaluator)
+            })
             .expected_makespan;
-        let sim = montecarlo_none_model(&w.dag, &pipe.schedule, &model, &cfg);
+        let sim = ctx.timed(Stage::Evaluate, || {
+            montecarlo_none_model(&w.dag, &pipe.schedule, &model, &cfg)
+        });
         row(
             Strategy::CkptNone,
             model_em,
@@ -1200,8 +1237,10 @@ impl Scenario for StrategiesScenario {
         let policy = choice.instantiate();
         // One segment graph serves the analytic assessment (with its
         // placement census) and the simulation ground truth.
-        let sg = pipe.segment_graph_policy(policy.as_ref());
-        let assessment = pipe.assess_graph(policy.name(), &sg, &PathApprox::default());
+        let sg = ctx.timed(Stage::Plan, || pipe.segment_graph_policy(policy.as_ref()));
+        let assessment = ctx.timed(Stage::Evaluate, || {
+            pipe.assess_graph(policy.name(), &sg, &PathApprox::default())
+        });
         let cfg = SimConfig {
             runs: self.runs,
             seed: ctx.instance_seed(cell, 0),
@@ -1209,7 +1248,9 @@ impl Scenario for StrategiesScenario {
             max_failures: 10_000,
             ..Default::default()
         };
-        let sim = montecarlo_segments_model(&sg, &model, &cfg);
+        let sim = ctx.timed(Stage::Evaluate, || {
+            montecarlo_segments_model(&sg, &model, &cfg)
+        });
         vec![StrategyRow {
             class: cell.class,
             size: cell.size,

@@ -11,7 +11,7 @@ use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
 use crate::failure_model::{FailureModel, RestartCurve};
 use crate::platform::Platform;
 use crate::policy::{
-    plan_with_policy, CheckpointPolicy, CkptAllPolicy, DpOptimalPolicy, ExitOnlyPolicy,
+    plan_with_policy_threads, CheckpointPolicy, CkptAllPolicy, DpOptimalPolicy, ExitOnlyPolicy,
     PolicyScratch,
 };
 use crate::schedule::Schedule;
@@ -134,6 +134,10 @@ pub struct Pipeline<'a> {
     /// every [`CostCtx`] this pipeline hands out (`None` for exponential
     /// or never-failing models). See `DESIGN.md` §7.
     curve: Option<RestartCurve>,
+    /// Thread budget for per-superchain checkpoint placement (a pure
+    /// speed knob — placements are bit-identical for every budget; see
+    /// [`crate::policy::plan_with_policy_threads`]). Default 1 (serial).
+    plan_threads: usize,
 }
 
 impl<'a> Pipeline<'a> {
@@ -145,6 +149,7 @@ impl<'a> Pipeline<'a> {
             platform,
             schedule,
             curve: build_curve(&workflow.dag, &platform),
+            plan_threads: 1,
         }
     }
 
@@ -173,7 +178,17 @@ impl<'a> Pipeline<'a> {
             platform,
             schedule,
             curve: build_curve(&workflow.dag, &platform),
+            plan_threads: 1,
         }
+    }
+
+    /// Sets the thread budget for per-superchain checkpoint placement
+    /// (0 = all cores, 1 = serial, the default). A pure speed knob:
+    /// placements land in canonical superchain order and are
+    /// bit-identical for every budget.
+    pub fn with_plan_threads(mut self, threads: usize) -> Self {
+        self.plan_threads = threads;
+        self
     }
 
     /// The renewal curve backing this pipeline's cost paths, if any
@@ -216,7 +231,13 @@ impl<'a> Pipeline<'a> {
         policy: &dyn CheckpointPolicy,
         scratch: &mut PolicyScratch,
     ) -> CheckpointPlan {
-        plan_with_policy(&self.ctx(), &self.schedule, policy, scratch)
+        plan_with_policy_threads(
+            &self.ctx(),
+            &self.schedule,
+            policy,
+            scratch,
+            self.plan_threads,
+        )
     }
 
     /// The coalesced 2-state segment graph for a checkpointing strategy.

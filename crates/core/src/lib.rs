@@ -62,7 +62,7 @@ pub mod schedule;
 pub use allocate::{allocate, AllocateConfig};
 pub use checkpoint_dp::{
     optimal_checkpoints, optimal_checkpoints_reusing, segment_cost, segment_cost_reusing, CostCtx,
-    DpScratch, SegmentCost, SegmentCostScratch,
+    DpScratch, SegmentCost, SegmentCostScratch, KERNEL_MIN_LEN,
 };
 pub use coalesce::{coalesce, CheckpointPlan, PlacementStats, Segment, SegmentGraph};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
@@ -70,8 +70,9 @@ pub use failure_model::{FailureModel, RestartCurve};
 pub use pfail::{lambda_from_pfail, pfail_from_lambda};
 pub use platform::Platform;
 pub use policy::{
-    placement_expected_time, plan_with_policy, CheckpointPolicy, CkptAllPolicy, DalyPeriodic,
-    DpOptimalPolicy, ExitOnlyPolicy, GreedyCrossover, PolicyScratch, RiskThreshold,
+    placement_expected_time, plan_with_policy, plan_with_policy_threads, CheckpointPolicy,
+    CkptAllPolicy, DalyPeriodic, DpOptimalPolicy, ExitOnlyPolicy, GreedyCrossover, PolicyScratch,
+    RiskThreshold,
 };
 pub use propmap::{propmap, PropMapResult};
 pub use schedule::{Schedule, Superchain};

@@ -125,6 +125,58 @@ pub fn plan_with_policy(
     CheckpointPlan { ckpt_after }
 }
 
+/// [`plan_with_policy`] with a thread budget: superchains are placed on
+/// a deterministic work-queue (`seedmix::parallel_slots_with` — workers
+/// claim chain indices off a shared counter and every placement lands
+/// in its canonical slot), then scattered into the per-task plan in
+/// canonical superchain order. Because [`CheckpointPolicy::place`] is a
+/// pure function of `(ctx, chain)` (the trait's purity contract), the
+/// plan is **bit-identical for every thread budget**; `threads` is a
+/// pure speed knob. `threads ≤ 1` (or a schedule with at most one
+/// superchain) runs the exact serial loop of [`plan_with_policy`] on
+/// the caller's scratch, spawning nothing.
+///
+/// # Panics
+/// Panics if the policy violates its contract and leaves a superchain
+/// without a final checkpoint.
+pub fn plan_with_policy_threads(
+    ctx: &CostCtx<'_>,
+    schedule: &Schedule,
+    policy: &dyn CheckpointPolicy,
+    scratch: &mut PolicyScratch,
+    threads: usize,
+) -> CheckpointPlan {
+    let n_chains = schedule.superchains.len();
+    if n_chains <= 1 || seedmix::resolve_threads(threads) <= 1 {
+        return plan_with_policy(ctx, schedule, policy, scratch);
+    }
+    let placements: Vec<Vec<bool>> = seedmix::parallel_slots_with(
+        n_chains,
+        threads,
+        1,
+        PolicyScratch::new,
+        |worker_scratch, i| {
+            let sc = &schedule.superchains[i];
+            let mut buf = vec![false; sc.tasks.len()];
+            policy.place(ctx, &sc.tasks, worker_scratch, &mut buf);
+            buf
+        },
+    );
+    let mut ckpt_after = vec![false; ctx.dag.n_tasks()];
+    for (sc, buf) in schedule.superchains.iter().zip(&placements) {
+        let n = sc.tasks.len();
+        assert!(
+            n == 0 || buf[n - 1],
+            "policy {} left a superchain without a final checkpoint",
+            policy.name()
+        );
+        for (k, &t) in sc.tasks.iter().enumerate() {
+            ckpt_after[t.index()] = buf[k];
+        }
+    }
+    CheckpointPlan { ckpt_after }
+}
+
 /// Total expected execution time of one superchain under a placement:
 /// the sum of expected segment times over the checkpoint-delimited
 /// segments — the objective the DP minimizes, usable to rank any two

@@ -66,6 +66,29 @@ impl Dag {
         Self::default()
     }
 
+    /// An empty DAG with storage reserved for `n_tasks` tasks and
+    /// `n_files` files — one allocation per dense arena up front instead
+    /// of doubling growth while a large generated workflow streams in.
+    pub fn with_capacity(n_tasks: usize, n_files: usize) -> Self {
+        let mut dag = Self::default();
+        dag.reserve(n_tasks, n_files);
+        dag
+    }
+
+    /// Reserves storage for `n_tasks` additional tasks and `n_files`
+    /// additional files across every per-task / per-file arena.
+    pub fn reserve(&mut self, n_tasks: usize, n_files: usize) {
+        self.tasks.reserve(n_tasks);
+        self.succ.reserve(n_tasks);
+        self.pred.reserve(n_tasks);
+        self.inputs.reserve(n_tasks);
+        self.outputs.reserve(n_tasks);
+        self.primary_out.reserve(n_tasks);
+        self.files.reserve(n_files);
+        self.producer.reserve(n_files);
+        self.consumers.reserve(n_files);
+    }
+
     /// Interns a task kind, returning its id. Re-interning an existing name
     /// returns the previous id.
     pub fn add_kind(&mut self, name: &str) -> KindId {

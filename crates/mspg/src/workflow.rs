@@ -69,10 +69,12 @@ impl Workflow {
     /// # Panics
     /// Panics if a serial-composition sink has no primary output file.
     pub fn wire(&mut self) {
-        // Work on a clone of the expression to appease the borrow checker;
-        // expressions are small relative to the DAG.
-        let root = self.root.clone();
+        // Take the expression out of `self` while mutating the DAG (the
+        // borrow checker forbids holding both); a million-node Series
+        // must not be cloned per wiring.
+        let root = std::mem::replace(&mut self.root, Mspg::Series(Vec::new()));
         Self::wire_expr(&mut self.dag, &root);
+        self.root = root;
     }
 
     fn wire_expr(dag: &mut Dag, expr: &Mspg) {
@@ -88,6 +90,15 @@ impl Workflow {
                     Self::wire_expr(dag, c);
                 }
                 for pair in cs.windows(2) {
+                    // Task ⊳ Task pairs (the bulk of a long chain) skip
+                    // the sink/source Vec collection entirely.
+                    if let (&Mspg::Task(s), &Mspg::Task(t)) = (&pair[0], &pair[1]) {
+                        let f = dag
+                            .primary_output(s)
+                            .expect("serial-composition sink lacks a primary output file");
+                        dag.add_edge(t, f);
+                        continue;
+                    }
                     let sinks = pair[0].sink_tasks();
                     let sources = pair[1].source_tasks();
                     for &s in &sinks {

@@ -13,6 +13,13 @@ pub struct Builder<'a> {
     pub dag: Dag,
     rng: &'a mut StdRng,
     counters: Vec<(String, usize)>,
+    /// When `false`, tasks and files get empty names (`String::new()`
+    /// allocates nothing) and no per-kind counters are kept. The RNG
+    /// draw order is unchanged, so weights and sizes are bit-identical
+    /// to the named path. The synthetic generic families use this to
+    /// build million-task workflows without two heap allocations per
+    /// task on naming alone.
+    named: bool,
 }
 
 impl<'a> Builder<'a> {
@@ -22,6 +29,20 @@ impl<'a> Builder<'a> {
             dag: Dag::new(),
             rng,
             counters: Vec::new(),
+            named: true,
+        }
+    }
+
+    /// A builder for large synthetic workflows: storage reserved for
+    /// `n_tasks` tasks (and their primary outputs) up front, and task
+    /// naming disabled — see the `named` field. Weights and sizes are
+    /// drawn exactly as [`Builder::new`] would.
+    pub fn unnamed_with_capacity(rng: &'a mut StdRng, n_tasks: usize) -> Self {
+        Builder {
+            dag: Dag::with_capacity(n_tasks, n_tasks),
+            rng,
+            counters: Vec::new(),
+            named: false,
         }
     }
 
@@ -34,6 +55,14 @@ impl<'a> Builder<'a> {
     /// Adds one task of the given kind and returns its id.
     pub fn task_id(&mut self, profile: &KindProfile) -> TaskId {
         let kind = self.dag.add_kind(profile.name);
+        let w = profile.sample_runtime(self.rng);
+        let s = profile.sample_output(self.rng);
+        if !self.named {
+            let t = self.dag.add_task(String::new(), kind, w);
+            let f = self.dag.add_file(String::new(), s, Some(t));
+            self.dag.set_primary_output(t, f);
+            return t;
+        }
         let idx = {
             match self.counters.iter_mut().find(|(n, _)| n == profile.name) {
                 Some((_, c)) => {
@@ -46,8 +75,6 @@ impl<'a> Builder<'a> {
                 }
             }
         };
-        let w = profile.sample_runtime(self.rng);
-        let s = profile.sample_output(self.rng);
         self.dag
             .add_task_with_output(&format!("{}_{idx}", profile.name), kind, w, s)
     }

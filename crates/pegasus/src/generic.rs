@@ -17,21 +17,26 @@ pub const GENERIC: KindProfile = KindProfile {
 };
 
 /// A pure chain of `n` tasks.
+///
+/// Tasks are unnamed (the family exists for scale tests and benches,
+/// where two naming allocations per task dominate generation); weights
+/// and sizes are drawn exactly as the named builder would.
 pub fn chain(n: usize, seed: u64) -> Workflow {
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = Builder::new(&mut rng);
+    let mut b = Builder::unnamed_with_capacity(&mut rng, n);
     let parts: Vec<Mspg> = (0..n).map(|_| b.task(&GENERIC)).collect();
     let root = Mspg::series(parts).expect("n >= 1");
     Workflow::new(b.dag, root)
 }
 
 /// A fork-join stack: `levels` alternating single tasks and parallel
-/// levels of `width` tasks, ending with a join task.
+/// levels of `width` tasks, ending with a join task. Unnamed, like
+/// [`chain`].
 pub fn fork_join(levels: usize, width: usize, seed: u64) -> Workflow {
     assert!(levels >= 1 && width >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = Builder::new(&mut rng);
+    let mut b = Builder::unnamed_with_capacity(&mut rng, levels * (width + 1) + 1);
     let mut parts = Vec::with_capacity(2 * levels + 1);
     for _ in 0..levels {
         parts.push(b.task(&GENERIC));
