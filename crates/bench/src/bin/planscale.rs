@@ -75,12 +75,10 @@ fn main() {
     });
 
     // FNV-1a over the checkpoint-after bits: any placement difference
-    // flips the digest.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in &plan.ckpt_after {
-        h ^= b as u64 + 1;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    // flips the digest. The formula lives in seedmix::digest now; CI
+    // pins this printed line, so the shared helper must stay
+    // byte-identical to the historical inline loop.
+    let h = seedmix::digest::plan_digest(&plan.ckpt_after);
     let em_cols = em
         .map(|em| format!(" em_bits={:016x} em={:.6e}", em.to_bits(), em))
         .unwrap_or_default();

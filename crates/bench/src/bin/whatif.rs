@@ -1,0 +1,160 @@
+//! `whatif` — the incremental planning service under a batched
+//! drift-query load, against its own cold-recompute control.
+//!
+//! Opens one [`ckpt_service::Session`] on a generated instance and
+//! answers a deterministic batch of what-if queries — λ drifts cycling
+//! a fixed set of distinct values, policy swaps, platform rescales —
+//! either **incrementally** (one shared store, the default) or **cold**
+//! (`--cold 1`: a fresh session and store per query). Both modes write
+//! the same CSV schema with rows in query order, and the bytes are
+//! identical for every `--threads` value *and* across the two modes:
+//! the store only decides who computes an artifact, never what it is.
+//! CI diffs the two files; the wall-clock ratio printed to stderr is
+//! the service's batch-amortized speedup (BENCH_hotpath.json).
+//!
+//! ```text
+//! cargo run -p ckpt_bench --release --bin whatif
+//!     [-- --class montage] [--size 300] [--seed 9] [--ccr 0.05]
+//!     [--procs 18] [--pfail 1e-3] [--queries 256] [--lambdas 16]
+//!     [--kinds all] [--threads 0] [--cold 0] [--out results/whatif.csv]
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ckpt_bench::Args;
+use ckpt_service::{Answer, Inputs, ModelSpec, PolicySpec, Session, WhatIf, WorkflowSource};
+use pegasus::WorkflowClass;
+
+/// The deterministic query batch. `--kinds all` (the default) mixes two
+/// λ drifts for every policy swap or platform rescale, cycling
+/// `lambdas` distinct multipliers of the base `pfail` so the
+/// incremental store keeps revisiting warm keys; `--kinds pfail` emits
+/// pure λ drifts, so with `lambdas >= n` every incremental query is a
+/// *first visit* of its λ — the honest per-query drift cost, no batch
+/// amortization.
+fn build_queries(n: usize, lambdas: usize, pfail: f64, procs: usize, kinds: &str) -> Vec<WhatIf> {
+    const POLICIES: [PolicySpec; 5] = [
+        PolicySpec::DpOptimal,
+        PolicySpec::CkptAll,
+        PolicySpec::ExitOnly,
+        PolicySpec::Daly { period: None },
+        PolicySpec::Crossover,
+    ];
+    let lambda = |i: usize| WhatIf::SetPfail(pfail * (1.0 + (i % lambdas) as f64 * 0.25));
+    match kinds {
+        "pfail" => (0..n).map(lambda).collect(),
+        "all" => (0..n)
+            .map(|i| match i % 4 {
+                0 | 1 => lambda(i / 2),
+                2 => WhatIf::SetPolicy(POLICIES[(i / 4) % POLICIES.len()]),
+                _ => WhatIf::SetProcs(procs + (i / 4) % 8),
+            })
+            .collect(),
+        other => panic!("unknown --kinds {other} (expected all|pfail)"),
+    }
+}
+
+fn kind(q: &WhatIf) -> &'static str {
+    match q {
+        WhatIf::SetPfail(_) => "pfail",
+        WhatIf::SetPolicy(_) => "policy",
+        WhatIf::SetProcs(_) => "procs",
+        _ => "nop",
+    }
+}
+
+fn param(q: &WhatIf) -> f64 {
+    match q {
+        WhatIf::SetPfail(p) => *p,
+        WhatIf::SetProcs(n) => *n as f64,
+        _ => 0.0,
+    }
+}
+
+fn csv_row(i: usize, q: &WhatIf, a: &Answer) -> String {
+    format!(
+        "{},{},{:.6e},{},{:.4},{},{},{:.6e},{:.4}",
+        i,
+        kind(q),
+        param(q),
+        a.policy,
+        a.expected_makespan,
+        a.n_segments,
+        a.ckpt_files,
+        a.ckpt_bytes,
+        a.w_par
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let class = match args.get_or("class", "montage".to_owned()).as_str() {
+        "genome" => WorkflowClass::Genome,
+        "montage" => WorkflowClass::Montage,
+        "ligo" => WorkflowClass::Ligo,
+        "cybershake" => WorkflowClass::Cybershake,
+        other => panic!("unknown --class {other}"),
+    };
+    let size: usize = args.get_or("size", 300);
+    let seed: u64 = args.get_or("seed", 9);
+    let ccr: f64 = args.get_or("ccr", 0.05);
+    let procs: usize = args.get_or("procs", 18);
+    let pfail: f64 = args.get_or("pfail", 1e-3);
+    let n_queries: usize = args.get_or("queries", 256);
+    let lambdas: usize = args.get_or("lambdas", 16);
+    let threads: usize = args.get_or("threads", 0);
+    let cold: usize = args.get_or("cold", 0);
+    let kinds: String = args.get_or("kinds", "all".to_owned());
+    let out: String = args.get_or("out", "results/whatif.csv".to_owned());
+
+    let inputs = Inputs::basic(
+        WorkflowSource::Generated {
+            class,
+            size,
+            seed,
+            ccr: Some(ccr),
+        },
+        procs,
+        ckpt_bench::BANDWIDTH,
+        ModelSpec::Exponential { pfail },
+    );
+    let queries = build_queries(n_queries, lambdas.max(1), pfail, procs, &kinds);
+
+    let t0 = Instant::now();
+    let answers: Vec<Answer> = if cold != 0 {
+        // Control: every query pays the full pipeline in its own store.
+        seedmix::parallel_slots(queries.len(), threads, |i| {
+            Session::new(inputs.clone()).query(&queries[i])
+        })
+    } else {
+        Session::new(inputs.clone()).query_batch(&queries, threads)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create CSV"));
+    writeln!(
+        f,
+        "query,kind,param,policy,em,segments,ckpt_files,ckpt_bytes,w_par"
+    )
+    .expect("write CSV");
+    for (i, (q, a)) in queries.iter().zip(&answers).enumerate() {
+        writeln!(f, "{}", csv_row(i, q, a)).expect("write CSV");
+    }
+    f.flush().expect("flush CSV");
+    eprintln!(
+        "{} {} queries ({} distinct lambdas) on {}-{} in {:.3}s ({:.3} ms/query) -> {}",
+        if cold != 0 { "cold" } else { "incremental" },
+        n_queries,
+        lambdas,
+        class.name(),
+        size,
+        wall,
+        1e3 * wall / n_queries.max(1) as f64,
+        path.display(),
+    );
+}

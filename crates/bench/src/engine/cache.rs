@@ -7,24 +7,35 @@
 //! linearizers is CCR-invariant, see
 //! [`ckpt_core::Pipeline::with_schedule`]) therefore happens once per
 //! key; cells clone the cached unscaled instance and rescale the clone.
+//!
+//! Since the `ckpt_service` crate exists, the cache is two of its
+//! fingerprint-keyed [`Memo`]s: the same slot-per-key concurrency story
+//! (racing lanes block on the slot, not the map), plus a **bounded
+//! capacity with deterministic LRU eviction** — a huge grid no longer
+//! grows the cache without limit, and because generation and scheduling
+//! are pure functions of the key, an eviction can only ever cost a
+//! recompute, never change a row.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
+use ckpt_core::fingerprint::linearizer_tag;
 use ckpt_core::{allocate, AllocateConfig, Schedule};
-use mspg::linearize::Linearizer;
+use ckpt_service::Memo;
 use mspg::Workflow;
 use pegasus::WorkflowClass;
+use seedmix::digest::Fnv1a;
 
-type WorkflowKey = (WorkflowClass, usize, u64);
-type ScheduleKey = (WorkflowClass, usize, u64, usize, u8);
+/// Default per-memo capacity: comfortably above any shipped grid's
+/// per-(class, size, instance) lane count, so eviction only engages on
+/// genuinely huge sweeps.
+pub const DEFAULT_CACHE_CAPACITY: usize = 512;
 
-fn linearizer_tag(lin: Linearizer) -> u8 {
-    match lin {
-        Linearizer::Structural => 0,
-        Linearizer::RandomTopo => 1,
-        Linearizer::MinVolume => 2,
+fn class_tag(class: WorkflowClass) -> u64 {
+    match class {
+        WorkflowClass::Genome => 0,
+        WorkflowClass::Montage => 1,
+        WorkflowClass::Ligo => 2,
+        WorkflowClass::Cybershake => 3,
     }
 }
 
@@ -39,49 +50,48 @@ pub struct CacheStats {
     pub schedule_hits: usize,
     /// Schedule lookups that ran `Allocate`.
     pub schedule_misses: usize,
+    /// Entries dropped by the capacity bound (both memos).
+    pub evictions: usize,
 }
 
-/// Concurrent per-run cache of generated workflows and schedules.
-///
-/// Each slot is an `Arc<OnceLock<…>>`: the map lock is held only to find
-/// the slot, and racing workers block on the slot (not the map) while the
-/// first one generates — so two lanes never serialize each other.
-#[derive(Default)]
+/// Concurrent, capacity-bounded per-run cache of generated workflows
+/// and schedules (see module docs).
 pub struct WorkflowCache {
-    workflows: Mutex<HashMap<WorkflowKey, Arc<OnceLock<Arc<Workflow>>>>>,
-    schedules: Mutex<HashMap<ScheduleKey, Arc<OnceLock<Arc<Schedule>>>>>,
-    workflow_hits: AtomicUsize,
-    workflow_misses: AtomicUsize,
-    schedule_hits: AtomicUsize,
-    schedule_misses: AtomicUsize,
+    workflows: Memo<Workflow>,
+    schedules: Memo<Schedule>,
+}
+
+impl Default for WorkflowCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl WorkflowCache {
-    /// Creates an empty cache.
+    /// A cache bounded at [`DEFAULT_CACHE_CAPACITY`] entries per memo.
     pub fn new() -> Self {
-        Self::default()
+        Self::bounded(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` workflows and `capacity`
+    /// schedules (`0` = unbounded), evicting least-recently-used.
+    pub fn bounded(capacity: usize) -> Self {
+        WorkflowCache {
+            workflows: Memo::bounded(capacity),
+            schedules: Memo::bounded(capacity),
+        }
     }
 
     /// The unscaled workflow instance `(class, size, seed)`, generated on
     /// first use.
     pub fn workflow(&self, class: WorkflowClass, size: usize, seed: u64) -> Arc<Workflow> {
-        let slot = {
-            let mut map = self.workflows.lock().expect("workflow cache poisoned");
-            map.entry((class, size, seed)).or_default().clone()
-        };
-        let mut generated = false;
-        let w = slot
-            .get_or_init(|| {
-                generated = true;
-                Arc::new(pegasus::generate(class, size, seed))
-            })
-            .clone();
-        if generated {
-            self.workflow_misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.workflow_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        w
+        let key = Fnv1a::tagged(0x5746_4b59) // "WFKY"
+            .write_word(class_tag(class))
+            .write_usize(size)
+            .write_word(seed)
+            .finish();
+        self.workflows
+            .get_or_compute(key, || pegasus::generate(class, size, seed))
     }
 
     /// The schedule of instance `(class, size, seed)` on `procs`
@@ -100,35 +110,30 @@ impl WorkflowCache {
         procs: usize,
         cfg: &AllocateConfig,
     ) -> Arc<Schedule> {
-        let key = (class, size, seed, procs, linearizer_tag(cfg.linearizer));
-        let slot = {
-            let mut map = self.schedules.lock().expect("schedule cache poisoned");
-            map.entry(key).or_default().clone()
-        };
-        let mut computed = false;
+        let key = Fnv1a::tagged(0x5343_4b59) // "SCKY"
+            .write_word(class_tag(class))
+            .write_usize(size)
+            .write_word(seed)
+            .write_usize(procs)
+            .write_word(linearizer_tag(cfg.linearizer))
+            .finish();
         let cfg = AllocateConfig { seed, ..*cfg };
-        let s = slot
-            .get_or_init(|| {
-                computed = true;
-                let w = self.workflow(class, size, seed);
-                Arc::new(allocate(&w, procs, &cfg))
-            })
-            .clone();
-        if computed {
-            self.schedule_misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.schedule_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        s
+        self.schedules.get_or_compute(key, || {
+            let w = self.workflow(class, size, seed);
+            allocate(&w, procs, &cfg)
+        })
     }
 
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
+        let w = self.workflows.stats();
+        let s = self.schedules.stats();
         CacheStats {
-            workflow_hits: self.workflow_hits.load(Ordering::Relaxed),
-            workflow_misses: self.workflow_misses.load(Ordering::Relaxed),
-            schedule_hits: self.schedule_hits.load(Ordering::Relaxed),
-            schedule_misses: self.schedule_misses.load(Ordering::Relaxed),
+            workflow_hits: w.hits as usize,
+            workflow_misses: w.misses as usize,
+            schedule_hits: s.hits as usize,
+            schedule_misses: s.misses as usize,
+            evictions: (w.evictions + s.evictions) as usize,
         }
     }
 }
@@ -136,6 +141,7 @@ impl WorkflowCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mspg::linearize::Linearizer;
 
     #[test]
     fn workflow_generated_once_per_key() {
@@ -179,5 +185,34 @@ mod tests {
         let cached = cache.schedule(WorkflowClass::Ligo, 50, 11, 5, &cfg);
         let direct = allocate(&w, 5, &AllocateConfig { seed: 11, ..cfg });
         assert_eq!(cached.superchains, direct.superchains);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_still_answers_correctly() {
+        let cache = WorkflowCache::bounded(2);
+        let a = cache.workflow(WorkflowClass::Genome, 50, 1);
+        cache.workflow(WorkflowClass::Genome, 50, 2);
+        cache.workflow(WorkflowClass::Genome, 50, 1); // touch 1 → 2 is LRU
+        cache.workflow(WorkflowClass::Genome, 50, 3); // evicts seed 2
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted instance regenerates — a fresh Arc, same content
+        // (re-inserting it evicts the now-LRU seed 1 in turn).
+        let b = cache.workflow(WorkflowClass::Genome, 50, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().workflow_misses, 4);
+        assert_eq!(cache.stats().evictions, 2);
+        let direct = pegasus::generate(WorkflowClass::Genome, 50, 2);
+        assert_eq!(b.n_tasks(), direct.n_tasks());
+        let ta = b
+            .dag
+            .task_ids()
+            .map(|t| b.dag.weight(t))
+            .collect::<Vec<_>>();
+        let tb = direct
+            .dag
+            .task_ids()
+            .map(|t| direct.dag.weight(t))
+            .collect::<Vec<_>>();
+        assert_eq!(ta, tb);
     }
 }

@@ -1,7 +1,7 @@
 //! # ckpt-bench — experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation (§VI).
-//! See DESIGN.md §5 for the experiment index (E1–E10) and §5.1 for the
+//! See DESIGN.md §5 for the experiment index (E1–E12) and §5.1 for the
 //! scenario engine; EXPERIMENTS.md tracks paper-vs-measured results.
 //! Binaries (all driven through [`engine`] by the scenarios in
 //! [`scenarios`], all accepting `--threads`):
@@ -17,7 +17,13 @@
 //!   failure models against the exponential baseline (DESIGN.md §6);
 //! * `strategies` — E10: the checkpoint-policy comparison (DP vs
 //!   Young/Daly periodic vs risk-threshold vs structural crossover,
-//!   DESIGN.md §8).
+//!   DESIGN.md §8);
+//! * `drift` — E12: the incremental-planning drift sweep (per-cell
+//!   `ckpt_service` sessions committing a drift ladder with an in-run
+//!   cold-equality self-check, DESIGN.md §10);
+//! * `whatif` — the batched what-if query load, incremental vs cold
+//!   recompute (not grid-driven: it exercises `ckpt_service` directly;
+//!   `splitting` and `planscale` are likewise direct harnesses).
 
 pub mod engine;
 pub mod scenarios;

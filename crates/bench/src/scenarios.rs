@@ -1300,6 +1300,210 @@ impl Scenario for StrategiesScenario {
     }
 }
 
+/// One row of the E12 `drift` table: the answer to one step of a
+/// session's drift ladder. Results only — stage-execution metadata
+/// stays out of the CSV so the bytes are comparable against any cold
+/// recompute.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Requested task count.
+    pub size: usize,
+    /// Processor count the step ran on (drifts mid-ladder).
+    pub procs: usize,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Ladder step index.
+    pub step: usize,
+    /// What drifted at this step.
+    pub kind: &'static str,
+    /// The drifted value (pfail, shape, or processor count).
+    pub param: f64,
+    /// Placement policy in force.
+    pub policy: &'static str,
+    /// Analytic expected makespan.
+    pub em: f64,
+    /// Coalesced segments.
+    pub segments: usize,
+    /// Files the placement checkpoints.
+    pub ckpt_files: usize,
+    /// Bytes the placement checkpoints.
+    pub ckpt_bytes: f64,
+    /// Failure-free parallel time of the schedule in force.
+    pub w_par: f64,
+}
+
+/// CSV header of the E12 table.
+pub const DRIFT_HEADER: &str =
+    "class,size,procs,ccr,step,kind,param,policy,em,segments,ckpt_files,ckpt_bytes,w_par";
+
+/// E12 — the incremental-planning drift sweep: every cell opens a fresh
+/// [`ckpt_service::Session`] on its `(class, size)` instance and
+/// serially commits a fixed **drift ladder** — λ drifts, policy swaps,
+/// a platform rescale, a model-family swap, and a return to the
+/// starting λ — emitting one row per step. This drives the service's
+/// incremental path end-to-end under the engine (cells in parallel,
+/// each ladder sequential and stateful), and with
+/// [`DriftScenario::self_check`] on, every step's answer is asserted
+/// bit-identical to a cold recompute of the same drifted inputs in a
+/// fresh store — the soundness bar, enforced inside the run itself.
+#[derive(Clone, Debug)]
+pub struct DriftScenario {
+    /// Workflow classes.
+    pub classes: Vec<WorkflowClass>,
+    /// Workflow sizes.
+    pub sizes: Vec<usize>,
+    /// Base per-task failure probability each ladder starts from.
+    pub pfail: f64,
+    /// Assert each incremental answer against a cold recompute.
+    pub self_check: bool,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl DriftScenario {
+    /// The default sweep: both structurally extreme classes, cold
+    /// self-check on.
+    pub fn standard(sizes: Vec<usize>, base_seed: u64) -> Self {
+        DriftScenario {
+            classes: vec![WorkflowClass::Genome, WorkflowClass::Montage],
+            sizes,
+            pfail: 1e-3,
+            self_check: true,
+            base_seed,
+        }
+    }
+
+    /// The drift ladder every cell walks: `(kind, param, delta)`
+    /// triples, committed in order.
+    fn ladder(&self, procs: usize) -> Vec<(&'static str, f64, ckpt_service::WhatIf)> {
+        use ckpt_service::{ModelSpec, PolicySpec, WhatIf};
+        let p = self.pfail;
+        vec![
+            ("baseline", p, WhatIf::Nop),
+            ("pfail", 2.0 * p, WhatIf::SetPfail(2.0 * p)),
+            ("pfail", 4.0 * p, WhatIf::SetPfail(4.0 * p)),
+            ("policy", 4.0 * p, WhatIf::SetPolicy(PolicySpec::CkptAll)),
+            ("policy", 4.0 * p, WhatIf::SetPolicy(PolicySpec::ExitOnly)),
+            ("policy", 4.0 * p, WhatIf::SetPolicy(PolicySpec::DpOptimal)),
+            ("procs", (2 * procs) as f64, WhatIf::SetProcs(2 * procs)),
+            (
+                "model",
+                0.7,
+                WhatIf::SetModel(ModelSpec::Weibull {
+                    shape: 0.7,
+                    pfail: 4.0 * p,
+                }),
+            ),
+            // Return to the starting λ: with the Weibull family in
+            // force this re-calibrates it, not the original
+            // exponential — drift ladders don't rewind.
+            ("pfail", p, WhatIf::SetPfail(p)),
+        ]
+    }
+}
+
+impl Scenario for DriftScenario {
+    type Row = DriftRow;
+
+    fn cells(&self) -> Vec<Cell> {
+        Grid {
+            classes: self.classes.clone(),
+            sizes: self.sizes.clone(),
+            procs: ProcAxis::PaperIndex(1),
+            pfails: vec![self.pfail],
+            ccrs: CcrAxis::ClassMid,
+            strategies: StrategyAxis::Combined,
+            instances: 1,
+            base_seed: self.base_seed,
+        }
+        .cells()
+    }
+
+    fn run_cell(&self, cell: &Cell, ctx: &CellCtx<'_>) -> Vec<DriftRow> {
+        use ckpt_service::{Inputs, ModelSpec, Session, WorkflowSource};
+        let seed = ctx.instance_seed(cell, 0);
+        let source = WorkflowSource::Generated {
+            class: cell.class,
+            size: cell.size,
+            seed,
+            ccr: Some(cell.ccr),
+        };
+        let mut inputs = Inputs::basic(
+            source,
+            cell.procs,
+            crate::BANDWIDTH,
+            ModelSpec::Exponential { pfail: cell.pfail },
+        );
+        inputs.alloc = AllocateConfig {
+            seed,
+            ..AllocateConfig::default()
+        };
+        let mut session = Session::new(inputs);
+        session.plan_threads = ctx.plan_threads;
+        let mut rows = Vec::new();
+        for (step, (kind, param, delta)) in self.ladder(cell.procs).into_iter().enumerate() {
+            session.apply(&delta);
+            let answer = ctx.timed(Stage::Plan, || session.baseline());
+            if self.self_check {
+                // The soundness bar: a fresh session (empty store) on
+                // the drifted inputs must reproduce the incremental
+                // answer bit for bit.
+                let cold = ctx.timed(Stage::Evaluate, || {
+                    Session::new(session.inputs().clone()).baseline()
+                });
+                assert_eq!(
+                    answer.expected_makespan.to_bits(),
+                    cold.expected_makespan.to_bits(),
+                    "incremental/cold divergence at step {step} ({kind})"
+                );
+                assert_eq!(answer.n_segments, cold.n_segments);
+                assert_eq!(answer.ckpt_bytes.to_bits(), cold.ckpt_bytes.to_bits());
+            }
+            rows.push(DriftRow {
+                class: cell.class,
+                size: cell.size,
+                procs: session.inputs().procs,
+                ccr: cell.ccr,
+                step,
+                kind,
+                param,
+                policy: answer.policy,
+                em: answer.expected_makespan,
+                segments: answer.n_segments,
+                ckpt_files: answer.ckpt_files,
+                ckpt_bytes: answer.ckpt_bytes,
+                w_par: answer.w_par,
+            });
+        }
+        rows
+    }
+
+    fn header(&self) -> String {
+        DRIFT_HEADER.to_owned()
+    }
+
+    fn csv(&self, r: &DriftRow) -> String {
+        format!(
+            "{},{},{},{:.6e},{},{},{:.6e},{},{:.4},{},{},{:.6e},{:.4}",
+            r.class.name(),
+            r.size,
+            r.procs,
+            r.ccr,
+            r.step,
+            r.kind,
+            r.param,
+            r.policy,
+            r.em,
+            r.segments,
+            r.ckpt_files,
+            r.ckpt_bytes,
+            r.w_par
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1440,6 +1644,32 @@ mod tests {
                 r.model_em
             );
         }
+    }
+
+    #[test]
+    fn drift_scenario_walks_the_full_ladder_with_self_check() {
+        let s = DriftScenario {
+            classes: vec![WorkflowClass::Genome],
+            sizes: vec![50],
+            pfail: 1e-3,
+            self_check: true, // cold-equality asserted inside run_cell
+            base_seed: 17,
+        };
+        let report = engine::run(&s, &EngineConfig::with_threads(2), &mut NullSink).unwrap();
+        assert_eq!(report.cells, 1);
+        assert_eq!(report.rows.len(), 9);
+        for (step, r) in report.rows.iter().enumerate() {
+            assert_eq!(r.step, step);
+            assert!(r.em > 0.0 && r.w_par > 0.0, "{r:?}");
+        }
+        // The ladder's λ steps strictly increase the expected makespan
+        // on the same policy and platform.
+        assert!(report.rows[1].em > report.rows[0].em);
+        assert!(report.rows[2].em > report.rows[1].em);
+        // CkptAll checkpoints at least as many files as the DP.
+        assert!(report.rows[3].ckpt_files >= report.rows[2].ckpt_files);
+        // The platform rescale doubles the processor count in the rows.
+        assert_eq!(report.rows[6].procs, 2 * report.rows[5].procs);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use ckpt_bench::engine::{self, EngineConfig, NullSink, Scenario, StringSink};
 use ckpt_bench::scenarios::{
-    DistModel, DistributionsScenario, FigureScenario, PolicyChoice, StrategiesScenario,
-    ValidateScenario,
+    DistModel, DistributionsScenario, DriftScenario, FigureScenario, PolicyChoice,
+    StrategiesScenario, ValidateScenario,
 };
 use pegasus::WorkflowClass;
 
@@ -167,6 +167,29 @@ fn csv_is_byte_identical_across_plan_thread_budgets() {
             csv_at(plan_threads),
             "plan_threads={plan_threads}"
         );
+    }
+}
+
+#[test]
+fn parallel_drift_sweep_is_byte_identical_to_serial() {
+    // The E12 scenario is stateful *within* a cell (each cell's session
+    // commits a drift ladder step by step) but cells are independent:
+    // every cell owns a fresh session and store, so the engine's
+    // byte-identity guarantee must hold for any worker count. The cold
+    // self-check stays on — this doubles as the invalidation soundness
+    // harness under parallel execution.
+    let scenario = DriftScenario {
+        classes: vec![pegasus::WorkflowClass::Genome, WorkflowClass::Montage],
+        sizes: vec![50],
+        pfail: 1e-3,
+        self_check: true,
+        base_seed: 29,
+    };
+    let serial = csv(&scenario, 1);
+    // 2 classes × 1 size cells, 9 ladder steps each, plus the header.
+    assert_eq!(serial.lines().count(), 2 * 9 + 1);
+    for threads in [2, 8] {
+        assert_eq!(serial, csv(&scenario, threads), "threads={threads}");
     }
 }
 

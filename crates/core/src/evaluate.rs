@@ -2,19 +2,19 @@
 //! makespan, for all strategies of the paper — and, since the policy
 //! subsystem, for any [`CheckpointPolicy`].
 
-use mspg::{Dag, Workflow};
+use mspg::Workflow;
 use probdag::Evaluator;
 
 use crate::allocate::{allocate, AllocateConfig};
 use crate::checkpoint_dp::CostCtx;
-use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
+use crate::coalesce::{CheckpointPlan, SegmentGraph};
 use crate::failure_model::{FailureModel, RestartCurve};
 use crate::platform::Platform;
 use crate::policy::{
-    plan_with_policy_threads, CheckpointPolicy, CkptAllPolicy, DpOptimalPolicy, ExitOnlyPolicy,
-    PolicyScratch,
+    CheckpointPolicy, CkptAllPolicy, DpOptimalPolicy, ExitOnlyPolicy, PolicyScratch,
 };
 use crate::schedule::Schedule;
+use crate::stage;
 
 /// The checkpointing strategies compared in §VI.
 ///
@@ -148,7 +148,7 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
-            curve: build_curve(&workflow.dag, &platform),
+            curve: stage::curve_stage(&workflow.dag, &platform),
             plan_threads: 1,
         }
     }
@@ -177,7 +177,7 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
-            curve: build_curve(&workflow.dag, &platform),
+            curve: stage::curve_stage(&workflow.dag, &platform),
             plan_threads: 1,
         }
     }
@@ -231,7 +231,7 @@ impl<'a> Pipeline<'a> {
         policy: &dyn CheckpointPolicy,
         scratch: &mut PolicyScratch,
     ) -> CheckpointPlan {
-        plan_with_policy_threads(
+        stage::placement_stage(
             &self.ctx(),
             &self.schedule,
             policy,
@@ -249,7 +249,7 @@ impl<'a> Pipeline<'a> {
     /// The coalesced 2-state segment graph for a placement policy.
     pub fn segment_graph_policy(&self, policy: &dyn CheckpointPolicy) -> SegmentGraph {
         let plan = self.plan_policy(policy);
-        coalesce(&self.ctx(), &self.schedule, &plan)
+        stage::segment_graph_stage(&self.ctx(), &self.schedule, &plan)
     }
 
     /// Assesses a strategy with the given 2-state DAG evaluator
@@ -301,7 +301,7 @@ impl<'a> Pipeline<'a> {
         let stats = sg.placement_stats(&self.workflow.dag);
         Assessment {
             policy,
-            expected_makespan: evaluator.expected_makespan(&sg.pdag),
+            expected_makespan: stage::evaluate_stage(sg, evaluator),
             n_checkpoints: stats.segments,
             n_segments: stats.segments,
             ckpt_files: stats.ckpt_files,
@@ -309,37 +309,6 @@ impl<'a> Pipeline<'a> {
             w_par,
         }
     }
-}
-
-/// Builds the pipeline's renewal curve: `None` for memoryless or
-/// never-failing platforms; otherwise a [`RestartCurve`] covering every
-/// span the DP or coalescer can query on this workflow — from the
-/// smallest positive task weight (no segment's failure-free span is
-/// shorter than the weight of a task it contains) up to the whole
-/// workflow executed serially with every file read and checkpointed
-/// once. Spans outside (only reachable through zero-weight dummy tasks)
-/// fall back to direct quadrature.
-fn build_curve(dag: &Dag, platform: &Platform) -> Option<RestartCurve> {
-    if platform.model.is_memoryless() || platform.model.never_fails() {
-        return None;
-    }
-    let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
-    if b_hi <= 0.0 || !b_hi.is_finite() {
-        return None;
-    }
-    let min_weight = dag
-        .task_ids()
-        .map(|t| dag.weight(t))
-        .filter(|&w| w > 0.0)
-        .fold(f64::INFINITY, f64::min);
-    let b_lo = if min_weight.is_finite() {
-        min_weight.min(b_hi)
-    } else {
-        b_hi * 1e-6
-    };
-    // Bound the table (and its build cost) to 12 decades of span.
-    let b_lo = b_lo.max(b_hi * 1e-12);
-    Some(RestartCurve::build(platform.model, b_lo, b_hi))
 }
 
 #[cfg(test)]

@@ -28,7 +28,12 @@
 //!   paper's placements as builtin [`policy::CheckpointPolicy`]s (the
 //!   [`Strategy`] enum is a thin constructor over them) plus classical
 //!   competitors — Young/Daly periodic, adaptive risk-threshold, and
-//!   the structural crossover heuristic.
+//!   the structural crossover heuristic;
+//! * [`stage`] / [`fingerprint`] — the pipeline as an explicit **stage
+//!   graph**: each step a pure function from content-fingerprinted
+//!   inputs to one artifact, which is what lets the `ckpt_service`
+//!   crate answer what-if queries by re-executing only the stages a
+//!   change touches.
 //!
 //! ## Quickstart
 //!
@@ -53,11 +58,13 @@ pub mod checkpoint_dp;
 pub mod coalesce;
 pub mod evaluate;
 pub mod failure_model;
+pub mod fingerprint;
 pub mod pfail;
 pub mod platform;
 pub mod policy;
 pub mod propmap;
 pub mod schedule;
+pub mod stage;
 
 pub use allocate::{allocate, AllocateConfig};
 pub use checkpoint_dp::{
@@ -67,6 +74,7 @@ pub use checkpoint_dp::{
 pub use coalesce::{coalesce, CheckpointPlan, PlacementStats, Segment, SegmentGraph};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
 pub use failure_model::{FailureModel, RestartCurve};
+pub use fingerprint::{allocate_config_fp, model_fp, workflow_fp, WorkflowFp};
 pub use pfail::{lambda_from_pfail, pfail_from_lambda};
 pub use platform::Platform;
 pub use policy::{
@@ -76,3 +84,4 @@ pub use policy::{
 };
 pub use propmap::{propmap, PropMapResult};
 pub use schedule::{Schedule, Superchain};
+pub use stage::StageId;

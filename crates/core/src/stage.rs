@@ -1,0 +1,233 @@
+//! The planning pipeline as an explicit stage graph.
+//!
+//! [`crate::evaluate::Pipeline`] used to be a monolith: every query
+//! re-ran schedule → curve → placement → coalesce → evaluate from
+//! scratch. This module names each step as a **pure stage function** —
+//! a deterministic map from its inputs to one artifact — so that a
+//! caller holding content fingerprints of the inputs
+//! ([`crate::fingerprint`]) can cache artifacts and re-execute only the
+//! stages a change actually touches. `Pipeline` itself now routes
+//! through these functions (bit-identical to the old monolith), and the
+//! `ckpt_service` crate builds its incremental sessions on top.
+//!
+//! The stage graph (downstream depends on upstream):
+//!
+//! ```text
+//! Generate ──► Schedule ──────────────► Placement ──► SegmentGraph ──► EvalAnalytic
+//!     │            │                        ▲   ▲          ▲               EvalMc
+//!     └────────────┼──► Curve ──────────────┘   │          │
+//!                  └────────(model, platform)───┴──────────┘
+//! ```
+//!
+//! Two fusions are deliberate. *Superchain decomposition* is not a
+//! separate stage: Algorithm 1 interleaves proportional-mapping
+//! decomposition with per-sub-graph linearization, so the superchains
+//! are a field of the [`Schedule`] artifact (see [`crate::allocate`]).
+//! And *placement* and *segment-graph* both read the failure model (the
+//! coalesced 2-state probabilities depend on λ), so a model drift
+//! re-runs both — the invalidation-matrix tests in `ckpt_service` pin
+//! this exactly.
+//!
+//! Two stage ids have no function here: `Generate` (workflow synthesis
+//! lives in the `pegasus` crate, upstream of this one) and `EvalMc`
+//! (discrete-event simulation lives in `failsim`, downstream). The
+//! service invokes those crates directly under the same stage ids.
+
+use mspg::{Dag, Workflow};
+use probdag::Evaluator;
+
+use crate::allocate::{allocate, AllocateConfig};
+use crate::checkpoint_dp::CostCtx;
+use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
+use crate::failure_model::RestartCurve;
+use crate::platform::Platform;
+use crate::policy::{plan_with_policy_threads, CheckpointPolicy, PolicyScratch};
+use crate::schedule::Schedule;
+
+/// Names of the pipeline stages, in dependency order. Used by the
+/// incremental service's event tracker so tests can assert exactly
+/// which stages a what-if query re-executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageId {
+    /// Workflow synthesis / parse (lives in `pegasus`).
+    Generate,
+    /// Algorithm 1: proportional mapping + superchain linearization
+    /// (includes the superchain decomposition — see module docs).
+    Schedule,
+    /// RestartCurve tabulation for non-memoryless models.
+    Curve,
+    /// Checkpoint placement (Algorithm 2 DP or any policy).
+    Placement,
+    /// §II-C coalescing into the 2-state probabilistic DAG.
+    SegmentGraph,
+    /// Analytic expected-makespan estimate (a `probdag` evaluator).
+    EvalAnalytic,
+    /// Monte Carlo / discrete-event estimate (lives in `failsim`).
+    EvalMc,
+}
+
+impl StageId {
+    /// All stages, dependency-ordered.
+    pub const ALL: [StageId; 7] = [
+        StageId::Generate,
+        StageId::Schedule,
+        StageId::Curve,
+        StageId::Placement,
+        StageId::SegmentGraph,
+        StageId::EvalAnalytic,
+        StageId::EvalMc,
+    ];
+
+    /// Stable display name (also the tracker's event label).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Generate => "generate",
+            StageId::Schedule => "schedule",
+            StageId::Curve => "curve",
+            StageId::Placement => "placement",
+            StageId::SegmentGraph => "segment_graph",
+            StageId::EvalAnalytic => "eval_analytic",
+            StageId::EvalMc => "eval_mc",
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// **Schedule stage**: Algorithm 1 on `workflow` for `n_procs`
+/// processors. Pure in (workflow structure [+ file sizes iff the
+/// linearizer reads them], `n_procs`, `cfg`); the platform's failure
+/// model is *not* an input — schedules survive model drift untouched.
+pub fn schedule_stage(workflow: &Workflow, n_procs: usize, cfg: &AllocateConfig) -> Schedule {
+    allocate(workflow, n_procs, cfg)
+}
+
+/// **Curve stage**: the renewal [`RestartCurve`] backing every
+/// non-memoryless cost query — `None` for memoryless or never-failing
+/// platforms, which take closed-form paths. Pure in (failure model,
+/// workflow span statistics, bandwidth).
+///
+/// The table covers every span the DP or coalescer can query on this
+/// workflow: from the smallest positive task weight (no segment's
+/// failure-free span is shorter than the weight of a task it contains)
+/// up to the whole workflow executed serially with every file read and
+/// checkpointed once. Spans outside (only reachable through zero-weight
+/// dummy tasks) fall back to direct quadrature. Bounded to 12 decades.
+pub fn curve_stage(dag: &Dag, platform: &Platform) -> Option<RestartCurve> {
+    if platform.model.is_memoryless() || platform.model.never_fails() {
+        return None;
+    }
+    let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
+    if b_hi <= 0.0 || !b_hi.is_finite() {
+        return None;
+    }
+    let min_weight = dag
+        .task_ids()
+        .map(|t| dag.weight(t))
+        .filter(|&w| w > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let b_lo = if min_weight.is_finite() {
+        min_weight.min(b_hi)
+    } else {
+        b_hi * 1e-6
+    };
+    // Bound the table (and its build cost) to 12 decades of span.
+    let b_lo = b_lo.max(b_hi * 1e-12);
+    Some(RestartCurve::build(platform.model, b_lo, b_hi))
+}
+
+/// **Placement stage**: the checkpoint plan `policy` induces on
+/// `schedule`. Pure in (workflow, model+curve, bandwidth, schedule,
+/// policy); `threads` and `scratch` are speed knobs — plans are
+/// bit-identical for every budget (see
+/// [`crate::policy::plan_with_policy_threads`]).
+pub fn placement_stage(
+    ctx: &CostCtx<'_>,
+    schedule: &Schedule,
+    policy: &dyn CheckpointPolicy,
+    scratch: &mut PolicyScratch,
+    threads: usize,
+) -> CheckpointPlan {
+    plan_with_policy_threads(ctx, schedule, policy, scratch, threads)
+}
+
+/// **Segment-graph stage**: §II-C coalescing of checkpoint-delimited
+/// segments into the 2-state probabilistic DAG. Pure in (workflow,
+/// model+curve, bandwidth, schedule, plan) — note the model dependence:
+/// the 2-state failure probabilities are per-segment functions of the
+/// failure distribution, so model drift re-runs this stage too.
+pub fn segment_graph_stage(
+    ctx: &CostCtx<'_>,
+    schedule: &Schedule,
+    plan: &CheckpointPlan,
+) -> SegmentGraph {
+    coalesce(ctx, schedule, plan)
+}
+
+/// **Analytic-evaluate stage**: expected makespan of the coalesced
+/// graph under a `probdag` evaluator. Pure in (segment graph,
+/// evaluator configuration).
+pub fn evaluate_stage(sg: &SegmentGraph, evaluator: &dyn Evaluator) -> f64 {
+    evaluator.expected_makespan(&sg.pdag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{Pipeline, Strategy};
+    use crate::pfail::lambda_from_pfail;
+    use crate::policy::DpOptimalPolicy;
+    use pegasus::{generate, WorkflowClass};
+    use probdag::PathApprox;
+
+    #[test]
+    fn stage_ids_are_distinct_and_ordered() {
+        for w in StageId::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let names: std::collections::HashSet<_> = StageId::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), StageId::ALL.len());
+    }
+
+    #[test]
+    fn stage_functions_compose_to_the_pipeline() {
+        // Running the stage functions by hand reproduces the Pipeline
+        // monolith bit for bit — the refactor is a pure factoring.
+        let w = generate(WorkflowClass::Montage, 50, 11);
+        let lambda = lambda_from_pfail(0.001, w.dag.mean_weight());
+        let platform = Platform::new(5, lambda, 1e8);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+
+        let schedule = schedule_stage(&w, platform.n_procs, &AllocateConfig::default());
+        let curve = curve_stage(&w.dag, &platform);
+        let ctx = CostCtx {
+            dag: &w.dag,
+            model: platform.model,
+            bandwidth: platform.bandwidth,
+            curve: curve.as_ref(),
+        };
+        let plan = placement_stage(
+            &ctx,
+            &schedule,
+            &DpOptimalPolicy,
+            &mut PolicyScratch::new(),
+            1,
+        );
+        assert_eq!(plan, pipe.plan(Strategy::CkptSome));
+        let sg = segment_graph_stage(&ctx, &schedule, &plan);
+        let em = evaluate_stage(&sg, &PathApprox::default());
+        let assessed = pipe.assess(Strategy::CkptSome, &PathApprox::default());
+        assert_eq!(em.to_bits(), assessed.expected_makespan.to_bits());
+    }
+
+    #[test]
+    fn curve_stage_is_none_for_memoryless() {
+        let w = generate(WorkflowClass::Genome, 50, 1);
+        let p = Platform::new(4, 1e-5, 1e8);
+        assert!(curve_stage(&w.dag, &p).is_none());
+    }
+}

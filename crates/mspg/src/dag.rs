@@ -279,6 +279,17 @@ impl Dag {
         self.tasks[t.index()].weight
     }
 
+    /// Replaces the failure-free execution time of `t` (a workflow
+    /// *edit* — re-profiled task runtimes are the common case for a
+    /// long-lived planning session).
+    pub fn set_weight(&mut self, t: TaskId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "task weight must be finite and non-negative"
+        );
+        self.tasks[t.index()].weight = weight;
+    }
+
     /// Outgoing edges of `t` as `(consumer, file)` pairs.
     #[inline]
     pub fn succs(&self, t: TaskId) -> &[(TaskId, FileId)] {

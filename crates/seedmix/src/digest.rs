@@ -1,0 +1,183 @@
+//! Shared FNV-1a content digests.
+//!
+//! One hash, used everywhere a deterministic, platform-independent
+//! fingerprint of planning inputs or outputs is needed: the `planscale`
+//! placement digest that CI diffs across `--plan-threads` budgets, the
+//! `ckpt_service` stage fingerprints that decide which pipeline stages
+//! a what-if query must re-execute, and the bench engine's cache keys.
+//!
+//! The word-at-a-time FNV-1a variant here is pinned: `write_word`
+//! folds a `u64` in with `h ^= w; h = h.wrapping_mul(FNV_PRIME)`, and
+//! `write_bool` maps a bit to the word `b + 1` (never zero, so a run
+//! of `false` bits still stirs the state). `plan_digest` reproduces,
+//! bit for bit, the checkpoint-placement digest that `planscale` has
+//! printed since the parallel-placement PR — CI pins that line, so the
+//! formula must never drift.
+//!
+//! This is a *fingerprint*, not a cryptographic hash: collisions are
+//! possible in principle, but inputs are low-entropy structured data
+//! (weights, topology indices, calibrated rates) and 64 bits of FNV-1a
+//! is the same standard the engine already trusts for thread-invariance
+//! smokes. Fingerprint equality is treated as input equality by the
+//! incremental service; see DESIGN.md §10 for the soundness argument.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental word-at-a-time FNV-1a hasher.
+///
+/// ```
+/// use seedmix::digest::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write_word(42);
+/// h.write_f64(1.5);
+/// assert_ne!(h.finish(), Fnv1a::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Fresh hasher seeded with a domain-separation tag, so digests of
+    /// different artifact kinds never collide merely by sharing bytes.
+    pub fn tagged(tag: u64) -> Self {
+        let mut h = Self::new();
+        h.write_word(tag);
+        h
+    }
+
+    /// Fold one 64-bit word into the state (the pinned core step).
+    pub fn write_word(&mut self, w: u64) -> &mut Self {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Fold a boolean as the word `b + 1` (matches the historical
+    /// planscale placement digest; never a zero word).
+    pub fn write_bool(&mut self, b: bool) -> &mut Self {
+        self.write_word(b as u64 + 1)
+    }
+
+    /// Fold a `usize` (as `u64`; sizes here never exceed 2⁶⁴).
+    pub fn write_usize(&mut self, n: usize) -> &mut Self {
+        self.write_word(n as u64)
+    }
+
+    /// Fold an `f64` by exact bit pattern — `-0.0` and `0.0` hash
+    /// differently, NaNs hash by payload. Fingerprints demand exact
+    /// bits, not numeric equivalence.
+    pub fn write_f64(&mut self, x: f64) -> &mut Self {
+        self.write_word(x.to_bits())
+    }
+
+    /// Fold raw bytes, one word per byte (keeps the single pinned core
+    /// step; throughput is irrelevant at fingerprint sizes).
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.write_word(b as u64);
+        }
+        self
+    }
+
+    /// Fold a string: length then bytes (prefix-free over sequences of
+    /// writes).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The checkpoint-placement digest: FNV-1a over the checkpoint-after
+/// bits. Any placement difference flips the digest. Byte-identical to
+/// the formula `planscale` inlined before this module existed (CI pins
+/// the printed line across `--plan-threads` budgets).
+pub fn plan_digest(ckpt_after: &[bool]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &b in ckpt_after {
+        h.write_bool(b);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The legacy inline loop from planscale.rs, verbatim.
+    fn legacy_plan_digest(bits: &[bool]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bits {
+            h ^= b as u64 + 1;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn plan_digest_matches_legacy_planscale_formula() {
+        let cases: Vec<Vec<bool>> = vec![
+            vec![],
+            vec![true],
+            vec![false],
+            vec![true, false, true, true, false],
+            (0..1000).map(|i| i % 7 == 0).collect(),
+        ];
+        for bits in &cases {
+            assert_eq!(plan_digest(bits), legacy_plan_digest(bits));
+        }
+    }
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(plan_digest(&[]), FNV_OFFSET);
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn bool_runs_of_false_still_stir() {
+        // b + 1 keeps false from being the XOR identity.
+        assert_ne!(plan_digest(&[false]), plan_digest(&[false, false]));
+    }
+
+    #[test]
+    fn tagged_domains_separate() {
+        assert_ne!(Fnv1a::tagged(1).finish(), Fnv1a::tagged(2).finish());
+    }
+
+    #[test]
+    fn str_writes_are_prefix_free() {
+        let d = |a: &str, b: &str| {
+            let mut h = Fnv1a::new();
+            h.write_str(a).write_str(b);
+            h.finish()
+        };
+        assert_ne!(d("ab", "c"), d("a", "bc"));
+    }
+
+    #[test]
+    fn f64_hashes_exact_bits() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

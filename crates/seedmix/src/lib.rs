@@ -14,6 +14,12 @@
 //! Both were copy-pasted per crate before this crate existed; the
 //! splitmix64 constant in particular lived in three places. Keep all
 //! derivation rules here.
+//!
+//! The [`digest`] module is the companion story for *fingerprints*: one
+//! pinned FNV-1a variant shared by the planscale placement digest, the
+//! `ckpt_service` stage fingerprints, and the bench engine cache keys.
+
+pub mod digest;
 
 /// The splitmix64 increment (2⁶⁴ / φ, the "golden gamma"). Streams
 /// derived with [`stream_seed`] advance a base seed along this additive

@@ -1,0 +1,329 @@
+//! Fingerprint-keyed artifact memos.
+//!
+//! A [`Memo`] maps a 64-bit input fingerprint to one immutable
+//! artifact. Because every pipeline stage is a *pure* function of the
+//! fingerprinted inputs (see `ckpt_core::stage`), a memo hit is always
+//! sound — the cached artifact is bit-identical to what a recompute
+//! would produce — and eviction can never change a result, only cost a
+//! recompute. That is what lets the bounded cache stay exact.
+//!
+//! Concurrency follows the bench engine's proven slot pattern: the map
+//! hands out per-key `Arc<OnceLock<…>>` slots under a brief mutex, and
+//! racing workers then block on the *slot*, not the map — exactly one
+//! executes the stage, the rest wait for its artifact. An entry evicted
+//! while a worker is still filling its slot detaches harmlessly: the
+//! worker's `Arc` keeps the slot alive and its result is simply not
+//! re-inserted.
+//!
+//! Eviction is deterministic least-recently-used: a monotone clock
+//! stamps every access under the same lock, so for a given (serial)
+//! access sequence the evicted keys are a pure function of that
+//! sequence — no randomness, no dependence on hash iteration order
+//! (clock stamps are unique, so the LRU minimum is too).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type SharedSlot<V> = Arc<OnceLock<Arc<V>>>;
+
+struct Entry<V> {
+    slot: SharedSlot<V>,
+    last_use: u64,
+}
+
+struct Inner<V> {
+    map: HashMap<u64, Entry<V>>,
+    clock: u64,
+}
+
+/// Hit/miss/eviction counters of one [`Memo`] (monotone; read with
+/// [`Memo::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Accesses that found an existing entry (the artifact may still
+    /// have been mid-computation by another worker).
+    pub hits: u64,
+    /// Accesses that created the entry and ran the compute closure.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// A bounded, concurrent, fingerprint-keyed artifact cache.
+pub struct Memo<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> Memo<V> {
+    /// Unbounded memo (no eviction).
+    pub fn new() -> Self {
+        Self::bounded(0)
+    }
+
+    /// Memo holding at most `capacity` entries (`0` = unbounded),
+    /// evicting the least-recently-used entry on overflow.
+    pub fn bounded(capacity: usize) -> Self {
+        Memo {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The artifact for `key`, computing it with `f` on first access.
+    ///
+    /// Exactly one caller executes `f` per live entry; concurrent
+    /// callers for the same key block on the slot until the artifact is
+    /// ready. `f` must be a pure function of the content `key`
+    /// fingerprints — the whole soundness story rests on that contract.
+    pub fn get_or_compute(&self, key: u64, f: impl FnOnce() -> V) -> Arc<V> {
+        let slot = {
+            let mut g = self.inner.lock().unwrap();
+            g.clock += 1;
+            let now = g.clock;
+            if let Some(e) = g.map.get_mut(&key) {
+                e.last_use = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.slot.clone()
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot: SharedSlot<V> = Arc::new(OnceLock::new());
+                g.map.insert(
+                    key,
+                    Entry {
+                        slot: slot.clone(),
+                        last_use: now,
+                    },
+                );
+                if self.capacity > 0 && g.map.len() > self.capacity {
+                    // Unique clock stamps make the LRU minimum unique,
+                    // so eviction order never depends on hash order.
+                    let victim = g
+                        .map
+                        .iter()
+                        .filter(|&(&k, _)| k != key)
+                        .min_by_key(|(_, e)| e.last_use)
+                        .map(|(&k, _)| k);
+                    if let Some(k) = victim {
+                        g.map.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                slot
+            }
+        };
+        slot.get_or_init(|| Arc::new(f())).clone()
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the access counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+}
+
+impl<V> Default for Memo<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One memo per stage artifact kind — the session's shared store.
+///
+/// Keys are *stage-input fingerprints* (see `ckpt_core::fingerprint`
+/// and the composition scheme in [`crate::session`]); values are the
+/// immutable stage artifacts. Sessions share a store via `Arc`, so a
+/// fleet of sessions over the same workflow family pools artifacts.
+pub struct Store {
+    /// Generated (and CCR-scaled) workflows with their fingerprints.
+    pub workflows: Memo<WorkflowArtifact>,
+    /// Algorithm 1 schedules.
+    pub schedules: Memo<ckpt_core::Schedule>,
+    /// Renewal restart curves (`None` = memoryless/never-failing).
+    pub curves: Memo<Option<ckpt_core::RestartCurve>>,
+    /// Checkpoint plans.
+    pub plans: Memo<ckpt_core::CheckpointPlan>,
+    /// Coalesced 2-state segment graphs.
+    pub graphs: Memo<ckpt_core::SegmentGraph>,
+    /// Analytic expected-makespan estimates.
+    pub evals: Memo<f64>,
+    /// Monte Carlo ground-truth estimates.
+    pub sims: Memo<failsim::McStats>,
+    /// Failure-free parallel times (keyed by schedule key — the answer
+    /// assembly must stay O(1) per warm query, not O(tasks)).
+    pub wpars: Memo<f64>,
+    /// Placement-statistic censuses (keyed by graph key, same reason).
+    pub stats: Memo<ckpt_core::PlacementStats>,
+}
+
+/// A workflow together with its content fingerprint and summary
+/// statistics (computed once, reused by every downstream key
+/// derivation and model calibration).
+pub struct WorkflowArtifact {
+    /// The workflow itself.
+    pub workflow: mspg::Workflow,
+    /// Its two-part content fingerprint.
+    pub fp: ckpt_core::WorkflowFp,
+    /// Mean task weight (the calibrated model families read it on
+    /// every query).
+    pub mean_weight: f64,
+}
+
+impl WorkflowArtifact {
+    /// Fingerprints and summarizes `workflow`.
+    pub fn new(workflow: mspg::Workflow) -> Self {
+        let fp = ckpt_core::workflow_fp(&workflow);
+        let mean_weight = workflow.dag.mean_weight();
+        WorkflowArtifact {
+            workflow,
+            fp,
+            mean_weight,
+        }
+    }
+}
+
+impl Store {
+    /// Unbounded store.
+    pub fn new() -> Self {
+        Self::bounded(0)
+    }
+
+    /// Store whose memos each hold at most `capacity` entries
+    /// (`0` = unbounded), evicting LRU.
+    pub fn bounded(capacity: usize) -> Self {
+        Store {
+            workflows: Memo::bounded(capacity),
+            schedules: Memo::bounded(capacity),
+            curves: Memo::bounded(capacity),
+            plans: Memo::bounded(capacity),
+            graphs: Memo::bounded(capacity),
+            evals: Memo::bounded(capacity),
+            sims: Memo::bounded(capacity),
+            wpars: Memo::bounded(capacity),
+            stats: Memo::bounded(capacity),
+        }
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_per_key() {
+        let memo: Memo<u64> = Memo::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = memo.get_or_compute(7, || {
+                calls += 1;
+                42
+            });
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(calls, 1);
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let memo: Memo<u64> = Memo::bounded(2);
+        memo.get_or_compute(1, || 1);
+        memo.get_or_compute(2, || 2);
+        memo.get_or_compute(1, || 1); // touch 1 → 2 is now LRU
+        memo.get_or_compute(3, || 3); // evicts 2
+        assert_eq!(memo.len(), 2);
+        let mut recomputed = false;
+        memo.get_or_compute(2, || {
+            recomputed = true;
+            2
+        });
+        assert!(recomputed, "evicted key must recompute");
+        let mut recomputed1 = false;
+        memo.get_or_compute(1, || {
+            recomputed1 = true;
+            1
+        });
+        // 1 was evicted when 2 was re-inserted (LRU at that point was 3?
+        // no: after inserting 2 the map held {1,3,2} → evict LRU(1)).
+        assert!(recomputed1);
+        assert!(memo.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn eviction_never_changes_values() {
+        // With capacity 1 every access but the first evicts, yet the
+        // values are always what the pure closure yields.
+        let memo: Memo<u64> = Memo::bounded(1);
+        for round in 0..3 {
+            for k in 0..4u64 {
+                let v = memo.get_or_compute(k, || k * 10);
+                assert_eq!(*v, k * 10, "round {round}");
+            }
+        }
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_executes_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let memo: Memo<u64> = Memo::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = memo.get_or_compute(99, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        7
+                    });
+                    assert_eq!(*v, 7);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let memo: Memo<u64> = Memo::new();
+        memo.get_or_compute(1, || 1);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats().misses, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Stage-execution event tracking.
+//!
+//! Incremental recomputation is easy to get silently wrong in both
+//! directions: under-invalidation returns stale artifacts,
+//! over-invalidation quietly recomputes everything and the "incremental"
+//! service is incremental in name only. The [`Tracker`] makes both
+//! failure modes *assertable*: every stage resolution records whether
+//! the artifact was executed or served from the store, and tests pin
+//! the exact set of stages a given what-if must re-run (the
+//! invalidation matrix in `tests/invalidation.rs`).
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use ckpt_core::StageId;
+
+/// How a stage resolution was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The stage function ran and produced a fresh artifact.
+    Executed,
+    /// The artifact came from the store (or was already in hand, for a
+    /// provided workflow).
+    Cached,
+}
+
+/// One stage resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Which stage.
+    pub stage: StageId,
+    /// Executed or cached.
+    pub outcome: Outcome,
+}
+
+/// Records stage resolutions across a session's queries.
+///
+/// Recording is append-only under a mutex; batch queries interleave
+/// events from concurrent workers, so order-sensitive assertions should
+/// run queries serially (the tests do). [`Tracker::executed`] /
+/// [`Tracker::cached`] give order-free set views.
+#[derive(Default)]
+pub struct Tracker {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Tracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, stage: StageId, outcome: Outcome) {
+        self.events.lock().unwrap().push(Event { stage, outcome });
+    }
+
+    /// Snapshot of all events since the last [`Tracker::clear`].
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// The set of stages that *executed* since the last clear.
+    pub fn executed(&self) -> BTreeSet<StageId> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.outcome == Outcome::Executed)
+            .map(|e| e.stage)
+            .collect()
+    }
+
+    /// The set of stages served from cache since the last clear.
+    pub fn cached(&self) -> BTreeSet<StageId> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.outcome == Outcome::Cached)
+            .map(|e| e.stage)
+            .collect()
+    }
+
+    /// Number of executions of one stage since the last clear.
+    pub fn executed_count(&self, stage: StageId) -> usize {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.stage == stage && e.outcome == Outcome::Executed)
+            .count()
+    }
+
+    /// Forgets all events (typically called between what-if queries so
+    /// each assertion sees exactly one query's stage set).
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_classifies() {
+        let t = Tracker::new();
+        t.record(StageId::Schedule, Outcome::Executed);
+        t.record(StageId::Curve, Outcome::Cached);
+        t.record(StageId::Placement, Outcome::Executed);
+        assert_eq!(
+            t.executed(),
+            [StageId::Schedule, StageId::Placement]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(t.cached(), [StageId::Curve].into_iter().collect());
+        assert_eq!(t.executed_count(StageId::Placement), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}
