@@ -17,13 +17,22 @@
 //!     [-- --class montage] [--size 300] [--seed 9] [--ccr 0.05]
 //!     [--procs 18] [--pfail 1e-3] [--queries 256] [--lambdas 16]
 //!     [--kinds all] [--threads 0] [--cold 0] [--out results/whatif.csv]
+//!     [--deadline-ms 0]
 //! ```
+//!
+//! `--deadline-ms N` (default 0 = off) gives every query a cooperative
+//! wall-clock budget (`Session::deadline`): over-budget queries report
+//! a typed cancellation instead of a row value, and their count goes to
+//! stderr. Off by default, so benchmark CSVs are bit-identical to the
+//! pre-deadline runs.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use ckpt_bench::Args;
-use ckpt_service::{Answer, Inputs, ModelSpec, PolicySpec, Session, WhatIf, WorkflowSource};
+use ckpt_service::{
+    Answer, Inputs, ModelSpec, PlanResult, PolicySpec, Session, WhatIf, WorkflowSource,
+};
 use pegasus::WorkflowClass;
 
 /// The deterministic query batch. `--kinds all` (the default) mixes two
@@ -107,6 +116,8 @@ fn main() {
     let cold: usize = args.get_or("cold", 0);
     let kinds: String = args.get_or("kinds", "all".to_owned());
     let out: String = args.get_or("out", "results/whatif.csv".to_owned());
+    let deadline_ms: u64 = args.get_or("deadline-ms", 0);
+    let deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
 
     let inputs = Inputs::basic(
         WorkflowSource::Generated {
@@ -122,15 +133,27 @@ fn main() {
     let queries = build_queries(n_queries, lambdas.max(1), pfail, procs, &kinds);
 
     let t0 = Instant::now();
-    let answers: Vec<Answer> = if cold != 0 {
+    let answers: Vec<PlanResult<Answer>> = if cold != 0 {
         // Control: every query pays the full pipeline in its own store.
         seedmix::parallel_slots(queries.len(), threads, |i| {
-            Session::new(inputs.clone()).query(&queries[i])
+            let mut session = Session::new(inputs.clone());
+            session.deadline = deadline;
+            session.try_query(&queries[i])
         })
     } else {
-        Session::new(inputs.clone()).query_batch(&queries, threads)
+        let mut session = Session::new(inputs.clone());
+        session.deadline = deadline;
+        session.try_query_batch(&queries, threads)
     };
     let wall = t0.elapsed().as_secs_f64();
+    let cancelled = answers.iter().filter(|r| r.is_err()).count();
+    if deadline.is_none() {
+        // Without a deadline every query must succeed — surface the
+        // first typed error instead of writing a partial CSV.
+        if let Some(e) = answers.iter().find_map(|r| r.as_ref().err()) {
+            panic!("what-if query failed: {e}");
+        }
+    }
 
     let path = std::path::Path::new(&out);
     if let Some(dir) = path.parent() {
@@ -143,11 +166,13 @@ fn main() {
     )
     .expect("write CSV");
     for (i, (q, a)) in queries.iter().zip(&answers).enumerate() {
-        writeln!(f, "{}", csv_row(i, q, a)).expect("write CSV");
+        if let Ok(a) = a {
+            writeln!(f, "{}", csv_row(i, q, a)).expect("write CSV");
+        }
     }
     f.flush().expect("flush CSV");
     eprintln!(
-        "{} {} queries ({} distinct lambdas) on {}-{} in {:.3}s ({:.3} ms/query) -> {}",
+        "{} {} queries ({} distinct lambdas) on {}-{} in {:.3}s ({:.3} ms/query) -> {}{}",
         if cold != 0 { "cold" } else { "incremental" },
         n_queries,
         lambdas,
@@ -156,5 +181,10 @@ fn main() {
         wall,
         1e3 * wall / n_queries.max(1) as f64,
         path.display(),
+        if deadline.is_some() {
+            format!(" [{cancelled} over-deadline]")
+        } else {
+            String::new()
+        },
     );
 }

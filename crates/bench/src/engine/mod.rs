@@ -204,6 +204,10 @@ pub trait Scenario: Sync {
     /// The typed result row.
     type Row: Send;
 
+    /// Short scenario name, used to attribute engine errors (a failed
+    /// sink write names the scenario and cell it died on).
+    fn name(&self) -> &'static str;
+
     /// The cells to execute, in canonical output order (`cells[i].index
     /// == i`).
     fn cells(&self) -> Vec<Cell>;
@@ -248,6 +252,29 @@ pub struct RunReport<R> {
     pub cache: CacheStats,
 }
 
+/// Wraps a sink I/O error with the scenario (and cell) it occurred on,
+/// preserving the original `ErrorKind`.
+fn sink_context(
+    e: std::io::Error,
+    scenario: &str,
+    what: &str,
+    cell: Option<&Cell>,
+) -> std::io::Error {
+    let place = match cell {
+        Some(c) => format!(
+            " for cell {} (class={} size={} procs={} pfail={} ccr={})",
+            c.index,
+            c.class.name(),
+            c.size,
+            c.procs,
+            c.pfail,
+            c.ccr
+        ),
+        None => String::new(),
+    };
+    std::io::Error::new(e.kind(), format!("scenario {scenario}: {what}{place}: {e}"))
+}
+
 /// Runs a scenario: executes its cells on the thread pool, streams CSV
 /// rows to `sink` in canonical order, and returns the typed rows.
 pub fn run<S: Scenario>(
@@ -270,7 +297,12 @@ pub fn run<S: Scenario>(
         mc_threads,
         plan_threads: cfg.plan_threads,
     };
-    sink.begin(&scenario.header())?;
+    // Fail fast with attribution: a sink that can no longer be written
+    // aborts the run, and the surfaced error names the scenario (and,
+    // for row writes, the exact cell) so a failed overnight grid is
+    // diagnosable from the error line alone.
+    sink.begin(&scenario.header())
+        .map_err(|e| sink_context(e, scenario.name(), "writing header", None))?;
     let mut rows = Vec::with_capacity(cells.len());
     let mut cell_walls = Vec::with_capacity(cells.len());
     let mut sink_err: Option<std::io::Error> = None;
@@ -282,12 +314,17 @@ pub fn run<S: Scenario>(
             let out = scenario.run_cell(&cells[i], &ctx);
             (out, t0.elapsed().as_secs_f64())
         },
-        |_, (cell_rows, cell_wall)| {
+        |i, (cell_rows, cell_wall)| {
             cell_walls.push(cell_wall);
             for row in cell_rows {
                 if sink_err.is_none() {
                     if let Err(e) = sink.row(&scenario.csv(&row)) {
-                        sink_err = Some(e);
+                        sink_err = Some(sink_context(
+                            e,
+                            scenario.name(),
+                            "writing row",
+                            Some(&cells[i]),
+                        ));
                     }
                 }
                 rows.push(row);
@@ -301,7 +338,8 @@ pub fn run<S: Scenario>(
     if let Some(e) = sink_err {
         return Err(e);
     }
-    sink.finish()?;
+    sink.finish()
+        .map_err(|e| sink_context(e, scenario.name(), "finishing output", None))?;
     Ok(RunReport {
         rows,
         cell_walls,
@@ -327,6 +365,10 @@ mod tests {
 
     impl Scenario for Probe {
         type Row = (usize, usize, u64);
+
+        fn name(&self) -> &'static str {
+            "probe"
+        }
 
         fn cells(&self) -> Vec<Cell> {
             Grid {
@@ -458,7 +500,29 @@ mod tests {
             };
             let err = run(&Probe, &EngineConfig::with_threads(threads), &mut sink)
                 .expect_err("sink failure must surface");
-            assert_eq!(err.to_string(), "disk full", "threads={threads}");
+            let msg = err.to_string();
+            assert!(msg.contains("disk full"), "threads={threads}: {msg}");
+            // Fail-fast attribution: the error names the scenario and
+            // the cell whose row could not be written.
+            assert!(msg.contains("scenario probe"), "threads={threads}: {msg}");
+            assert!(msg.contains("class=genome"), "threads={threads}: {msg}");
+            assert!(msg.contains("procs="), "threads={threads}: {msg}");
         }
+    }
+
+    #[test]
+    fn unwritable_sink_path_fails_with_scenario_attribution() {
+        // A parent that is a regular *file*: `begin` can neither create
+        // the directory chain nor the CSV (the sink normally mkdir -p's
+        // missing parents, so a merely absent directory is writable).
+        let blocker = std::env::temp_dir().join("ckpt_engine_unwritable_blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let path = blocker.join("out.csv");
+        let mut sink = crate::engine::sink::CsvFileSink::new(&path);
+        let err = run(&Probe, &EngineConfig::with_threads(1), &mut sink)
+            .expect_err("unwritable path must surface");
+        let msg = err.to_string();
+        assert!(msg.contains("scenario probe"), "{msg}");
+        assert!(msg.contains("writing header"), "{msg}");
     }
 }

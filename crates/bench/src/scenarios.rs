@@ -62,6 +62,10 @@ impl FigureScenario {
 impl Scenario for FigureScenario {
     type Row = FigureRow;
 
+    fn name(&self) -> &'static str {
+        "figure"
+    }
+
     fn cells(&self) -> Vec<Cell> {
         Grid {
             classes: vec![self.class],
@@ -176,6 +180,10 @@ pub const ACCURACY_HEADER: &str =
 
 impl Scenario for AccuracyScenario {
     type Row = AccuracyRow;
+
+    fn name(&self) -> &'static str {
+        "accuracy"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         Grid {
@@ -300,6 +308,10 @@ pub const VALIDATE_HEADER: &str =
 
 impl Scenario for ValidateScenario {
     type Row = ValidateRow;
+
+    fn name(&self) -> &'static str {
+        "validate"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         Grid {
@@ -427,6 +439,10 @@ pub const LINEARIZATION_HEADER: &str =
 impl Scenario for LinearizationScenario {
     type Row = LinearizationRow;
 
+    fn name(&self) -> &'static str {
+        "linearization"
+    }
+
     fn cells(&self) -> Vec<Cell> {
         Grid {
             classes: vec![WorkflowClass::Montage, WorkflowClass::Genome],
@@ -519,6 +535,10 @@ pub const NAIVE_COALESCE_HEADER: &str = "class,size,ccr,pfail,em_exit_only,em_ck
 
 impl Scenario for NaiveCoalesceScenario {
     type Row = NaiveCoalesceRow;
+
+    fn name(&self) -> &'static str {
+        "naive_coalesce"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         Grid {
@@ -671,6 +691,10 @@ impl LigoFootnoteScenario {
 
 impl Scenario for LigoFootnoteScenario {
     type Row = LigoFootnoteRow;
+
+    fn name(&self) -> &'static str {
+        "ligo_footnote"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         Grid {
@@ -885,6 +909,10 @@ impl DistributionsScenario {
 
 impl Scenario for DistributionsScenario {
     type Row = DistributionRow;
+
+    fn name(&self) -> &'static str {
+        "distributions"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         assert!(!self.models.is_empty(), "need at least one model");
@@ -1207,6 +1235,10 @@ impl StrategiesScenario {
 impl Scenario for StrategiesScenario {
     type Row = StrategyRow;
 
+    fn name(&self) -> &'static str {
+        "strategies"
+    }
+
     fn cells(&self) -> Vec<Cell> {
         assert!(!self.policies.is_empty(), "need at least one policy");
         assert!(!self.models.is_empty(), "need at least one model");
@@ -1406,6 +1438,10 @@ impl DriftScenario {
 
 impl Scenario for DriftScenario {
     type Row = DriftRow;
+
+    fn name(&self) -> &'static str {
+        "drift"
+    }
 
     fn cells(&self) -> Vec<Cell> {
         Grid {

@@ -42,6 +42,7 @@
 
 use mspg::{Dag, FileId, TaskId};
 
+use crate::budget::Budget;
 use crate::failure_model::{FailureModel, RestartCurve};
 
 /// Cost context: the workflow, the processor failure model, and the
@@ -62,6 +63,12 @@ pub struct CostCtx<'a> {
     /// `Pipeline` builds one per platform and threads it through every
     /// cost path; see `DESIGN.md` §7.
     pub curve: Option<&'a RestartCurve>,
+    /// Cooperative cancellation/deadline budget. `None` (every offline
+    /// path) costs one branch per DP row; when present, the DP sweeps
+    /// poll it once per outer iteration and abandon the computation by
+    /// unwinding with [`crate::budget::Cancelled`] — see the module
+    /// docs of [`crate::budget`] for the abort contract.
+    pub budget: Option<&'a Budget>,
 }
 
 impl<'a> CostCtx<'a> {
@@ -72,6 +79,7 @@ impl<'a> CostCtx<'a> {
             model: FailureModel::exponential(lambda),
             bandwidth,
             curve: None,
+            budget: None,
         }
     }
 
@@ -84,6 +92,7 @@ impl<'a> CostCtx<'a> {
             model,
             bandwidth,
             curve: None,
+            budget: None,
         }
     }
 
@@ -112,6 +121,24 @@ impl<'a> CostCtx<'a> {
             model,
             bandwidth,
             curve,
+            budget: None,
+        }
+    }
+
+    /// The same context with a cancellation budget attached (builder
+    /// style, for the serving layer).
+    pub fn with_budget(mut self, budget: Option<&'a Budget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Cooperative cancellation point for the DP hot loops: no-op
+    /// without a budget, unwinds with [`crate::budget::Cancelled`] when
+    /// the attached budget is exhausted.
+    #[inline]
+    pub fn check_budget(&self) {
+        if let Some(b) = self.budget {
+            b.check();
         }
     }
 
@@ -404,6 +431,10 @@ pub fn optimal_checkpoints_exact_quadratic(
             base, etime, last, ..
         } = scratch;
         for j in 0..n {
+            // One budget poll per DP row: O(n) polls against O(n²)
+            // work, cheap enough to never show in profiles yet tight
+            // enough that a deadline abandons the sweep within one row.
+            ctx.check_budget();
             etime[j] = ctx.expected_segment_time(base[j]);
             last[j] = usize::MAX;
             for i in 0..j {
@@ -507,6 +538,8 @@ fn kernel_attempt(ctx: &CostCtx<'_>, chain: &[TaskId], scratch: &mut DpScratch) 
         kq_s[0] = 0;
         kq_from[0] = 0;
         for j in 0..n {
+            // Same per-row cancellation cadence as the quadratic path.
+            ctx.check_budget();
             if j > 0 {
                 // Insert candidate s = j (its prefix cost etime[j−1] is
                 // final). Pop back entries it dominates from their

@@ -148,7 +148,8 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
-            curve: stage::curve_stage(&workflow.dag, &platform),
+            curve: stage::curve_stage(&workflow.dag, &platform)
+                .expect("Pipeline inputs are valid by construction"),
             plan_threads: 1,
         }
     }
@@ -177,7 +178,8 @@ impl<'a> Pipeline<'a> {
             workflow,
             platform,
             schedule,
-            curve: stage::curve_stage(&workflow.dag, &platform),
+            curve: stage::curve_stage(&workflow.dag, &platform)
+                .expect("Pipeline inputs are valid by construction"),
             plan_threads: 1,
         }
     }
@@ -203,6 +205,7 @@ impl<'a> Pipeline<'a> {
             model: self.platform.model,
             bandwidth: self.platform.bandwidth,
             curve: self.curve.as_ref(),
+            budget: None,
         }
     }
 
@@ -231,6 +234,9 @@ impl<'a> Pipeline<'a> {
         policy: &dyn CheckpointPolicy,
         scratch: &mut PolicyScratch,
     ) -> CheckpointPlan {
+        // Pipeline is the documented unwrap funnel for the fallible
+        // stage API: offline grids build their inputs by construction
+        // and never arm fault injection, so stage errors here are bugs.
         stage::placement_stage(
             &self.ctx(),
             &self.schedule,
@@ -238,6 +244,7 @@ impl<'a> Pipeline<'a> {
             scratch,
             self.plan_threads,
         )
+        .expect("Pipeline inputs are valid by construction")
     }
 
     /// The coalesced 2-state segment graph for a checkpointing strategy.
@@ -250,6 +257,7 @@ impl<'a> Pipeline<'a> {
     pub fn segment_graph_policy(&self, policy: &dyn CheckpointPolicy) -> SegmentGraph {
         let plan = self.plan_policy(policy);
         stage::segment_graph_stage(&self.ctx(), &self.schedule, &plan)
+            .expect("Pipeline inputs are valid by construction")
     }
 
     /// Assesses a strategy with the given 2-state DAG evaluator
@@ -301,7 +309,8 @@ impl<'a> Pipeline<'a> {
         let stats = sg.placement_stats(&self.workflow.dag);
         Assessment {
             policy,
-            expected_makespan: stage::evaluate_stage(sg, evaluator),
+            expected_makespan: stage::evaluate_stage(sg, evaluator)
+                .expect("Pipeline inputs are valid by construction"),
             n_checkpoints: stats.segments,
             n_segments: stats.segments,
             ckpt_files: stats.ckpt_files,

@@ -54,8 +54,10 @@
 //! ```
 
 pub mod allocate;
+pub mod budget;
 pub mod checkpoint_dp;
 pub mod coalesce;
+pub mod error;
 pub mod evaluate;
 pub mod failure_model;
 pub mod fingerprint;
@@ -67,11 +69,13 @@ pub mod schedule;
 pub mod stage;
 
 pub use allocate::{allocate, AllocateConfig};
+pub use budget::{Budget, Cancelled};
 pub use checkpoint_dp::{
     optimal_checkpoints, optimal_checkpoints_reusing, segment_cost, segment_cost_reusing, CostCtx,
     DpScratch, SegmentCost, SegmentCostScratch, KERNEL_MIN_LEN,
 };
 pub use coalesce::{coalesce, CheckpointPlan, PlacementStats, Segment, SegmentGraph};
+pub use error::{PlanError, PlanResult};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
 pub use failure_model::{FailureModel, RestartCurve};
 pub use fingerprint::{allocate_config_fp, model_fp, workflow_fp, WorkflowFp};

@@ -108,6 +108,9 @@ pub fn plan_with_policy(
     let mut ckpt_after = vec![false; ctx.dag.n_tasks()];
     let mut buf = std::mem::take(&mut scratch.buf);
     for sc in &schedule.superchains {
+        // Per-superchain cancellation point; the DP inside `place` also
+        // polls per row, so a deadline aborts within one row either way.
+        ctx.check_budget();
         let n = sc.tasks.len();
         buf.clear();
         buf.resize(n, false);
@@ -156,6 +159,9 @@ pub fn plan_with_policy_threads(
         1,
         PolicyScratch::new,
         |worker_scratch, i| {
+            // Workers poll per claimed chain; `parallel_slots_with`
+            // re-raises the `Cancelled` unwind with its payload intact.
+            ctx.check_budget();
             let sc = &schedule.superchains[i];
             let mut buf = vec![false; sc.tasks.len()];
             policy.place(ctx, &sc.tasks, worker_scratch, &mut buf);

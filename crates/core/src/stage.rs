@@ -39,6 +39,7 @@ use probdag::Evaluator;
 use crate::allocate::{allocate, AllocateConfig};
 use crate::checkpoint_dp::CostCtx;
 use crate::coalesce::{coalesce, CheckpointPlan, SegmentGraph};
+use crate::error::{require_positive, PlanError, PlanResult};
 use crate::failure_model::RestartCurve;
 use crate::platform::Platform;
 use crate::policy::{plan_with_policy_threads, CheckpointPolicy, PolicyScratch};
@@ -98,12 +99,51 @@ impl std::fmt::Display for StageId {
     }
 }
 
+/// Named fault-injection site of one stage: inert in default builds,
+/// and under the `faultinject` feature an armed plan may panic here
+/// (caught at the memo boundary), delay, or make the stage return an
+/// injected [`PlanError::StageFailed`]. Site names are
+/// `"stage.<stage name>"` — see `DESIGN.md` §11.
+///
+/// Public so the service can fire the two sites whose stage functions
+/// live outside this crate (`Generate` in `pegasus`, `EvalMc` in
+/// `failsim`) under the same naming scheme.
+pub fn inject(stage: StageId) -> PlanResult<()> {
+    // The site string is derived from the stage name so injection sites
+    // and tracker labels can never drift apart. &'static via name().
+    seedmix::faultinject::fire_err(match stage {
+        StageId::Generate => "stage.generate",
+        StageId::Schedule => "stage.schedule",
+        StageId::Curve => "stage.curve",
+        StageId::Placement => "stage.placement",
+        StageId::SegmentGraph => "stage.segment_graph",
+        StageId::EvalAnalytic => "stage.eval_analytic",
+        StageId::EvalMc => "stage.eval_mc",
+    })
+    .map_err(|message| PlanError::StageFailed {
+        stage,
+        message,
+        attempts: 1,
+    })
+}
+
 /// **Schedule stage**: Algorithm 1 on `workflow` for `n_procs`
 /// processors. Pure in (workflow structure [+ file sizes iff the
 /// linearizer reads them], `n_procs`, `cfg`); the platform's failure
 /// model is *not* an input — schedules survive model drift untouched.
-pub fn schedule_stage(workflow: &Workflow, n_procs: usize, cfg: &AllocateConfig) -> Schedule {
-    allocate(workflow, n_procs, cfg)
+///
+/// Fails with [`PlanError::InvalidInput`] for a zero-processor
+/// platform (the list scheduler has nowhere to place anything).
+pub fn schedule_stage(
+    workflow: &Workflow,
+    n_procs: usize,
+    cfg: &AllocateConfig,
+) -> PlanResult<Schedule> {
+    if n_procs == 0 {
+        return Err(PlanError::invalid("procs", "must be at least 1, got 0"));
+    }
+    inject(StageId::Schedule)?;
+    Ok(allocate(workflow, n_procs, cfg))
 }
 
 /// **Curve stage**: the renewal [`RestartCurve`] backing every
@@ -117,13 +157,15 @@ pub fn schedule_stage(workflow: &Workflow, n_procs: usize, cfg: &AllocateConfig)
 /// up to the whole workflow executed serially with every file read and
 /// checkpointed once. Spans outside (only reachable through zero-weight
 /// dummy tasks) fall back to direct quadrature. Bounded to 12 decades.
-pub fn curve_stage(dag: &Dag, platform: &Platform) -> Option<RestartCurve> {
+pub fn curve_stage(dag: &Dag, platform: &Platform) -> PlanResult<Option<RestartCurve>> {
+    require_positive("bandwidth", platform.bandwidth)?;
+    inject(StageId::Curve)?;
     if platform.model.is_memoryless() || platform.model.never_fails() {
-        return None;
+        return Ok(None);
     }
     let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
     if b_hi <= 0.0 || !b_hi.is_finite() {
-        return None;
+        return Ok(None);
     }
     let min_weight = dag
         .task_ids()
@@ -137,7 +179,7 @@ pub fn curve_stage(dag: &Dag, platform: &Platform) -> Option<RestartCurve> {
     };
     // Bound the table (and its build cost) to 12 decades of span.
     let b_lo = b_lo.max(b_hi * 1e-12);
-    Some(RestartCurve::build(platform.model, b_lo, b_hi))
+    Ok(Some(RestartCurve::build(platform.model, b_lo, b_hi)))
 }
 
 /// **Placement stage**: the checkpoint plan `policy` induces on
@@ -151,8 +193,11 @@ pub fn placement_stage(
     policy: &dyn CheckpointPolicy,
     scratch: &mut PolicyScratch,
     threads: usize,
-) -> CheckpointPlan {
-    plan_with_policy_threads(ctx, schedule, policy, scratch, threads)
+) -> PlanResult<CheckpointPlan> {
+    inject(StageId::Placement)?;
+    Ok(plan_with_policy_threads(
+        ctx, schedule, policy, scratch, threads,
+    ))
 }
 
 /// **Segment-graph stage**: §II-C coalescing of checkpoint-delimited
@@ -164,15 +209,29 @@ pub fn segment_graph_stage(
     ctx: &CostCtx<'_>,
     schedule: &Schedule,
     plan: &CheckpointPlan,
-) -> SegmentGraph {
-    coalesce(ctx, schedule, plan)
+) -> PlanResult<SegmentGraph> {
+    inject(StageId::SegmentGraph)?;
+    Ok(coalesce(ctx, schedule, plan))
 }
 
 /// **Analytic-evaluate stage**: expected makespan of the coalesced
 /// graph under a `probdag` evaluator. Pure in (segment graph,
 /// evaluator configuration).
-pub fn evaluate_stage(sg: &SegmentGraph, evaluator: &dyn Evaluator) -> f64 {
-    evaluator.expected_makespan(&sg.pdag)
+///
+/// Fails with [`PlanError::Numeric`] when the evaluator returns a
+/// non-finite makespan — the one stage whose output is a bare number,
+/// so the one place a NaN could otherwise slip into an answer.
+pub fn evaluate_stage(sg: &SegmentGraph, evaluator: &dyn Evaluator) -> PlanResult<f64> {
+    inject(StageId::EvalAnalytic)?;
+    let em = evaluator.expected_makespan(&sg.pdag);
+    if em.is_finite() {
+        Ok(em)
+    } else {
+        Err(PlanError::Numeric {
+            stage: StageId::EvalAnalytic,
+            message: format!("expected makespan is {em}"),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -202,13 +261,14 @@ mod tests {
         let platform = Platform::new(5, lambda, 1e8);
         let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
 
-        let schedule = schedule_stage(&w, platform.n_procs, &AllocateConfig::default());
-        let curve = curve_stage(&w.dag, &platform);
+        let schedule = schedule_stage(&w, platform.n_procs, &AllocateConfig::default()).unwrap();
+        let curve = curve_stage(&w.dag, &platform).unwrap();
         let ctx = CostCtx {
             dag: &w.dag,
             model: platform.model,
             bandwidth: platform.bandwidth,
             curve: curve.as_ref(),
+            budget: None,
         };
         let plan = placement_stage(
             &ctx,
@@ -216,10 +276,11 @@ mod tests {
             &DpOptimalPolicy,
             &mut PolicyScratch::new(),
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(plan, pipe.plan(Strategy::CkptSome));
-        let sg = segment_graph_stage(&ctx, &schedule, &plan);
-        let em = evaluate_stage(&sg, &PathApprox::default());
+        let sg = segment_graph_stage(&ctx, &schedule, &plan).unwrap();
+        let em = evaluate_stage(&sg, &PathApprox::default()).unwrap();
         let assessed = pipe.assess(Strategy::CkptSome, &PathApprox::default());
         assert_eq!(em.to_bits(), assessed.expected_makespan.to_bits());
     }
@@ -228,6 +289,16 @@ mod tests {
     fn curve_stage_is_none_for_memoryless() {
         let w = generate(WorkflowClass::Genome, 50, 1);
         let p = Platform::new(4, 1e-5, 1e8);
-        assert!(curve_stage(&w.dag, &p).is_none());
+        assert!(curve_stage(&w.dag, &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn stages_reject_malformed_inputs_with_typed_errors() {
+        let w = generate(WorkflowClass::Genome, 20, 3);
+        let err = schedule_stage(&w, 0, &AllocateConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::InvalidInput { field: "procs", .. }
+        ));
     }
 }

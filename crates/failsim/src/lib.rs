@@ -29,7 +29,7 @@ pub use failure::{ExpFailures, FailureSource, ModelFailures, ModelSampler, Trace
 pub use metrics::{ExecStats, McStats};
 pub use montecarlo::{
     montecarlo_none, montecarlo_none_model, montecarlo_segments, montecarlo_segments_model,
-    Estimator, NoneMcStats, SimConfig, SplitConfig,
+    montecarlo_segments_model_abortable, Estimator, NoneMcStats, SimConfig, SplitConfig,
 };
 pub use none_exec::{simulate_none, simulate_none_reference, Diverged};
 pub use segment_exec::{

@@ -137,6 +137,44 @@ pub fn montecarlo_segments_model(
     McStats::from_runs(&runs)
 }
 
+/// [`montecarlo_segments_model`] with a cooperative abort predicate,
+/// polled once per replication (replications are the natural cadence:
+/// each costs far more than the poll). Returns `None` if `abort`
+/// reported true at any point — a partial aggregate would be silently
+/// biased toward the cheap runs, so an exceeded deadline yields *no*
+/// estimate, never a wrong one. With `abort` constantly false the
+/// result is bit-identical to [`montecarlo_segments_model`]: same
+/// per-run seed streams, same canonical reduction order.
+///
+/// The abort signal is a plain predicate (not an unwind): replication
+/// workers run under `seedmix::parallel_slots`, and an unwinding abort
+/// would re-raise through the scoped join — the flag keeps the fast
+/// path branch-predictable and the shutdown orderly.
+pub fn montecarlo_segments_model_abortable(
+    sg: &SegmentGraph,
+    model: &FailureModel,
+    cfg: &SimConfig,
+    abort: &(dyn Fn() -> bool + Sync),
+) -> Option<McStats> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let aborted = AtomicBool::new(false);
+    let runs = parallel_map(cfg.runs, cfg.threads, |i| {
+        // Once any worker observes the abort, every remaining claimed
+        // run short-circuits to a placeholder; the whole vector is
+        // discarded below.
+        if aborted.load(Ordering::Relaxed) || abort() {
+            aborted.store(true, Ordering::Relaxed);
+            return ExecStats::default();
+        }
+        simulate_segments_model(sg, model, run_seed(cfg.seed, i))
+    });
+    if aborted.load(Ordering::Relaxed) {
+        None
+    } else {
+        Some(McStats::from_runs(&runs))
+    }
+}
+
 /// Monte Carlo over CkptNone executions. Diverged runs (failure budget
 /// exhausted) are censored at the budget and reported separately.
 ///
@@ -466,6 +504,36 @@ mod tests {
     use super::*;
     use ckpt_core::{allocate, AllocateConfig, Pipeline, Platform, Strategy};
     use pegasus::{generate, WorkflowClass};
+
+    #[test]
+    fn abortable_mc_matches_plain_when_never_aborted_and_yields_none_when_tripped() {
+        let w = generate(WorkflowClass::Genome, 30, 4);
+        let lambda = ckpt_core::lambda_from_pfail(0.01, w.dag.mean_weight());
+        let platform = Platform::new(4, lambda, 1e7);
+        let pipe = Pipeline::new(&w, platform, &AllocateConfig::default());
+        let sg = pipe.segment_graph(Strategy::CkptSome);
+        let model = ckpt_core::FailureModel::exponential(lambda);
+        for threads in [1usize, 2, 7] {
+            let cfg = SimConfig {
+                runs: 200,
+                threads,
+                ..Default::default()
+            };
+            let plain = montecarlo_segments_model(&sg, &model, &cfg);
+            let live = montecarlo_segments_model_abortable(&sg, &model, &cfg, &|| false)
+                .expect("never aborted");
+            assert_eq!(
+                plain.mean_makespan.to_bits(),
+                live.mean_makespan.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(plain.stderr.to_bits(), live.stderr.to_bits());
+            assert!(
+                montecarlo_segments_model_abortable(&sg, &model, &cfg, &|| true).is_none(),
+                "an immediately-exhausted budget must yield no estimate"
+            );
+        }
+    }
 
     #[test]
     fn segment_mc_matches_pathapprox_at_small_pfail() {

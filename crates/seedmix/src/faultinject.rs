@@ -1,0 +1,367 @@
+//! Deterministic seeded fault injection.
+//!
+//! Chaos testing is only useful when a failing run can be replayed:
+//! "a worker panicked somewhere, sometimes" is not a regression test.
+//! Following the injected-fault model-checking discipline of dslab-mp,
+//! every injection decision here is a **pure function of
+//! `(fault_seed, site, hit_index)`** — the k-th time execution reaches
+//! the named site under a given seed, the same action fires, regardless
+//! of thread count, scheduling, or wall clock. A chaos test that trips
+//! on seed 17 trips on seed 17 forever.
+//!
+//! ## Sites and actions
+//!
+//! A *site* is a stable string name (`"stage.placement"`,
+//! `"store.insert"`) compiled into the code under test. Each arrival at
+//! a site increments that site's hit counter and maps the triple
+//! through [`decide`] to a [`FaultAction`]:
+//!
+//! * `Panic` — unwind with a recognizable [`PANIC_PREFIX`] message
+//!   (the memo layer catches, classifies, retries);
+//! * `Error` — return a typed error (only at sites with an error
+//!   channel, via [`fire_err`]);
+//! * `Delay` — sleep a few milliseconds, widening race windows so the
+//!   schedule-dependent bugs injection is meant to surface actually
+//!   get a chance to interleave;
+//! * `None` — pass through.
+//!
+//! ## Off by default, compiled out
+//!
+//! The arming machinery and the live [`fire`]/[`fire_err`] bodies exist
+//! only under the `faultinject` cargo feature. Without it (the default,
+//! and all benchmark/experiment builds) the entry points are empty
+//! `#[inline(always)]` stubs, so the serving and DP hot paths carry
+//! zero overhead and E1–E12 outputs cannot be perturbed. With the
+//! feature on but no plan [`arm`]ed, sites take one relaxed atomic load
+//! and pass through.
+
+use crate::digest::Fnv1a;
+use crate::{derive, splitmix64};
+
+/// Prefix of every injected-panic payload, so catchers (and the quiet
+/// panic hook) can tell an injected fault from a genuine bug.
+pub const PANIC_PREFIX: &str = "faultinject:";
+
+/// What an armed plan does to one arrival at a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass through untouched.
+    None,
+    /// Unwind with a [`PANIC_PREFIX`]-tagged payload.
+    Panic,
+    /// Return a typed error (sites without an error channel treat this
+    /// as `None`; the decision stream itself is unchanged).
+    Error,
+    /// Sleep [`FaultPlan::delay_ms`] milliseconds, then pass through.
+    Delay,
+}
+
+/// A seeded injection plan: per-mille rates for each action plus the
+/// seed that makes every decision replayable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Base seed; the whole decision stream is a pure function of it.
+    pub seed: u64,
+    /// Per-mille (0..=1000) probability of [`FaultAction::Panic`].
+    pub panic_per_mille: u16,
+    /// Per-mille probability of [`FaultAction::Error`].
+    pub error_per_mille: u16,
+    /// Per-mille probability of [`FaultAction::Delay`].
+    pub delay_per_mille: u16,
+    /// Sleep length for `Delay` actions.
+    pub delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// A moderately hostile default mix: 15% panics, 10% errors, 10%
+    /// short delays. Hostile enough that a few dozen site hits almost
+    /// surely include each action, survivable enough that bounded retry
+    /// (3 attempts) usually gets an answer through.
+    pub fn hostile(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_mille: 150,
+            error_per_mille: 100,
+            delay_per_mille: 100,
+            delay_ms: 2,
+        }
+    }
+
+    /// A plan that injects nothing (useful as a control arm).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            error_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms: 0,
+        }
+    }
+}
+
+/// Stable fingerprint of a site name (domain-separated FNV-1a).
+fn site_fp(site: &str) -> u64 {
+    let mut h = Fnv1a::tagged(0xFA17);
+    h.write_str(site);
+    h.finish()
+}
+
+/// The pure decision function: what `plan` does to hit number `hit`
+/// (0-based) at `site`. Everything else in this module is bookkeeping
+/// around this — tests may call it directly to predict or replay a
+/// chaos run's exact fault sequence.
+pub fn decide(plan: &FaultPlan, site: &str, hit: u64) -> FaultAction {
+    let r = derive(plan.seed ^ site_fp(site), &[splitmix64(hit)]) % 1000;
+    let (p, e, d) = (
+        plan.panic_per_mille as u64,
+        plan.error_per_mille as u64,
+        plan.delay_per_mille as u64,
+    );
+    if r < p {
+        FaultAction::Panic
+    } else if r < p + e {
+        FaultAction::Error
+    } else if r < p + e + d {
+        FaultAction::Delay
+    } else {
+        FaultAction::None
+    }
+}
+
+/// The message an injected panic (or injected error) carries.
+pub fn fault_message(site: &str, hit: u64) -> String {
+    format!("{PANIC_PREFIX} site={site} hit={hit}")
+}
+
+/// Whether the crate was built with live injection support.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "faultinject")
+}
+
+#[cfg(feature = "faultinject")]
+mod live {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Fast pass-through check so un-armed builds with the feature on
+    /// still cost only one relaxed load per site.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    struct State {
+        plan: FaultPlan,
+        /// Per-site hit counters, keyed by site fingerprint. Counting
+        /// under the same lock that reads the plan keeps `(site, hit)`
+        /// assignment race-free: concurrent arrivals get distinct,
+        /// densely numbered hits.
+        hits: HashMap<u64, u64>,
+    }
+
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+    fn lock_state() -> std::sync::MutexGuard<'static, Option<State>> {
+        // A worker panicking *inside* an injection action never holds
+        // this lock (actions run after release), but recover from
+        // poisoning anyway — the harness must outlive any dying test.
+        STATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms `plan` process-wide, resetting all hit counters.
+    pub fn arm(plan: FaultPlan) {
+        let mut g = lock_state();
+        *g = Some(State {
+            plan,
+            hits: HashMap::new(),
+        });
+        ARMED.store(true, Ordering::Release);
+    }
+
+    /// Disarms injection; sites pass through again.
+    pub fn disarm() {
+        let mut g = lock_state();
+        *g = None;
+        ARMED.store(false, Ordering::Release);
+    }
+
+    /// Whether a plan is currently armed.
+    pub fn is_armed() -> bool {
+        ARMED.load(Ordering::Acquire)
+    }
+
+    /// Claims the next hit at `site` and returns the decided action
+    /// (with the hit number, for messages).
+    fn next_action(site: &str) -> Option<(FaultAction, u64)> {
+        if !is_armed() {
+            return None;
+        }
+        let mut g = lock_state();
+        let st = g.as_mut()?;
+        let counter = st.hits.entry(site_fp(site)).or_insert(0);
+        let hit = *counter;
+        *counter += 1;
+        Some((decide(&st.plan, site, hit), hit))
+    }
+
+    /// Injection point for infallible sites: may panic or delay.
+    /// `Error` decisions pass through here (no channel to carry them),
+    /// but still consume their hit so fallible and infallible sites
+    /// share one replayable decision stream.
+    pub fn fire(site: &str) {
+        match next_action(site) {
+            Some((FaultAction::Panic, hit)) => {
+                std::panic::panic_any(fault_message(site, hit));
+            }
+            Some((FaultAction::Delay, _)) => {
+                let ms = lock_state().as_ref().map_or(0, |s| s.plan.delay_ms);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+    }
+
+    /// Injection point for fallible sites: additionally expresses
+    /// `Error` decisions as an `Err` message for the caller to wrap in
+    /// its own typed error.
+    pub fn fire_err(site: &str) -> Result<(), String> {
+        match next_action(site) {
+            Some((FaultAction::Panic, hit)) => {
+                std::panic::panic_any(fault_message(site, hit));
+            }
+            Some((FaultAction::Error, hit)) => Err(fault_message(site, hit)),
+            Some((FaultAction::Delay, _)) => {
+                let ms = lock_state().as_ref().map_or(0, |s| s.plan.delay_ms);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(feature = "faultinject")]
+pub use live::{arm, disarm, fire, fire_err, is_armed};
+
+// Without the feature, the entry points are empty inline stubs that the
+// optimizer erases entirely: the default build cannot inject and pays
+// nothing at the call sites.
+#[cfg(not(feature = "faultinject"))]
+#[inline(always)]
+pub fn fire(_site: &str) {}
+
+#[cfg(not(feature = "faultinject"))]
+#[inline(always)]
+pub fn fire_err(_site: &str) -> Result<(), String> {
+    Ok(())
+}
+
+#[cfg(not(feature = "faultinject"))]
+#[inline(always)]
+pub fn is_armed() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_a_pure_function_of_the_triple() {
+        let plan = FaultPlan::hostile(17);
+        for hit in 0..64 {
+            assert_eq!(
+                decide(&plan, "stage.placement", hit),
+                decide(&plan, "stage.placement", hit)
+            );
+        }
+    }
+
+    #[test]
+    fn decision_streams_differ_across_sites_and_seeds() {
+        let plan = FaultPlan::hostile(17);
+        let stream = |site: &str, p: &FaultPlan| -> Vec<FaultAction> {
+            (0..256).map(|h| decide(p, site, h)).collect()
+        };
+        assert_ne!(
+            stream("stage.placement", &plan),
+            stream("stage.curve", &plan)
+        );
+        assert_ne!(
+            stream("stage.placement", &plan),
+            stream("stage.placement", &FaultPlan::hostile(18))
+        );
+    }
+
+    #[test]
+    fn hostile_rates_roughly_realize_over_many_hits() {
+        let plan = FaultPlan::hostile(99);
+        let n = 4000u64;
+        let panics = (0..n)
+            .filter(|&h| decide(&plan, "s", h) == FaultAction::Panic)
+            .count();
+        // 15% nominal; accept a generous band — this guards the
+        // threshold arithmetic, not the RNG's quality.
+        assert!((300..900).contains(&panics), "panics={panics}");
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = FaultPlan::quiet(5);
+        assert!((0..512).all(|h| decide(&plan, "x", h) == FaultAction::None));
+    }
+
+    #[test]
+    fn fault_messages_carry_the_prefix() {
+        assert!(fault_message("stage.mc", 3).starts_with(PANIC_PREFIX));
+    }
+
+    #[cfg(not(feature = "faultinject"))]
+    #[test]
+    fn stubs_are_inert_without_the_feature() {
+        assert!(!compiled_in());
+        assert!(!is_armed());
+        fire("anything");
+        assert_eq!(fire_err("anything"), Ok(()));
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn armed_plan_fires_deterministically_and_disarm_restores_quiet() {
+        // Serialize against any other armed-state test via arm/disarm
+        // bracketing in a single test (this is the only in-crate one).
+        assert!(compiled_in());
+        let plan = FaultPlan::hostile(0xC0FFEE);
+        arm(plan);
+        assert!(is_armed());
+        // Replay the expected decision stream against live fire_err:
+        // hits are claimed in order on this single thread.
+        for hit in 0..64 {
+            let expect = decide(&plan, "t.site", hit);
+            let got = std::panic::catch_unwind(|| fire_err("t.site"));
+            match (expect, got) {
+                (FaultAction::Panic, Err(payload)) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .expect("injected panics carry String payloads");
+                    assert_eq!(*msg, fault_message("t.site", hit));
+                }
+                (FaultAction::Error, Ok(Err(msg))) => {
+                    assert_eq!(msg, fault_message("t.site", hit));
+                }
+                (FaultAction::None | FaultAction::Delay, Ok(Ok(()))) => {}
+                (e, g) => panic!("hit {hit}: expected {e:?}, got {g:?}"),
+            }
+        }
+        // Re-arming resets counters: hit 0 decides identically again.
+        arm(plan);
+        let got = std::panic::catch_unwind(|| fire_err("t.site"));
+        match decide(&plan, "t.site", 0) {
+            FaultAction::Panic => assert!(got.is_err()),
+            FaultAction::Error => assert!(matches!(got, Ok(Err(_)))),
+            _ => assert!(matches!(got, Ok(Ok(())))),
+        }
+        disarm();
+        assert!(!is_armed());
+        assert_eq!(fire_err("t.site"), Ok(()));
+    }
+}

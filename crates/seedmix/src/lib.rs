@@ -20,6 +20,7 @@
 //! `ckpt_service` stage fingerprints, and the bench engine cache keys.
 
 pub mod digest;
+pub mod faultinject;
 
 /// The splitmix64 increment (2⁶⁴ / φ, the "golden gamma"). Streams
 /// derived with [`stream_seed`] advance a base seed along this additive
@@ -166,7 +167,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_slots worker panicked"))
+            // Re-raise worker panics with their original payload intact:
+            // cooperative-cancellation unwinds (`ckpt_core::Cancelled`)
+            // and injected faults must reach the catch_unwind boundary
+            // above this helper without being flattened into a generic
+            // join error.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
     let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();

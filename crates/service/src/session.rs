@@ -32,19 +32,40 @@
 //! drift leaves both `schedule` and the workflow alone, and a no-op
 //! query re-executes nothing at all. The [`Tracker`] records each
 //! stage's outcome so tests assert those sets exactly.
+//!
+//! ## Failure semantics
+//!
+//! Every query has a fallible form (`try_query` / `try_query_batch` /
+//! `try_apply`) returning typed [`PlanError`]s. Malformed parameters
+//! are rejected at the what-if boundary by [`Inputs::validate`] /
+//! [`Session::try_apply`] **before** any stage runs, so an invalid
+//! query can never poison the session or the shared [`Store`], and the
+//! next valid query answers byte-identically to a fresh session. Stage
+//! failures (including injected ones — `seedmix::faultinject`) are
+//! retried a bounded number of times at the memo boundary and surface
+//! as [`PlanError::StageFailed`]. An optional per-query
+//! [`Session::deadline`] cancels the DP hot loops cooperatively
+//! ([`PlanError::Cancelled`]) and degrades Monte Carlo ground truth
+//! gracefully: the analytic answer is still served, flagged
+//! [`Answer::degraded`]. See `DESIGN.md` §11.
 
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Duration;
 
+use ckpt_core::budget::install_quiet_unwind_hook;
+use ckpt_core::error::{require_pfail, require_positive};
 use ckpt_core::fingerprint::{allocate_config_fp, compose, linearizer_reads_file_sizes, model_fp};
 use ckpt_core::policy::{
     CheckpointPolicy, CkptAllPolicy, DalyPeriodic, DpOptimalPolicy, ExitOnlyPolicy,
     GreedyCrossover, PolicyScratch, RiskThreshold,
 };
 use ckpt_core::stage::{
-    curve_stage, evaluate_stage, placement_stage, schedule_stage, segment_graph_stage, StageId,
+    curve_stage, evaluate_stage, inject, placement_stage, schedule_stage, segment_graph_stage,
+    StageId,
 };
-use ckpt_core::{AllocateConfig, CostCtx, FailureModel, Platform};
-use failsim::{montecarlo_segments_model, McStats, SimConfig};
+use ckpt_core::{AllocateConfig, Budget, CostCtx, FailureModel, PlanError, PlanResult, Platform};
+use failsim::{montecarlo_segments_model, montecarlo_segments_model_abortable, McStats, SimConfig};
 use mspg::TaskId;
 use pegasus::WorkflowClass;
 use probdag::{Dodin, Evaluator, NormalSculli, PathApprox};
@@ -325,6 +346,59 @@ impl Inputs {
             mc: None,
         }
     }
+
+    /// Strict admission control at the what-if boundary: every
+    /// parameter an inner stage or builder would otherwise `assert!`
+    /// on is checked here and reported as a typed
+    /// [`PlanError::InvalidInput`], so a malformed query is rejected
+    /// before any stage runs or any store entry is touched.
+    pub fn validate(&self) -> PlanResult<()> {
+        if self.procs == 0 {
+            return Err(PlanError::invalid("procs", "must be at least 1, got 0"));
+        }
+        require_positive("bandwidth", self.bandwidth)?;
+        if let WorkflowSource::Generated { size, ccr, .. } = &self.workflow {
+            if *size == 0 {
+                return Err(PlanError::invalid("size", "must be at least 1, got 0"));
+            }
+            if let Some(c) = ccr {
+                require_positive("ccr", *c)?;
+            }
+        }
+        match self.model {
+            ModelSpec::Exponential { pfail } => {
+                require_pfail("pfail", pfail)?;
+            }
+            ModelSpec::Weibull { shape, pfail } => {
+                require_positive("shape", shape)?;
+                require_pfail("pfail", pfail)?;
+            }
+            ModelSpec::LogNormal { sigma, pfail } => {
+                require_positive("sigma", sigma)?;
+                require_pfail("pfail", pfail)?;
+            }
+            ModelSpec::Raw(_) => {}
+        }
+        match self.policy {
+            PolicySpec::Daly { period: Some(p) } => {
+                require_positive("period", p)?;
+            }
+            // NaN fails both comparisons, so it lands in the guard too.
+            PolicySpec::Risk { max_risk } if !(max_risk > 0.0 && max_risk < 1.0) => {
+                return Err(PlanError::invalid(
+                    "max_risk",
+                    format!("must be in (0, 1), got {max_risk}"),
+                ));
+            }
+            _ => {}
+        }
+        if let Some(mc) = &self.mc {
+            if mc.runs == 0 {
+                return Err(PlanError::invalid("mc.runs", "must be at least 1, got 0"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One what-if delta against the session's current inputs.
@@ -375,6 +449,10 @@ pub struct Answer {
     pub w_par: f64,
     /// Monte Carlo ground truth, if configured.
     pub mc: Option<McStats>,
+    /// `true` iff the query's [`Session::deadline`] expired during the
+    /// Monte Carlo stage: the analytic fields are exact and complete,
+    /// but `mc` is `None` even though the session configured it.
+    pub degraded: bool,
 }
 
 /// A long-lived incremental planning session (see module docs).
@@ -386,6 +464,12 @@ pub struct Session {
     pub plan_threads: usize,
     /// Monte Carlo thread budget (speed knob; not fingerprinted).
     pub mc_threads: usize,
+    /// Optional per-query wall-clock budget. When set, the DP hot
+    /// loops cancel cooperatively ([`PlanError::Cancelled`]) and an
+    /// over-deadline Monte Carlo stage degrades to the analytic-only
+    /// answer ([`Answer::degraded`]). `None` (the default) compiles to
+    /// zero checks in the hot loops.
+    pub deadline: Option<Duration>,
 }
 
 impl Session {
@@ -403,6 +487,7 @@ impl Session {
             inputs,
             plan_threads: 1,
             mc_threads: 1,
+            deadline: None,
         }
     }
 
@@ -427,10 +512,35 @@ impl Session {
         self.query(&WhatIf::Nop)
     }
 
+    /// Fallible [`Session::baseline`].
+    pub fn try_baseline(&self) -> PlanResult<Answer> {
+        self.try_query(&WhatIf::Nop)
+    }
+
     /// Answers one what-if query **without** committing the change.
+    ///
+    /// Panics on a [`PlanError`]; callers that need to survive invalid
+    /// parameters, deadlines, or injected faults use
+    /// [`Session::try_query`].
     pub fn query(&self, whatif: &WhatIf) -> Answer {
-        let inputs = self.hypothetical(whatif);
-        self.resolve(&inputs)
+        self.try_query(whatif)
+            .unwrap_or_else(|e| panic!("what-if query failed: {e}"))
+    }
+
+    /// Answers one what-if query **without** committing the change,
+    /// surfacing failures as typed [`PlanError`]s. A failed query
+    /// leaves the session and store fully serviceable: the next valid
+    /// query answers byte-identically to a fresh cold session.
+    pub fn try_query(&self, whatif: &WhatIf) -> PlanResult<Answer> {
+        let inputs = self.try_hypothetical(whatif)?;
+        inputs.validate()?;
+        let budget = self.deadline.map(Budget::with_deadline);
+        if budget.is_some() || seedmix::faultinject::is_armed() {
+            // Cancellation and injected faults unwind by design; keep
+            // their panic reports off stderr.
+            install_quiet_unwind_hook();
+        }
+        self.try_resolve(&inputs, budget.as_ref())
     }
 
     /// Answers a batch of independent what-if queries on `threads`
@@ -441,13 +551,36 @@ impl Session {
         parallel_slots(queries.len(), threads, |i| self.query(&queries[i]))
     }
 
+    /// Fallible [`Session::query_batch`]: each query fails or succeeds
+    /// independently — one malformed delta never takes down its batch
+    /// neighbours.
+    pub fn try_query_batch(&self, queries: &[WhatIf], threads: usize) -> Vec<PlanResult<Answer>> {
+        parallel_slots(queries.len(), threads, |i| self.try_query(&queries[i]))
+    }
+
     /// Commits a what-if delta as the session's new current inputs.
+    ///
+    /// Panics on a [`PlanError`]; see [`Session::try_apply`].
     pub fn apply(&mut self, whatif: &WhatIf) {
-        self.inputs = self.hypothetical(whatif);
+        self.try_apply(whatif)
+            .unwrap_or_else(|e| panic!("apply failed: {e}"));
+    }
+
+    /// Commits a what-if delta as the session's new current inputs,
+    /// rejecting malformed deltas **before** the commit — a failed
+    /// apply leaves the current inputs untouched.
+    pub fn try_apply(&mut self, whatif: &WhatIf) -> PlanResult<()> {
+        let inputs = self.try_hypothetical(whatif)?;
+        inputs.validate()?;
+        self.inputs = inputs;
+        Ok(())
     }
 
     /// The inputs `whatif` describes, materializing workflow edits.
-    fn hypothetical(&self, whatif: &WhatIf) -> Inputs {
+    /// Edit parameters are validated here (the edit runs eagerly);
+    /// everything else is validated by [`Inputs::validate`] on the
+    /// assembled result.
+    fn try_hypothetical(&self, whatif: &WhatIf) -> PlanResult<Inputs> {
         let mut inputs = self.inputs.clone();
         match whatif {
             WhatIf::Nop => {}
@@ -459,22 +592,35 @@ impl Session {
             WhatIf::SetBandwidth(bw) => inputs.bandwidth = *bw,
             WhatIf::SetWorkflow(src) => inputs.workflow = src.clone(),
             WhatIf::SetTaskWeight { task, weight } => {
+                if !weight.is_finite() || *weight < 0.0 {
+                    return Err(PlanError::invalid(
+                        "weight",
+                        format!("must be finite and non-negative, got {weight}"),
+                    ));
+                }
                 // The edit happens outside the stage graph (it *is* the
                 // new Generate-stage input); downstream stages see a
                 // changed workflow fingerprint and re-run.
-                let wa = self.workflow_artifact(&self.inputs);
+                let wa = self.workflow_artifact(&self.inputs)?;
+                let n = wa.workflow.dag.n_tasks();
+                if *task >= n {
+                    return Err(PlanError::invalid(
+                        "task",
+                        format!("index {task} out of range for a {n}-task workflow"),
+                    ));
+                }
                 let mut edited = wa.workflow.clone();
                 edited.dag.set_weight(TaskId(*task as u32), *weight);
                 inputs.workflow = WorkflowSource::provided(edited);
             }
         }
-        inputs
+        Ok(inputs)
     }
 
     /// Runs the stage graph for `inputs` against the store, recording
-    /// an event per stage.
-    fn resolve(&self, inputs: &Inputs) -> Answer {
-        let wa = self.workflow_artifact(inputs);
+    /// an event per stage. `inputs` must already be validated.
+    fn try_resolve(&self, inputs: &Inputs, budget: Option<&Budget>) -> PlanResult<Answer> {
+        let wa = self.workflow_artifact(inputs)?;
         let w = &wa.workflow;
         let fp = wa.fp;
         let model = inputs.model.build(wa.mean_weight);
@@ -492,9 +638,10 @@ impl Session {
             sched_parts.push(fp.file_sizes);
         }
         let sched_key = compose(tag::SCHEDULE, &sched_parts);
-        let schedule = self.memo_stage(StageId::Schedule, &self.store.schedules, sched_key, || {
-            schedule_stage(w, inputs.procs, &inputs.alloc)
-        });
+        let schedule =
+            self.memo_stage(StageId::Schedule, &self.store.schedules, sched_key, || {
+                schedule_stage(w, inputs.procs, &inputs.alloc)
+            })?;
 
         // Curve: model + span statistics (weights, sizes, bandwidth).
         let curve_key = compose(tag::CURVE, &[mfp, fp.structure, fp.file_sizes, bw_bits]);
@@ -503,13 +650,14 @@ impl Session {
                 &w.dag,
                 &Platform::with_model(inputs.procs, model, inputs.bandwidth),
             )
-        });
+        })?;
 
         let ctx = CostCtx {
             dag: &w.dag,
             model,
             bandwidth: inputs.bandwidth,
             curve: (*curve).as_ref(),
+            budget,
         };
 
         // Placement: everything cost-relevant.
@@ -526,7 +674,7 @@ impl Session {
                 &mut PolicyScratch::new(),
                 self.plan_threads,
             )
-        });
+        })?;
 
         // Segment graph: same inputs as placement plus the plan itself,
         // and the plan is a pure function of the placement key — so the
@@ -534,21 +682,44 @@ impl Session {
         let graph_key = compose(tag::GRAPH, &[place_key]);
         let sg = self.memo_stage(StageId::SegmentGraph, &self.store.graphs, graph_key, || {
             segment_graph_stage(&ctx, &schedule, &plan)
-        });
+        })?;
 
         // Analytic evaluate.
         let eval_key = compose(tag::EVAL, &[graph_key, inputs.evaluator.fp()]);
         let em = self.memo_stage(StageId::EvalAnalytic, &self.store.evals, eval_key, || {
             evaluate_stage(&sg, inputs.evaluator.build().as_ref())
-        });
+        })?;
 
-        // Monte Carlo ground truth, if configured.
-        let mc = inputs.mc.as_ref().map(|spec| {
-            let mc_key = compose(tag::MC, &[graph_key, mfp, spec.fp()]);
-            *self.memo_stage(StageId::EvalMc, &self.store.sims, mc_key, || {
-                montecarlo_segments_model(&sg, &model, &spec.sim_config(self.mc_threads))
-            })
-        });
+        // Monte Carlo ground truth, if configured. The one stage that
+        // degrades instead of failing on an expired deadline: the
+        // analytic fields above are already exact, so the answer is
+        // served without ground truth and flagged.
+        let mut degraded = false;
+        let mc = match inputs.mc.as_ref() {
+            None => None,
+            Some(spec) => {
+                let cfg = spec.sim_config(self.mc_threads);
+                let mc_key = compose(tag::MC, &[graph_key, mfp, spec.fp()]);
+                let res = self.memo_stage(StageId::EvalMc, &self.store.sims, mc_key, || {
+                    inject(StageId::EvalMc)?;
+                    match budget {
+                        None => Ok(montecarlo_segments_model(&sg, &model, &cfg)),
+                        Some(b) => montecarlo_segments_model_abortable(&sg, &model, &cfg, &|| {
+                            b.is_exhausted()
+                        })
+                        .ok_or(PlanError::Cancelled),
+                    }
+                });
+                match res {
+                    Ok(stats) => Some(*stats),
+                    Err(PlanError::Cancelled) => {
+                        degraded = true;
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
 
         // Answer assembly: both derivations are pure functions of
         // artifacts already keyed above, memoized so a fully warm query
@@ -566,7 +737,7 @@ impl Session {
             .get_or_compute(compose(tag::WPAR, &[sched_key]), || {
                 schedule.failure_free_parallel_time(&w.dag)
             });
-        Answer {
+        Ok(Answer {
             policy: inputs.policy.name(),
             expected_makespan: *em,
             n_checkpoints: stats.segments,
@@ -575,16 +746,17 @@ impl Session {
             ckpt_bytes: stats.ckpt_bytes,
             w_par: *w_par,
             mc,
-        }
+            degraded,
+        })
     }
 
     /// Resolves the Generate stage: memoized synthesis for generated
     /// sources, the artifact in hand for provided ones.
-    fn workflow_artifact(&self, inputs: &Inputs) -> Arc<WorkflowArtifact> {
+    fn workflow_artifact(&self, inputs: &Inputs) -> PlanResult<Arc<WorkflowArtifact>> {
         match &inputs.workflow {
             WorkflowSource::Provided(wa) => {
                 self.tracker.record(StageId::Generate, Outcome::Cached);
-                wa.clone()
+                Ok(wa.clone())
             }
             WorkflowSource::Generated {
                 class,
@@ -603,38 +775,42 @@ impl Session {
                 };
                 let key = h.finish();
                 self.memo_stage(StageId::Generate, &self.store.workflows, key, || {
+                    inject(StageId::Generate)?;
                     let mut workflow = pegasus::generate(*class, *size, *seed);
                     if let Some(c) = ccr {
                         pegasus::ccr::scale_to_ccr(&mut workflow, *c, inputs.bandwidth);
                     }
-                    WorkflowArtifact::new(workflow)
+                    Ok(WorkflowArtifact::new(workflow))
                 })
             }
         }
     }
 
     /// Memoized stage resolution with tracker recording: the closure
-    /// runs iff the store lacks the artifact.
+    /// runs iff the store lacks the artifact (possibly more than once —
+    /// the memo retries transient failures, see
+    /// [`crate::store::MAX_ATTEMPTS`]). Each resolution records exactly
+    /// one event: `Executed`, `Cached`, or `Failed`.
     fn memo_stage<V: Send + Sync>(
         &self,
         stage: StageId,
         memo: &Memo<V>,
         key: u64,
-        f: impl FnOnce() -> V,
-    ) -> Arc<V> {
-        let mut ran = false;
-        let v = memo.get_or_compute(key, || {
-            ran = true;
+        f: impl Fn() -> PlanResult<V>,
+    ) -> PlanResult<Arc<V>> {
+        let ran = Cell::new(false);
+        let res = memo.get_or_try_compute(key, stage, || {
+            ran.set(true);
             f()
         });
         self.tracker.record(
             stage,
-            if ran {
-                Outcome::Executed
-            } else {
-                Outcome::Cached
+            match &res {
+                Err(_) => Outcome::Failed,
+                Ok(_) if ran.get() => Outcome::Executed,
+                Ok(_) => Outcome::Cached,
             },
         );
-        v
+        res
     }
 }

@@ -1,4 +1,4 @@
-//! Fingerprint-keyed artifact memos.
+//! Fingerprint-keyed artifact memos, hardened against dying workers.
 //!
 //! A [`Memo`] maps a 64-bit input fingerprint to one immutable
 //! artifact. Because every pipeline stage is a *pure* function of the
@@ -7,13 +7,40 @@
 //! would produce — and eviction can never change a result, only cost a
 //! recompute. That is what lets the bounded cache stay exact.
 //!
-//! Concurrency follows the bench engine's proven slot pattern: the map
-//! hands out per-key `Arc<OnceLock<…>>` slots under a brief mutex, and
-//! racing workers then block on the *slot*, not the map — exactly one
-//! executes the stage, the rest wait for its artifact. An entry evicted
-//! while a worker is still filling its slot detaches harmlessly: the
-//! worker's `Arc` keeps the slot alive and its result is simply not
-//! re-inserted.
+//! ## Slot state machine
+//!
+//! The map hands out per-key `Arc<Slot>`s under a brief mutex; racing
+//! workers then synchronize on the *slot*, not the map. Each slot is an
+//! explicit state machine (`Idle → InFlight → Done | Failed`) driven
+//! under its own mutex + condvar:
+//!
+//! * exactly one worker computes at a time (`InFlight`); waiters block
+//!   on the condvar (with a periodic timeout re-check, so even a lost
+//!   wakeup could only cost milliseconds, never a hang);
+//! * the compute closure runs under `catch_unwind` — a worker that
+//!   **panics** (a genuine bug or an injected fault) marks the slot
+//!   `Idle` again and the next caller *takes over* with its own
+//!   closure (pure-function contract: any caller's closure computes
+//!   the same artifact), up to [`MAX_ATTEMPTS`] total failures;
+//! * at the attempt bound the slot turns terminally `Failed` and the
+//!   key is **removed from the map** — waiters already parked on the
+//!   slot get the typed error, while any later query starts a fresh
+//!   slot. The store self-heals: once a transient fault source clears,
+//!   answers are byte-identical to a cold session's, because nothing
+//!   partial or failed is ever served from the map;
+//! * a **cancelled** worker (deadline unwind, see `ckpt_core::budget`)
+//!   is not a failure: the slot returns to `Idle` with its failure
+//!   count untouched and the canceller alone observes
+//!   `PlanError::Cancelled` — one query's deadline never degrades
+//!   another query's cache;
+//! * deterministic errors (`InvalidInput`, `Numeric`) skip retry
+//!   entirely — re-running the same pure closure cannot change them.
+//!
+//! Every mutex acquisition recovers from poisoning
+//! (`unwrap_or_else(|e| e.into_inner())`): all state transitions are
+//! whole-value assignments, so a worker dying between transitions can
+//! strand no invariant, and one dying worker must never take the whole
+//! store's observers down with it.
 //!
 //! Eviction is deterministic least-recently-used: a monotone clock
 //! stamps every access under the same lock, so for a given (serial)
@@ -22,13 +49,66 @@
 //! (clock stamps are unique, so the LRU minimum is too).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
-type SharedSlot<V> = Arc<OnceLock<Arc<V>>>;
+use ckpt_core::budget::Cancelled;
+use ckpt_core::{PlanError, PlanResult, StageId};
+
+/// Total compute failures (panics or injected stage errors) tolerated
+/// per slot before it turns terminally [`SlotState::Failed`]. Three
+/// means: the original attempt plus two retries — enough to ride out
+/// sparse injected faults, small enough that a deterministic crasher
+/// fails fast.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// How long a waiter parks on the slot condvar before re-checking the
+/// state. Purely defensive: the protocol always notifies, so this
+/// bounds the cost of a hypothetical lost wakeup without ever being the
+/// mechanism that makes progress.
+const WAIT_RECHECK: Duration = Duration::from_millis(50);
+
+enum SlotState<V> {
+    /// Nobody computing; the next caller takes over. `failures` counts
+    /// compute failures accumulated across takeovers.
+    Idle { failures: u32 },
+    /// One worker is running the compute closure. (The worker tracks
+    /// the accumulated failure count in a local — nobody else reads it
+    /// until the slot leaves this state.)
+    InFlight,
+    /// The artifact is ready; served to every caller forever.
+    Done(Arc<V>),
+    /// Terminal: the error every parked waiter receives. The key is
+    /// removed from the map at this transition, so fresh queries
+    /// recompute on a new slot instead of inheriting the corpse.
+    Failed(PlanError),
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Idle { failures: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState<V>> {
+        // Poison recovery: transitions are whole-value assignments, so
+        // the state is valid even if a holder died (it cannot — no user
+        // code runs under this lock — but the store must not assume).
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 struct Entry<V> {
-    slot: SharedSlot<V>,
+    slot: Arc<Slot<V>>,
     last_use: u64,
 }
 
@@ -37,8 +117,8 @@ struct Inner<V> {
     clock: u64,
 }
 
-/// Hit/miss/eviction counters of one [`Memo`] (monotone; read with
-/// [`Memo::stats`]).
+/// Hit/miss/eviction/failure counters of one [`Memo`] (monotone; read
+/// with [`Memo::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Accesses that found an existing entry (the artifact may still
@@ -48,6 +128,20 @@ pub struct MemoStats {
     pub misses: u64,
     /// Entries evicted by the capacity bound.
     pub evictions: u64,
+    /// Slots that turned terminally failed (and were removed).
+    pub failures: u64,
+}
+
+/// How one compute attempt ended (internal classification of closure
+/// results and caught unwinds).
+enum Attempt<V> {
+    Value(V),
+    /// Budget unwind — not a failure, not retried here.
+    Cancelled,
+    /// Deterministic error: retry cannot help.
+    Fatal(PlanError),
+    /// Panic or injected stage error: retryable until [`MAX_ATTEMPTS`].
+    Transient(String),
 }
 
 /// A bounded, concurrent, fingerprint-keyed artifact cache.
@@ -57,6 +151,7 @@ pub struct Memo<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl<V> Memo<V> {
@@ -77,57 +172,195 @@ impl<V> Memo<V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<V>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The slot for `key`, creating (and LRU-evicting) as needed.
+    fn slot(&self, key: u64) -> Arc<Slot<V>> {
+        let mut g = self.lock_inner();
+        g.clock += 1;
+        let now = g.clock;
+        if let Some(e) = g.map.get_mut(&key) {
+            e.last_use = now;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            e.slot.clone()
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(Slot::new());
+            g.map.insert(
+                key,
+                Entry {
+                    slot: slot.clone(),
+                    last_use: now,
+                },
+            );
+            if self.capacity > 0 && g.map.len() > self.capacity {
+                // Unique clock stamps make the LRU minimum unique,
+                // so eviction order never depends on hash order.
+                let victim = g
+                    .map
+                    .iter()
+                    .filter(|&(&k, _)| k != key)
+                    .min_by_key(|(_, e)| e.last_use)
+                    .map(|(&k, _)| k);
+                if let Some(k) = victim {
+                    g.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            slot
+        }
+    }
+
+    /// Removes `key` iff it still points at `slot` (a terminally failed
+    /// slot must not knock out a fresh successor entry).
+    fn remove_slot(&self, key: u64, slot: &Arc<Slot<V>>) {
+        let mut g = self.lock_inner();
+        if g.map.get(&key).is_some_and(|e| Arc::ptr_eq(&e.slot, slot)) {
+            g.map.remove(&key);
+        }
+    }
+
+    /// Runs one compute attempt under `catch_unwind` and classifies the
+    /// outcome. `AssertUnwindSafe` is justified by the purity contract:
+    /// the closure owns no state that outlives it except through the
+    /// slot, whose transitions are whole-value assignments.
+    fn run_attempt(f: &impl Fn() -> PlanResult<V>) -> Attempt<V> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(Ok(v)) => Attempt::Value(v),
+            Ok(Err(PlanError::Cancelled)) => Attempt::Cancelled,
+            Ok(Err(e @ (PlanError::InvalidInput { .. } | PlanError::Numeric { .. }))) => {
+                Attempt::Fatal(e)
+            }
+            Ok(Err(PlanError::StageFailed { message, .. })) => Attempt::Transient(message),
+            Err(payload) => {
+                if Cancelled::caught(payload.as_ref()) {
+                    Attempt::Cancelled
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    Attempt::Transient(s.clone())
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    Attempt::Transient((*s).to_string())
+                } else {
+                    Attempt::Transient("panic with non-string payload".to_string())
+                }
+            }
         }
     }
 
     /// The artifact for `key`, computing it with `f` on first access.
     ///
-    /// Exactly one caller executes `f` per live entry; concurrent
-    /// callers for the same key block on the slot until the artifact is
-    /// ready. `f` must be a pure function of the content `key`
-    /// fingerprints — the whole soundness story rests on that contract.
-    pub fn get_or_compute(&self, key: u64, f: impl FnOnce() -> V) -> Arc<V> {
-        let slot = {
-            let mut g = self.inner.lock().unwrap();
-            g.clock += 1;
-            let now = g.clock;
-            if let Some(e) = g.map.get_mut(&key) {
-                e.last_use = now;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                e.slot.clone()
-            } else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let slot: SharedSlot<V> = Arc::new(OnceLock::new());
-                g.map.insert(
-                    key,
-                    Entry {
-                        slot: slot.clone(),
-                        last_use: now,
-                    },
-                );
-                if self.capacity > 0 && g.map.len() > self.capacity {
-                    // Unique clock stamps make the LRU minimum unique,
-                    // so eviction order never depends on hash order.
-                    let victim = g
-                        .map
-                        .iter()
-                        .filter(|&(&k, _)| k != key)
-                        .min_by_key(|(_, e)| e.last_use)
-                        .map(|(&k, _)| k);
-                    if let Some(k) = victim {
-                        g.map.remove(&k);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+    /// `f` must be a pure function of the content `key` fingerprints —
+    /// the whole soundness story rests on that contract; it is also
+    /// what makes waiter takeover sound (any caller's closure computes
+    /// the same artifact) and why `f` is `Fn`, not `FnOnce`: a caller
+    /// whose attempt fails retries with the same closure.
+    ///
+    /// At most one worker computes per slot at a time. A worker that
+    /// panics or returns [`PlanError::StageFailed`] yields the slot for
+    /// retry/takeover; after [`MAX_ATTEMPTS`] total failures the slot
+    /// is terminally failed, every parked waiter gets the error, and
+    /// the key is removed so later queries recompute fresh. A
+    /// [`PlanError::Cancelled`] unwind returns the slot untouched to
+    /// `Idle` and surfaces only to the cancelled caller. Nothing is
+    /// ever served from a slot except a fully computed artifact.
+    ///
+    /// `stage` labels errors built from caught panics.
+    pub fn get_or_try_compute(
+        &self,
+        key: u64,
+        stage: StageId,
+        f: impl Fn() -> PlanResult<V>,
+    ) -> PlanResult<Arc<V>> {
+        let slot = self.slot(key);
+        let mut g = slot.lock();
+        loop {
+            match &*g {
+                SlotState::Done(v) => return Ok(v.clone()),
+                SlotState::Failed(e) => return Err(e.clone()),
+                SlotState::InFlight => {
+                    // Timed re-check instead of a bare wait: progress
+                    // never depends on a notification arriving.
+                    let (guard, _timeout) = slot
+                        .cv
+                        .wait_timeout(g, WAIT_RECHECK)
+                        .unwrap_or_else(|e| e.into_inner());
+                    g = guard;
+                }
+                SlotState::Idle { failures } => {
+                    let prior = *failures;
+                    *g = SlotState::InFlight;
+                    drop(g);
+                    let outcome = Self::run_attempt(&f);
+                    g = slot.lock();
+                    match outcome {
+                        Attempt::Value(v) => {
+                            let v = Arc::new(v);
+                            *g = SlotState::Done(v.clone());
+                            slot.cv.notify_all();
+                            return Ok(v);
+                        }
+                        Attempt::Cancelled => {
+                            // Not a fault: hand the slot back untouched
+                            // so a waiter with a live budget takes over.
+                            *g = SlotState::Idle { failures: prior };
+                            slot.cv.notify_all();
+                            return Err(PlanError::Cancelled);
+                        }
+                        Attempt::Fatal(e) => {
+                            *g = SlotState::Failed(e.clone());
+                            drop(g);
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            self.remove_slot(key, &slot);
+                            slot.cv.notify_all();
+                            return Err(e);
+                        }
+                        Attempt::Transient(message) => {
+                            let attempts = prior + 1;
+                            if attempts >= MAX_ATTEMPTS {
+                                let e = PlanError::StageFailed {
+                                    stage,
+                                    message,
+                                    attempts,
+                                };
+                                *g = SlotState::Failed(e.clone());
+                                drop(g);
+                                self.failures.fetch_add(1, Ordering::Relaxed);
+                                self.remove_slot(key, &slot);
+                                slot.cv.notify_all();
+                                return Err(e);
+                            }
+                            *g = SlotState::Idle { failures: attempts };
+                            slot.cv.notify_all();
+                            // Loop: retry with our own closure (a
+                            // waiter may beat us to the takeover, in
+                            // which case we park on InFlight).
+                        }
                     }
                 }
-                slot
             }
-        };
-        slot.get_or_init(|| Arc::new(f())).clone()
+        }
+    }
+
+    /// Infallible-closure convenience over [`Memo::get_or_try_compute`]
+    /// (the offline callers: bench caches, statistics memos).
+    ///
+    /// # Panics
+    /// Re-raises a terminal failure as a panic — for a closure that
+    /// cannot return an error, a failure here means the closure itself
+    /// panicked [`MAX_ATTEMPTS`] times.
+    pub fn get_or_compute(&self, key: u64, f: impl Fn() -> V) -> Arc<V> {
+        self.get_or_try_compute(key, StageId::Generate, || Ok(f()))
+            .unwrap_or_else(|e| panic!("memo compute failed: {e}"))
     }
 
     /// Current entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.lock_inner().map.len()
     }
 
     /// Whether the memo holds no entries.
@@ -141,12 +374,13 @@ impl<V> Memo<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry (counters keep accumulating).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        self.lock_inner().map.clear();
     }
 }
 
@@ -242,19 +476,21 @@ impl Default for Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn computes_once_per_key() {
         let memo: Memo<u64> = Memo::new();
-        let mut calls = 0;
+        let calls = Cell::new(0);
         for _ in 0..3 {
             let v = memo.get_or_compute(7, || {
-                calls += 1;
+                calls.set(calls.get() + 1);
                 42
             });
             assert_eq!(*v, 42);
         }
-        assert_eq!(calls, 1);
+        assert_eq!(calls.get(), 1);
         let s = memo.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (2, 1, 0));
     }
@@ -267,20 +503,20 @@ mod tests {
         memo.get_or_compute(1, || 1); // touch 1 → 2 is now LRU
         memo.get_or_compute(3, || 3); // evicts 2
         assert_eq!(memo.len(), 2);
-        let mut recomputed = false;
+        let recomputed = Cell::new(false);
         memo.get_or_compute(2, || {
-            recomputed = true;
+            recomputed.set(true);
             2
         });
-        assert!(recomputed, "evicted key must recompute");
-        let mut recomputed1 = false;
+        assert!(recomputed.get(), "evicted key must recompute");
+        let recomputed1 = Cell::new(false);
         memo.get_or_compute(1, || {
-            recomputed1 = true;
+            recomputed1.set(true);
             1
         });
         // 1 was evicted when 2 was re-inserted (LRU at that point was 3?
         // no: after inserting 2 the map held {1,3,2} → evict LRU(1)).
-        assert!(recomputed1);
+        assert!(recomputed1.get());
         assert!(memo.stats().evictions >= 2);
     }
 
@@ -300,7 +536,6 @@ mod tests {
 
     #[test]
     fn concurrent_same_key_executes_once() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let memo: Memo<u64> = Memo::new();
         let calls = AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -308,7 +543,7 @@ mod tests {
                 s.spawn(|| {
                     let v = memo.get_or_compute(99, || {
                         calls.fetch_add(1, Ordering::SeqCst);
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        std::thread::sleep(Duration::from_millis(5));
                         7
                     });
                     assert_eq!(*v, 7);
@@ -325,5 +560,129 @@ mod tests {
         memo.clear();
         assert!(memo.is_empty());
         assert_eq!(memo.stats().misses, 1);
+    }
+
+    #[test]
+    fn panicking_closure_is_retried_then_succeeds() {
+        let memo: Memo<u64> = Memo::new();
+        let calls = Cell::new(0u32);
+        let v = memo
+            .get_or_try_compute(5, StageId::Placement, || {
+                calls.set(calls.get() + 1);
+                if calls.get() == 1 {
+                    panic!("injected first-attempt death");
+                }
+                Ok(13)
+            })
+            .expect("retry must recover a transient panic");
+        assert_eq!(*v, 13);
+        assert_eq!(calls.get(), 2);
+        assert_eq!(memo.stats().failures, 0, "recovered, not terminal");
+    }
+
+    #[test]
+    fn persistent_panic_turns_terminal_and_self_heals() {
+        let memo: Memo<u64> = Memo::new();
+        let calls = Cell::new(0u32);
+        let err = memo
+            .get_or_try_compute(5, StageId::Curve, || -> PlanResult<u64> {
+                calls.set(calls.get() + 1);
+                panic!("always dies");
+            })
+            .unwrap_err();
+        assert_eq!(calls.get(), MAX_ATTEMPTS);
+        match &err {
+            PlanError::StageFailed {
+                stage,
+                message,
+                attempts,
+            } => {
+                assert_eq!(*stage, StageId::Curve);
+                assert_eq!(*attempts, MAX_ATTEMPTS);
+                assert!(message.contains("always dies"));
+            }
+            other => panic!("expected StageFailed, got {other}"),
+        }
+        assert_eq!(memo.stats().failures, 1);
+        // Self-healing: the key was removed, so once the fault source
+        // clears the next access recomputes fresh and succeeds.
+        assert!(memo.is_empty());
+        let v = memo
+            .get_or_try_compute(5, StageId::Curve, || Ok(99))
+            .unwrap();
+        assert_eq!(*v, 99);
+    }
+
+    #[test]
+    fn deterministic_errors_are_not_retried() {
+        let memo: Memo<u64> = Memo::new();
+        let calls = Cell::new(0u32);
+        let err = memo
+            .get_or_try_compute(1, StageId::Schedule, || {
+                calls.set(calls.get() + 1);
+                Err(PlanError::invalid("procs", "zero"))
+            })
+            .unwrap_err();
+        assert_eq!(calls.get(), 1, "InvalidInput must not retry");
+        assert!(matches!(err, PlanError::InvalidInput { .. }));
+        assert!(memo.is_empty(), "failed key must not linger");
+    }
+
+    #[test]
+    fn cancellation_leaves_the_slot_reusable_and_uncounted() {
+        let memo: Memo<u64> = Memo::new();
+        let err = memo
+            .get_or_try_compute(3, StageId::Placement, || -> PlanResult<u64> {
+                ckpt_core::Cancelled::throw()
+            })
+            .unwrap_err();
+        assert_eq!(err, PlanError::Cancelled);
+        assert_eq!(memo.stats().failures, 0);
+        // A later caller with a live budget computes normally.
+        let v = memo
+            .get_or_try_compute(3, StageId::Placement, || Ok(8))
+            .unwrap();
+        assert_eq!(*v, 8);
+    }
+
+    #[test]
+    fn waiters_take_over_after_the_first_worker_dies() {
+        // The memo-slot abandonment regression (see also the
+        // robustness integration suite for the full thread matrix):
+        // worker 0 panics mid-compute; concurrent waiters on the same
+        // key must still obtain the correct value via takeover.
+        let memo: Memo<u64> = Memo::new();
+        let deaths = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let r = memo.get_or_try_compute(77, StageId::EvalAnalytic, || {
+                        if deaths.fetch_add(1, Ordering::SeqCst) == 0 {
+                            panic!("first worker dies");
+                        }
+                        Ok(1234)
+                    });
+                    // The dying worker itself retries (its closure only
+                    // panics once), so every caller ends with the value.
+                    assert_eq!(*r.expect("takeover must recover"), 1234);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poisoned_map_mutex_recovers() {
+        // Poison the *map* mutex by panicking while holding it, then
+        // verify the memo still serves. (Slot mutexes never run user
+        // code under lock, but the recovery discipline covers both.)
+        let memo = Arc::new(Memo::<u64>::new());
+        let m = memo.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m.lock_inner();
+            panic!("die holding the map lock");
+        })
+        .join();
+        let v = memo.get_or_compute(1, || 11);
+        assert_eq!(*v, 11);
     }
 }

@@ -10,7 +10,7 @@
 //! invalidation matrix in `tests/invalidation.rs`).
 
 use std::collections::BTreeSet;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use ckpt_core::StageId;
 
@@ -22,6 +22,9 @@ pub enum Outcome {
     /// The artifact came from the store (or was already in hand, for a
     /// provided workflow).
     Cached,
+    /// The stage resolution surfaced a typed error (terminal failure,
+    /// cancellation, or rejected input) instead of an artifact.
+    Failed,
 }
 
 /// One stage resolution.
@@ -39,6 +42,12 @@ pub struct Event {
 /// events from concurrent workers, so order-sensitive assertions should
 /// run queries serially (the tests do). [`Tracker::executed`] /
 /// [`Tracker::cached`] give order-free set views.
+///
+/// The mutex recovers from poisoning: a batch worker that dies between
+/// `record` calls (a stage panic escaping past its catch boundary)
+/// leaves a fully valid event vector — `push` either appended or it
+/// didn't — and the observer reading the events must not be the second
+/// casualty of a worker that already reported its own failure.
 #[derive(Default)]
 pub struct Tracker {
     events: Mutex<Vec<Event>>,
@@ -50,43 +59,46 @@ impl Tracker {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Appends one event.
     pub fn record(&self, stage: StageId, outcome: Outcome) {
-        self.events.lock().unwrap().push(Event { stage, outcome });
+        self.lock().push(Event { stage, outcome });
     }
 
     /// Snapshot of all events since the last [`Tracker::clear`].
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        self.lock().clone()
+    }
+
+    fn stages_with(&self, outcome: Outcome) -> BTreeSet<StageId> {
+        self.lock()
+            .iter()
+            .filter(|e| e.outcome == outcome)
+            .map(|e| e.stage)
+            .collect()
     }
 
     /// The set of stages that *executed* since the last clear.
     pub fn executed(&self) -> BTreeSet<StageId> {
-        self.events
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|e| e.outcome == Outcome::Executed)
-            .map(|e| e.stage)
-            .collect()
+        self.stages_with(Outcome::Executed)
     }
 
     /// The set of stages served from cache since the last clear.
     pub fn cached(&self) -> BTreeSet<StageId> {
-        self.events
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|e| e.outcome == Outcome::Cached)
-            .map(|e| e.stage)
-            .collect()
+        self.stages_with(Outcome::Cached)
+    }
+
+    /// The set of stages whose resolution failed since the last clear.
+    pub fn failed(&self) -> BTreeSet<StageId> {
+        self.stages_with(Outcome::Failed)
     }
 
     /// Number of executions of one stage since the last clear.
     pub fn executed_count(&self, stage: StageId) -> usize {
-        self.events
-            .lock()
-            .unwrap()
+        self.lock()
             .iter()
             .filter(|e| e.stage == stage && e.outcome == Outcome::Executed)
             .count()
@@ -95,7 +107,7 @@ impl Tracker {
     /// Forgets all events (typically called between what-if queries so
     /// each assertion sees exactly one query's stage set).
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.lock().clear();
     }
 }
 
@@ -119,5 +131,33 @@ mod tests {
         assert_eq!(t.executed_count(StageId::Placement), 1);
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn failed_outcomes_classify_separately() {
+        let t = Tracker::new();
+        t.record(StageId::Placement, Outcome::Failed);
+        t.record(StageId::Schedule, Outcome::Executed);
+        assert_eq!(t.failed(), [StageId::Placement].into_iter().collect());
+        assert_eq!(t.executed(), [StageId::Schedule].into_iter().collect());
+        assert!(t.cached().is_empty());
+    }
+
+    #[test]
+    fn poisoned_tracker_keeps_observing() {
+        use std::sync::Arc;
+        let t = Arc::new(Tracker::new());
+        t.record(StageId::Schedule, Outcome::Executed);
+        let t2 = t.clone();
+        // Die while holding the event lock: the vector is still valid
+        // (push is atomic w.r.t. the lock), so observers must recover.
+        let _ = std::thread::spawn(move || {
+            let _g = t2.events.lock().unwrap();
+            panic!("worker dies mid-observation");
+        })
+        .join();
+        t.record(StageId::Curve, Outcome::Cached);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.executed_count(StageId::Schedule), 1);
     }
 }

@@ -1,0 +1,270 @@
+//! Chaos suite: random what-if batches under deterministic seeded
+//! fault injection, across thread budgets. Only compiled with the
+//! `faultinject` feature:
+//!
+//! ```text
+//! cargo test -p ckpt_service --features faultinject --test chaos
+//! ```
+//!
+//! The contract under chaos (see `DESIGN.md` §11):
+//!
+//! * **no hang** — every query returns, fault plan or not;
+//! * **no corrupted value** — every `Ok` answer produced *during*
+//!   injection is byte-identical to the fault-free cold answer for that
+//!   query (injection can fail a query, never bend one);
+//! * **full recovery** — once the plan is disarmed, the *same* session
+//!   (and the same store) answers every query `Ok` and byte-identical
+//!   to a fresh cold session: failed slots self-healed, nothing was
+//!   poisoned.
+
+#![cfg(feature = "faultinject")]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ckpt_service::{
+    Answer, Inputs, McSpec, ModelSpec, PlanError, PolicySpec, Session, WhatIf, WorkflowSource,
+};
+use pegasus::WorkflowClass;
+use seedmix::faultinject::{arm, disarm, FaultPlan};
+
+/// The armed fault plan is process-global, so chaos tests must not
+/// overlap. Poison-recovering lock: a failed chaos test must not
+/// cascade into the rest of the suite.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_inputs() -> Inputs {
+    let mut inputs = Inputs::basic(
+        WorkflowSource::Generated {
+            class: WorkflowClass::Montage,
+            size: 60,
+            seed: 11,
+            ccr: Some(0.05),
+        },
+        8,
+        1e8,
+        ModelSpec::Exponential { pfail: 1e-3 },
+    );
+    inputs.mc = Some(McSpec { runs: 100, seed: 5 });
+    inputs
+}
+
+/// A mixed bag of valid what-if deltas touching every stage of the
+/// graph (λ drift, policy swap, platform rescale, evaluator swap,
+/// workflow edit).
+fn chaos_queries() -> Vec<WhatIf> {
+    vec![
+        WhatIf::Nop,
+        WhatIf::SetPfail(2e-3),
+        WhatIf::SetPfail(5e-3),
+        WhatIf::SetPolicy(PolicySpec::CkptAll),
+        WhatIf::SetPolicy(PolicySpec::Daly { period: None }),
+        WhatIf::SetProcs(24),
+        WhatIf::SetBandwidth(2e8),
+        WhatIf::SetEvaluator(ckpt_service::EvalSpec::Normal),
+        WhatIf::SetTaskWeight {
+            task: 3,
+            weight: 123.0,
+        },
+        WhatIf::SetPfail(3e-3),
+    ]
+}
+
+fn assert_same(tag: &str, a: &Answer, b: &Answer) {
+    assert_eq!(a.policy, b.policy, "{tag}: policy");
+    assert_eq!(
+        a.expected_makespan.to_bits(),
+        b.expected_makespan.to_bits(),
+        "{tag}: expected_makespan"
+    );
+    assert_eq!(a.n_checkpoints, b.n_checkpoints, "{tag}: n_checkpoints");
+    assert_eq!(a.n_segments, b.n_segments, "{tag}: n_segments");
+    assert_eq!(a.ckpt_files, b.ckpt_files, "{tag}: ckpt_files");
+    assert_eq!(
+        a.ckpt_bytes.to_bits(),
+        b.ckpt_bytes.to_bits(),
+        "{tag}: ckpt_bytes"
+    );
+    assert_eq!(a.w_par.to_bits(), b.w_par.to_bits(), "{tag}: w_par");
+    match (&a.mc, &b.mc) {
+        (Some(x), Some(y)) => {
+            assert_eq!(
+                x.mean_makespan.to_bits(),
+                y.mean_makespan.to_bits(),
+                "{tag}: mc mean"
+            );
+            assert_eq!(x.stderr.to_bits(), y.stderr.to_bits(), "{tag}: mc stderr");
+            assert_eq!(x.runs, y.runs, "{tag}: mc runs");
+        }
+        (None, None) => {}
+        _ => panic!("{tag}: MC presence mismatch"),
+    }
+}
+
+/// Fault-free ground truth, one cold answer per query.
+fn cold_answers(queries: &[WhatIf]) -> Vec<Answer> {
+    disarm();
+    let session = Session::new(chaos_inputs());
+    queries
+        .iter()
+        .map(|q| session.try_query(q).expect("fault-free query must succeed"))
+        .collect()
+}
+
+#[test]
+fn chaos_serves_only_exact_answers_and_recovers_cold_equal() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let queries = chaos_queries();
+    let cold = cold_answers(&queries);
+
+    let mut total_failures = 0usize;
+    for fault_seed in [1u64, 22, 333] {
+        for threads in [1usize, 2, 7] {
+            let tag = format!("seed={fault_seed} threads={threads}");
+            let session = Session::new(chaos_inputs());
+
+            arm(FaultPlan::hostile(fault_seed));
+            let start = Instant::now();
+            let stormy = session.try_query_batch(&queries, threads);
+            // "No hang": panicking workers hand their slots to waiters,
+            // terminal failures notify everyone, delays are bounded.
+            assert!(
+                start.elapsed() < Duration::from_secs(60),
+                "{tag}: chaos batch took {:?}",
+                start.elapsed()
+            );
+            let mut failures = 0usize;
+            for (i, result) in stormy.iter().enumerate() {
+                match result {
+                    // An answer served under fire must be the exact
+                    // fault-free answer — injection may fail a query,
+                    // never corrupt one.
+                    Ok(answer) => assert_same(&format!("{tag} q{i}"), answer, &cold[i]),
+                    Err(PlanError::StageFailed { attempts, .. }) => {
+                        assert!(
+                            (1..=ckpt_service::MAX_ATTEMPTS).contains(attempts),
+                            "{tag} q{i}: attempts={attempts}"
+                        );
+                        failures += 1;
+                    }
+                    Err(other) => panic!("{tag} q{i}: unexpected error {other}"),
+                }
+            }
+            disarm();
+            total_failures += failures;
+
+            // Recovery on the SAME session and store: every query now
+            // succeeds and matches the fresh cold session bit for bit.
+            let calm = session.try_query_batch(&queries, threads);
+            for (i, result) in calm.iter().enumerate() {
+                match result {
+                    Ok(answer) => assert_same(&format!("{tag} calm q{i}"), answer, &cold[i]),
+                    Err(e) => panic!("{tag} calm q{i}: {e}"),
+                }
+            }
+        }
+    }
+    // A query only *fails* when all MAX_ATTEMPTS draws at one site come
+    // up bad, so any single (seed, threads) run may survive unscathed —
+    // but across 9 hostile runs at least one query must have died, or
+    // the harness is not exercising the failure path at all.
+    assert!(total_failures > 0, "hostile plans never surfaced a failure");
+}
+
+/// A saturated plan (every hit panics) fails *every* cold query with
+/// the terminal typed error at exactly the attempt bound — and the
+/// session still recovers to cold-identical answers afterwards.
+#[test]
+fn saturated_panic_plan_fails_everything_then_recovers() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let queries = chaos_queries();
+    let cold = cold_answers(&queries);
+
+    let session = Session::new(chaos_inputs());
+    arm(FaultPlan {
+        seed: 9,
+        panic_per_mille: 1000,
+        error_per_mille: 0,
+        delay_per_mille: 0,
+        delay_ms: 0,
+    });
+    for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {
+        match result {
+            Err(PlanError::StageFailed { attempts, .. }) => {
+                assert_eq!(*attempts, ckpt_service::MAX_ATTEMPTS, "q{i}");
+            }
+            other => panic!("q{i}: expected terminal StageFailed, got {other:?}"),
+        }
+    }
+    disarm();
+    for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {
+        match result {
+            Ok(answer) => assert_same(&format!("calm q{i}"), answer, &cold[i]),
+            Err(e) => panic!("calm q{i}: {e}"),
+        }
+    }
+}
+
+/// Injected *errors* (fail the stage without unwinding) follow the same
+/// retry/terminal path as panics and recover the same way.
+#[test]
+fn quiet_error_plans_recover_too() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let queries = chaos_queries();
+    let cold = cold_answers(&queries);
+
+    for fault_seed in [7u64, 4242] {
+        let session = Session::new(chaos_inputs());
+        arm(FaultPlan::quiet(fault_seed));
+        let stormy = session.try_query_batch(&queries, 2);
+        for (i, result) in stormy.iter().enumerate() {
+            match result {
+                Ok(answer) => assert_same(&format!("seed={fault_seed} q{i}"), answer, &cold[i]),
+                Err(PlanError::StageFailed { .. }) => {}
+                Err(other) => panic!("seed={fault_seed} q{i}: unexpected error {other}"),
+            }
+        }
+        disarm();
+        for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {
+            match result {
+                Ok(answer) => {
+                    assert_same(&format!("seed={fault_seed} calm q{i}"), answer, &cold[i])
+                }
+                Err(e) => panic!("seed={fault_seed} calm q{i}: {e}"),
+            }
+        }
+    }
+}
+
+/// Injection under a deadline: faults and cancellation compose — every
+/// outcome is an exact answer (possibly `degraded`), a typed stage
+/// failure, or a cancellation; and the session still recovers.
+#[test]
+fn chaos_composes_with_deadlines() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let queries = chaos_queries();
+    let cold = cold_answers(&queries);
+
+    let mut session = Session::new(chaos_inputs());
+    session.deadline = Some(Duration::from_secs(60));
+    arm(FaultPlan::hostile(99));
+    for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {
+        match result {
+            // A generous deadline should not trip on this workload, so
+            // an Ok answer is still the exact fault-free one.
+            Ok(answer) if !answer.degraded => {
+                assert_same(&format!("deadline q{i}"), answer, &cold[i])
+            }
+            Ok(_) | Err(PlanError::StageFailed { .. }) | Err(PlanError::Cancelled) => {}
+            Err(other) => panic!("deadline q{i}: unexpected error {other}"),
+        }
+    }
+    disarm();
+    session.deadline = None;
+    for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {
+        match result {
+            Ok(answer) => assert_same(&format!("calm q{i}"), answer, &cold[i]),
+            Err(e) => panic!("calm q{i}: {e}"),
+        }
+    }
+}
