@@ -17,10 +17,11 @@
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig, Scenario};
 use ckpt_bench::scenarios::{LigoFootnoteScenario, LinearizationScenario, NaiveCoalesceScenario};
 use ckpt_bench::summary::EndpointSummary;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
     let out_dir: String = args.get_or("out", "results".to_owned());
@@ -38,6 +39,7 @@ fn main() {
         }
         other => panic!("unknown study `{other}`"),
     }
+    obs_out.finish().expect("write observability outputs");
 }
 
 fn run_study<S: Scenario>(

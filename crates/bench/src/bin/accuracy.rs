@@ -16,10 +16,11 @@
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
 use ckpt_bench::scenarios::AccuracyScenario;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let trials: usize = args.get_or("trials", 300_000);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
@@ -68,4 +69,5 @@ fn main() {
         report.mc_threads
     );
     eprintln!("stage walls: {}", report.stages.summary());
+    obs_out.finish().expect("write observability outputs");
 }

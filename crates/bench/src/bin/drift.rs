@@ -15,10 +15,11 @@
 
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
 use ckpt_bench::scenarios::DriftScenario;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
     let self_check: usize = args.get_or("self-check", 1);
@@ -50,4 +51,5 @@ fn main() {
         report.wall,
         report.workers,
     );
+    obs_out.finish().expect("write observability outputs");
 }

@@ -14,11 +14,12 @@
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
 use ckpt_bench::scenarios::FigureScenario;
 use ckpt_bench::summary::figure_shape_summary;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 use pegasus::WorkflowClass;
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let points: usize = args.get_or("points", 9);
     let instances: usize = args.get_or("instances", 3);
     let seed: u64 = args.get_or("seed", 42);
@@ -61,4 +62,5 @@ fn main() {
         println!("# {fig} ({class}) shape summary");
         figure_shape_summary(&report.rows).print();
     }
+    obs_out.finish().expect("write observability outputs");
 }

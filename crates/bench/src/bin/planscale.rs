@@ -21,7 +21,7 @@
 //! without it, and time-budgeted CI smokes only need the placement.
 
 use ckpt_bench::engine::{Stage, StageWalls};
-use ckpt_bench::{Args, BANDWIDTH};
+use ckpt_bench::{Args, ObsOut, BANDWIDTH};
 use ckpt_core::{
     allocate, coalesce, lambda_from_pfail, AllocateConfig, CostCtx, Pipeline, Platform, Strategy,
 };
@@ -30,6 +30,7 @@ use probdag::{Evaluator, PathApprox};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let tasks: usize = args.get_or("tasks", 1_000_000);
     let shape: String = args.get_or("shape", "chain".to_owned());
     let width: usize = args.get_or("width", 1000);
@@ -96,4 +97,5 @@ fn main() {
         sg.segments.len()
     );
     eprintln!("stage walls: {}", walls.report().summary());
+    obs_out.finish().expect("write observability outputs");
 }

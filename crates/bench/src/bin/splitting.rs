@@ -25,7 +25,7 @@
 //!     [--mc-threads 0] [--out results]
 //! ```
 
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 use ckpt_core::{allocate, AllocateConfig, FailureModel};
 use failsim::{montecarlo_none_model, Estimator, NoneMcStats, SimConfig, SplitConfig};
 use pegasus::{generate, WorkflowClass};
@@ -42,6 +42,7 @@ struct Point {
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let max_runs: usize = args.get_or("runs", 65_536);
     let seed: u64 = args.get_or("seed", 42);
     let factor: Option<usize> = args.get("factor").map(|v| v.parse().expect("factor"));
@@ -192,4 +193,5 @@ fn main() {
         );
     }
     eprintln!("wrote {}", path.display());
+    obs_out.finish().expect("write observability outputs");
 }

@@ -20,10 +20,11 @@
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
 use ckpt_bench::scenarios::StrategiesScenario;
 use ckpt_bench::summary::EndpointSummary;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let runs: usize = args.get_or("runs", 400);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
@@ -89,4 +90,5 @@ fn main() {
         );
     }
     summary.print();
+    obs_out.finish().expect("write observability outputs");
 }

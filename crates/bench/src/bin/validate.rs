@@ -20,10 +20,11 @@
 use ckpt_bench::engine::{self, CsvFileSink, EngineConfig};
 use ckpt_bench::scenarios::ValidateScenario;
 use ckpt_bench::summary::EndpointSummary;
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let runs: usize = args.get_or("runs", 5000);
     let seed: u64 = args.get_or("seed", 42);
     let threads: usize = args.get_or("threads", 0);
@@ -82,4 +83,5 @@ fn main() {
         report.mc_threads
     );
     eprintln!("stage walls: {}", report.stages.summary());
+    obs_out.finish().expect("write observability outputs");
 }

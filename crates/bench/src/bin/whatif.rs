@@ -25,11 +25,18 @@
 //! a typed cancellation instead of a row value, and their count goes to
 //! stderr. Off by default, so benchmark CSVs are bit-identical to the
 //! pre-deadline runs.
+//!
+//! Observability (DESIGN.md §12): `--trace-out FILE` dumps the query
+//! batch's span tree as schema-validated JSONL, `--metrics-out FILE`
+//! the Prometheus text exposition (store counters included), and
+//! `--stats 1` prints the per-memo [`ckpt_service::StoreStats`] table
+//! to stderr. None of these perturb the CSV — CI diffs traced against
+//! untraced output.
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use ckpt_bench::Args;
+use ckpt_bench::{Args, ObsOut};
 use ckpt_service::{
     Answer, Inputs, ModelSpec, PlanResult, PolicySpec, Session, WhatIf, WorkflowSource,
 };
@@ -98,6 +105,7 @@ fn csv_row(i: usize, q: &WhatIf, a: &Answer) -> String {
 
 fn main() {
     let args = Args::parse();
+    let obs_out = ObsOut::from_args(&args);
     let class = match args.get_or("class", "montage".to_owned()).as_str() {
         "genome" => WorkflowClass::Genome,
         "montage" => WorkflowClass::Montage,
@@ -118,6 +126,7 @@ fn main() {
     let out: String = args.get_or("out", "results/whatif.csv".to_owned());
     let deadline_ms: u64 = args.get_or("deadline-ms", 0);
     let deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+    let stats: usize = args.get_or("stats", 0);
 
     let inputs = Inputs::basic(
         WorkflowSource::Generated {
@@ -133,6 +142,9 @@ fn main() {
     let queries = build_queries(n_queries, lambdas.max(1), pfail, procs, &kinds);
 
     let t0 = Instant::now();
+    // The incremental session outlives the batch so `--stats` and the
+    // metrics dump can read its store afterwards.
+    let mut incr_session: Option<Session> = None;
     let answers: Vec<PlanResult<Answer>> = if cold != 0 {
         // Control: every query pays the full pipeline in its own store.
         seedmix::parallel_slots(queries.len(), threads, |i| {
@@ -143,7 +155,9 @@ fn main() {
     } else {
         let mut session = Session::new(inputs.clone());
         session.deadline = deadline;
-        session.try_query_batch(&queries, threads)
+        let answers = session.try_query_batch(&queries, threads);
+        incr_session = Some(session);
+        answers
     };
     let wall = t0.elapsed().as_secs_f64();
     let cancelled = answers.iter().filter(|r| r.is_err()).count();
@@ -187,4 +201,19 @@ fn main() {
             String::new()
         },
     );
+    match &incr_session {
+        Some(session) => {
+            if stats != 0 {
+                eprintln!("{}", session.store().stats());
+            }
+            if obs_out.metrics() {
+                session.store().export_metrics();
+            }
+        }
+        None if stats != 0 => {
+            eprintln!("--stats 1 needs incremental mode; cold stores are per-query and discarded")
+        }
+        None => {}
+    }
+    obs_out.finish().expect("write observability outputs");
 }

@@ -285,6 +285,14 @@ pub fn run<S: Scenario>(
     let start = Instant::now();
     let cells = scenario.cells();
     debug_assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    // One grid-level span per run; every cell span attaches under it by
+    // explicit id so the tree is identical for any worker count (cells
+    // execute on pool threads, where `Parent::Current` would be empty).
+    let grid_span = obs::span::enter(scenario.name());
+    let cell_parent = match grid_span.id() {
+        Some(id) => obs::span::Parent::Under(id),
+        None => obs::span::Parent::Root,
+    };
     let workers = seedmix::resolve_threads(cfg.threads)
         .min(cells.len())
         .max(1);
@@ -310,9 +318,14 @@ pub fn run<S: Scenario>(
         cells.len(),
         workers,
         |i| {
-            let t0 = Instant::now();
-            let out = scenario.run_cell(&cells[i], &ctx);
-            (out, t0.elapsed().as_secs_f64())
+            // The span clock is the cell timing source: `cell_walls`
+            // reports the same nanoseconds the trace records (zero when
+            // the observability layer is compiled out — diagnostic only).
+            let (out, nanos) =
+                obs::span::timed_full("cell", None, Some(i as u64), cell_parent, || {
+                    scenario.run_cell(&cells[i], &ctx)
+                });
+            (out, nanos as f64 * 1e-9)
         },
         |i, (cell_rows, cell_wall)| {
             cell_walls.push(cell_wall);
@@ -455,6 +468,10 @@ mod tests {
         assert_eq!(report.plan_threads, 4);
     }
 
+    // The stage clock is `obs::span::timed`, which reports zero
+    // nanoseconds when the observability layer is compiled out — so the
+    // positive half of this assertion only holds with `observe` on.
+    #[cfg(feature = "observe")]
     #[test]
     fn timed_accessors_fill_the_stage_report() {
         let report = run(&Probe, &EngineConfig::with_threads(1), &mut NullSink).unwrap();

@@ -61,11 +61,17 @@ where
         drop(tx);
         let mut pending: BTreeMap<usize, T> = BTreeMap::new();
         let mut next_emit = 0usize;
+        // High-water mark of the reorder buffer: how far completion
+        // order ran ahead of canonical order. A persistently deep
+        // buffer means one slow cell is damming many finished ones
+        // (results held in memory, not lost).
+        let depth_gauge = obs::metrics::gauge("ckpt_pool_reorder_depth_peak");
         for (i, out) in rx {
             if stop.load(Ordering::Relaxed) {
                 continue; // draining after an abort
             }
             pending.insert(i, out);
+            depth_gauge.set_max(pending.len() as u64);
             while let Some(out) = pending.remove(&next_emit) {
                 if !emit(next_emit, out) {
                     stop.store(true, Ordering::Relaxed);

@@ -14,7 +14,6 @@
 //! engine is unaffected.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// A pipeline stage whose wall time the engine accounts separately.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,21 +47,58 @@ impl Stage {
             Stage::Evaluate => "evaluate",
         }
     }
+
+    /// Span name for this stage in the engine's trace
+    /// (`obs::span`-namespaced so engine timing spans are
+    /// distinguishable from the service's `stage.*` execution spans).
+    pub fn site(self) -> &'static str {
+        match self {
+            Stage::Generate => "engine.generate",
+            Stage::Schedule => "engine.schedule",
+            Stage::Plan => "engine.plan",
+            Stage::Evaluate => "engine.evaluate",
+        }
+    }
 }
 
 /// Thread-safe accumulator of per-stage wall time in nanoseconds.
 ///
 /// `add`/`time` are relaxed atomic adds — cheap enough to leave enabled
 /// unconditionally on every hot path the engine times.
-#[derive(Debug, Default)]
+///
+/// Since the observability layer landed, the clock itself lives in
+/// `obs::span::timed`: `time` opens a `engine.<stage>` span (recorded
+/// when the span recorder is armed, pure timing otherwise) and charges
+/// the span's measured nanoseconds here, so there is exactly one timing
+/// source. Built with `obs` compiled out, `timed` reports zero and the
+/// stage walls read 0 — the report is diagnostic only, never a value.
 pub struct StageWalls {
     nanos: [AtomicU64; 4],
+    /// Per-stage `ckpt_stage_wall_seconds{stage=...}` histogram handles,
+    /// resolved once at construction so `time` never takes the registry
+    /// lock.
+    hists: [obs::metrics::Histogram; 4],
+}
+
+impl Default for StageWalls {
+    fn default() -> Self {
+        StageWalls::new()
+    }
 }
 
 impl StageWalls {
     /// A zeroed accumulator.
     pub fn new() -> Self {
-        StageWalls::default()
+        StageWalls {
+            nanos: Default::default(),
+            hists: STAGES.map(|s| {
+                obs::metrics::labeled_histogram_seconds(
+                    "ckpt_stage_wall_seconds",
+                    "stage",
+                    s.name(),
+                )
+            }),
+        }
     }
 
     /// Adds `nanos` to `stage`'s total.
@@ -73,9 +109,9 @@ impl StageWalls {
     /// Runs `f`, charging its elapsed wall time to `stage`.
     #[inline]
     pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
-        let out = f();
-        self.add(stage, t0.elapsed().as_nanos() as u64);
+        let (out, nanos) = obs::span::timed(stage.site(), f);
+        self.add(stage, nanos);
+        self.hists[stage as usize].observe_ns(nanos);
         out
     }
 

@@ -256,6 +256,85 @@ impl Args {
     }
 }
 
+/// Observability outputs for a harness binary, parsed from
+/// `--trace-out FILE` (schema-validated JSONL span dump) and
+/// `--metrics-out FILE` (Prometheus text exposition, or the
+/// machine-readable JSON snapshot when FILE ends in `.json` — the form
+/// the `obs` section of BENCH_hotpath.json is regenerated from). Every
+/// binary accepts both; construct this **before** the run (it arms the
+/// span recorder and zeroes the metrics registry) and call
+/// [`ObsOut::finish`] after.
+pub struct ObsOut {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl ObsOut {
+    /// Parses the flags; arms the recorder / resets the registry when
+    /// an output was requested. A binary built with
+    /// `--no-default-features` has the layer compiled out, and silently
+    /// writing an empty trace would be worse than refusing — so this
+    /// panics instead.
+    pub fn from_args(args: &Args) -> Self {
+        let trace_out = args.get("trace-out").map(str::to_owned);
+        let metrics_out = args.get("metrics-out").map(str::to_owned);
+        if (trace_out.is_some() || metrics_out.is_some()) && !obs::compiled_in() {
+            panic!(
+                "--trace-out/--metrics-out require the `observe` feature; \
+                 this binary was built with --no-default-features"
+            );
+        }
+        if trace_out.is_some() || metrics_out.is_some() {
+            obs::metrics::reset();
+        }
+        if trace_out.is_some() {
+            obs::span::arm();
+        }
+        ObsOut {
+            trace_out,
+            metrics_out,
+        }
+    }
+
+    /// Whether span recording was requested (and the recorder armed).
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Whether a metrics dump was requested.
+    pub fn metrics(&self) -> bool {
+        self.metrics_out.is_some()
+    }
+
+    /// Disarms the recorder and writes the requested files. Call after
+    /// any final metric exports (e.g. `Store::export_metrics`), once.
+    pub fn finish(&self) -> std::io::Result<()> {
+        obs::span::disarm();
+        if let Some(out) = &self.trace_out {
+            let spans = obs::span::drain();
+            let path = Path::new(out);
+            obs::jsonl::write_file(path, &spans)?;
+            eprintln!("trace: {} spans -> {}", spans.len(), path.display());
+        }
+        if let Some(out) = &self.metrics_out {
+            let path = Path::new(out);
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let text = if out.ends_with(".json") {
+                obs::metrics::snapshot_json()
+            } else {
+                obs::metrics::exposition()
+            };
+            std::fs::write(path, text)?;
+            eprintln!("metrics -> {}", path.display());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

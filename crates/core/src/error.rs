@@ -58,12 +58,65 @@ pub enum PlanError {
     },
 }
 
+/// Coarse classification of a [`PlanError`] — the part of a failure
+/// that trackers, spans, and metrics carry without holding onto the
+/// message. One variant per [`PlanError`] variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorKind {
+    /// See [`PlanError::InvalidInput`].
+    InvalidInput,
+    /// See [`PlanError::Numeric`].
+    Numeric,
+    /// See [`PlanError::Cancelled`].
+    Cancelled,
+    /// See [`PlanError::StageFailed`].
+    StageFailed,
+}
+
+impl ErrorKind {
+    /// Stable snake_case label (metric label values, trace output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidInput => "invalid_input",
+            ErrorKind::Numeric => "numeric",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::StageFailed => "stage_failed",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl PlanError {
     /// Convenience constructor for [`PlanError::InvalidInput`].
     pub fn invalid(field: &'static str, message: impl Into<String>) -> Self {
         PlanError::InvalidInput {
             field,
             message: message.into(),
+        }
+    }
+
+    /// The coarse kind of this error (what failure trackers record).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            PlanError::InvalidInput { .. } => ErrorKind::InvalidInput,
+            PlanError::Numeric { .. } => ErrorKind::Numeric,
+            PlanError::Cancelled => ErrorKind::Cancelled,
+            PlanError::StageFailed { .. } => ErrorKind::StageFailed,
+        }
+    }
+
+    /// How many times the failing computation was attempted. Stage
+    /// deaths carry the memo layer's retry count; every other kind is
+    /// deterministic, so the one run that produced it is the count.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            PlanError::StageFailed { attempts, .. } => *attempts,
+            _ => 1,
         }
     }
 
@@ -178,6 +231,30 @@ mod tests {
             attempts: 1
         }
         .is_retryable());
+    }
+
+    #[test]
+    fn kinds_and_attempts_classify_every_variant() {
+        assert_eq!(
+            ErrorKind::InvalidInput,
+            PlanError::invalid("x", "bad").kind()
+        );
+        assert_eq!(ErrorKind::Cancelled, PlanError::Cancelled.kind());
+        let numeric = PlanError::Numeric {
+            stage: StageId::EvalAnalytic,
+            message: "NaN".into(),
+        };
+        assert_eq!(ErrorKind::Numeric, numeric.kind());
+        assert_eq!(1, numeric.attempts());
+        let died = PlanError::StageFailed {
+            stage: StageId::Curve,
+            message: "boom".into(),
+            attempts: 3,
+        };
+        assert_eq!(ErrorKind::StageFailed, died.kind());
+        assert_eq!(3, died.attempts());
+        assert_eq!("stage_failed", died.kind().name());
+        assert_eq!("cancelled", ErrorKind::Cancelled.to_string());
     }
 
     #[test]

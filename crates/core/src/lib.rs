@@ -75,7 +75,7 @@ pub use checkpoint_dp::{
     DpScratch, SegmentCost, SegmentCostScratch, KERNEL_MIN_LEN,
 };
 pub use coalesce::{coalesce, CheckpointPlan, PlacementStats, Segment, SegmentGraph};
-pub use error::{PlanError, PlanResult};
+pub use error::{ErrorKind, PlanError, PlanResult};
 pub use evaluate::{theorem1, theorem1_model, Assessment, Pipeline, Strategy};
 pub use failure_model::{FailureModel, RestartCurve};
 pub use fingerprint::{allocate_config_fp, model_fp, workflow_fp, WorkflowFp};

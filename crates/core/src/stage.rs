@@ -91,6 +91,36 @@ impl StageId {
             StageId::EvalMc => "eval_mc",
         }
     }
+
+    /// Static site name `"stage.<name>"`, shared by the fault-injection
+    /// sites ([`inject`]) and the execution spans ([`traced`]) so the
+    /// two instrumentation layers can never drift apart.
+    pub fn site(self) -> &'static str {
+        match self {
+            StageId::Generate => "stage.generate",
+            StageId::Schedule => "stage.schedule",
+            StageId::Curve => "stage.curve",
+            StageId::Placement => "stage.placement",
+            StageId::SegmentGraph => "stage.segment_graph",
+            StageId::EvalAnalytic => "stage.eval_analytic",
+            StageId::EvalMc => "stage.eval_mc",
+        }
+    }
+
+    /// Static resolution-span name `"resolve.<name>"`, used by the
+    /// incremental service when it looks a stage's artifact up in the
+    /// store (see `ckpt_service::Session` and DESIGN.md §12).
+    pub fn resolve_site(self) -> &'static str {
+        match self {
+            StageId::Generate => "resolve.generate",
+            StageId::Schedule => "resolve.schedule",
+            StageId::Curve => "resolve.curve",
+            StageId::Placement => "resolve.placement",
+            StageId::SegmentGraph => "resolve.segment_graph",
+            StageId::EvalAnalytic => "resolve.eval_analytic",
+            StageId::EvalMc => "resolve.eval_mc",
+        }
+    }
 }
 
 impl std::fmt::Display for StageId {
@@ -110,21 +140,30 @@ impl std::fmt::Display for StageId {
 /// `failsim`) under the same naming scheme.
 pub fn inject(stage: StageId) -> PlanResult<()> {
     // The site string is derived from the stage name so injection sites
-    // and tracker labels can never drift apart. &'static via name().
-    seedmix::faultinject::fire_err(match stage {
-        StageId::Generate => "stage.generate",
-        StageId::Schedule => "stage.schedule",
-        StageId::Curve => "stage.curve",
-        StageId::Placement => "stage.placement",
-        StageId::SegmentGraph => "stage.segment_graph",
-        StageId::EvalAnalytic => "stage.eval_analytic",
-        StageId::EvalMc => "stage.eval_mc",
-    })
-    .map_err(|message| PlanError::StageFailed {
+    // and tracker labels can never drift apart. &'static via site().
+    seedmix::faultinject::fire_err(stage.site()).map_err(|message| PlanError::StageFailed {
         stage,
         message,
         attempts: 1,
     })
+}
+
+/// Run `f` inside an execution span named [`StageId::site`], marking
+/// the span failed if `f` errors. This is the one wrapper every stage
+/// execution goes through — the in-crate stage functions below use it,
+/// and the service reuses it for the two stages whose functions live
+/// outside this crate (`Generate` in `pegasus`, `EvalMc` in `failsim`).
+///
+/// Observability contract: the span layer only *observes* `f` — it
+/// never alters the value flowing out, and without the `observe`
+/// feature this compiles to a plain call of `f`.
+pub fn traced<T>(stage: StageId, f: impl FnOnce() -> PlanResult<T>) -> PlanResult<T> {
+    let mut span = obs::span::enter(stage.site());
+    let out = f();
+    if out.is_err() {
+        span.set_outcome(obs::span::SpanOutcome::Failed);
+    }
+    out
 }
 
 /// **Schedule stage**: Algorithm 1 on `workflow` for `n_procs`
@@ -139,11 +178,13 @@ pub fn schedule_stage(
     n_procs: usize,
     cfg: &AllocateConfig,
 ) -> PlanResult<Schedule> {
-    if n_procs == 0 {
-        return Err(PlanError::invalid("procs", "must be at least 1, got 0"));
-    }
-    inject(StageId::Schedule)?;
-    Ok(allocate(workflow, n_procs, cfg))
+    traced(StageId::Schedule, || {
+        if n_procs == 0 {
+            return Err(PlanError::invalid("procs", "must be at least 1, got 0"));
+        }
+        inject(StageId::Schedule)?;
+        Ok(allocate(workflow, n_procs, cfg))
+    })
 }
 
 /// **Curve stage**: the renewal [`RestartCurve`] backing every
@@ -158,28 +199,30 @@ pub fn schedule_stage(
 /// checkpointed once. Spans outside (only reachable through zero-weight
 /// dummy tasks) fall back to direct quadrature. Bounded to 12 decades.
 pub fn curve_stage(dag: &Dag, platform: &Platform) -> PlanResult<Option<RestartCurve>> {
-    require_positive("bandwidth", platform.bandwidth)?;
-    inject(StageId::Curve)?;
-    if platform.model.is_memoryless() || platform.model.never_fails() {
-        return Ok(None);
-    }
-    let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
-    if b_hi <= 0.0 || !b_hi.is_finite() {
-        return Ok(None);
-    }
-    let min_weight = dag
-        .task_ids()
-        .map(|t| dag.weight(t))
-        .filter(|&w| w > 0.0)
-        .fold(f64::INFINITY, f64::min);
-    let b_lo = if min_weight.is_finite() {
-        min_weight.min(b_hi)
-    } else {
-        b_hi * 1e-6
-    };
-    // Bound the table (and its build cost) to 12 decades of span.
-    let b_lo = b_lo.max(b_hi * 1e-12);
-    Ok(Some(RestartCurve::build(platform.model, b_lo, b_hi)))
+    traced(StageId::Curve, || {
+        require_positive("bandwidth", platform.bandwidth)?;
+        inject(StageId::Curve)?;
+        if platform.model.is_memoryless() || platform.model.never_fails() {
+            return Ok(None);
+        }
+        let b_hi = dag.total_weight() + 2.0 * dag.total_data_volume() / platform.bandwidth;
+        if b_hi <= 0.0 || !b_hi.is_finite() {
+            return Ok(None);
+        }
+        let min_weight = dag
+            .task_ids()
+            .map(|t| dag.weight(t))
+            .filter(|&w| w > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let b_lo = if min_weight.is_finite() {
+            min_weight.min(b_hi)
+        } else {
+            b_hi * 1e-6
+        };
+        // Bound the table (and its build cost) to 12 decades of span.
+        let b_lo = b_lo.max(b_hi * 1e-12);
+        Ok(Some(RestartCurve::build(platform.model, b_lo, b_hi)))
+    })
 }
 
 /// **Placement stage**: the checkpoint plan `policy` induces on
@@ -194,10 +237,12 @@ pub fn placement_stage(
     scratch: &mut PolicyScratch,
     threads: usize,
 ) -> PlanResult<CheckpointPlan> {
-    inject(StageId::Placement)?;
-    Ok(plan_with_policy_threads(
-        ctx, schedule, policy, scratch, threads,
-    ))
+    traced(StageId::Placement, || {
+        inject(StageId::Placement)?;
+        Ok(plan_with_policy_threads(
+            ctx, schedule, policy, scratch, threads,
+        ))
+    })
 }
 
 /// **Segment-graph stage**: §II-C coalescing of checkpoint-delimited
@@ -210,8 +255,10 @@ pub fn segment_graph_stage(
     schedule: &Schedule,
     plan: &CheckpointPlan,
 ) -> PlanResult<SegmentGraph> {
-    inject(StageId::SegmentGraph)?;
-    Ok(coalesce(ctx, schedule, plan))
+    traced(StageId::SegmentGraph, || {
+        inject(StageId::SegmentGraph)?;
+        Ok(coalesce(ctx, schedule, plan))
+    })
 }
 
 /// **Analytic-evaluate stage**: expected makespan of the coalesced
@@ -222,16 +269,18 @@ pub fn segment_graph_stage(
 /// non-finite makespan — the one stage whose output is a bare number,
 /// so the one place a NaN could otherwise slip into an answer.
 pub fn evaluate_stage(sg: &SegmentGraph, evaluator: &dyn Evaluator) -> PlanResult<f64> {
-    inject(StageId::EvalAnalytic)?;
-    let em = evaluator.expected_makespan(&sg.pdag);
-    if em.is_finite() {
-        Ok(em)
-    } else {
-        Err(PlanError::Numeric {
-            stage: StageId::EvalAnalytic,
-            message: format!("expected makespan is {em}"),
-        })
-    }
+    traced(StageId::EvalAnalytic, || {
+        inject(StageId::EvalAnalytic)?;
+        let em = evaluator.expected_makespan(&sg.pdag);
+        if em.is_finite() {
+            Ok(em)
+        } else {
+            Err(PlanError::Numeric {
+                stage: StageId::EvalAnalytic,
+                message: format!("expected makespan is {em}"),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

@@ -134,7 +134,9 @@ pub fn montecarlo_segments_model(
     let runs = parallel_map(cfg.runs, cfg.threads, |i| {
         simulate_segments_model(sg, model, run_seed(cfg.seed, i))
     });
-    McStats::from_runs(&runs)
+    // The canonical fold is the partition-invariance anchor (DESIGN.md
+    // §9): worth its own span so traces show reduce vs simulate cost.
+    obs::span::timed("mc.reduce", || McStats::from_runs(&runs)).0
 }
 
 /// [`montecarlo_segments_model`] with a cooperative abort predicate,
@@ -171,7 +173,7 @@ pub fn montecarlo_segments_model_abortable(
     if aborted.load(Ordering::Relaxed) {
         None
     } else {
-        Some(McStats::from_runs(&runs))
+        Some(obs::span::timed("mc.reduce", || McStats::from_runs(&runs)).0)
     }
 }
 

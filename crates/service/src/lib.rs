@@ -48,9 +48,9 @@ pub mod session;
 pub mod store;
 pub mod tracker;
 
-pub use ckpt_core::{Budget, PlanError, PlanResult};
+pub use ckpt_core::{Budget, ErrorKind, PlanError, PlanResult};
 pub use session::{
     Answer, EvalSpec, Inputs, McSpec, ModelSpec, PolicySpec, Session, WhatIf, WorkflowSource,
 };
-pub use store::{Memo, MemoStats, Store, WorkflowArtifact, MAX_ATTEMPTS};
+pub use store::{Memo, MemoStats, Resolution, Store, StoreStats, WorkflowArtifact, MAX_ATTEMPTS};
 pub use tracker::{Event, Outcome, Tracker};

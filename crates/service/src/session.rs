@@ -49,7 +49,6 @@
 //! gracefully: the analytic answer is still served, flagged
 //! [`Answer::degraded`]. See `DESIGN.md` §11.
 
-use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,7 +61,7 @@ use ckpt_core::policy::{
 };
 use ckpt_core::stage::{
     curve_stage, evaluate_stage, inject, placement_stage, schedule_stage, segment_graph_stage,
-    StageId,
+    traced, StageId,
 };
 use ckpt_core::{AllocateConfig, Budget, CostCtx, FailureModel, PlanError, PlanResult, Platform};
 use failsim::{montecarlo_segments_model, montecarlo_segments_model_abortable, McStats, SimConfig};
@@ -72,8 +71,9 @@ use probdag::{Dodin, Evaluator, NormalSculli, PathApprox};
 use seedmix::digest::Fnv1a;
 use seedmix::parallel_slots;
 
-use crate::store::{Memo, Store, WorkflowArtifact};
+use crate::store::{Memo, Resolution, Store, WorkflowArtifact};
 use crate::tracker::{Outcome, Tracker};
+use obs::span::SpanOutcome;
 
 /// Domain tags for session-level stage keys (disjoint from the
 /// `ckpt_core::fingerprint::tag` artifact tags).
@@ -532,15 +532,37 @@ impl Session {
     /// leaves the session and store fully serviceable: the next valid
     /// query answers byte-identically to a fresh cold session.
     pub fn try_query(&self, whatif: &WhatIf) -> PlanResult<Answer> {
-        let inputs = self.try_hypothetical(whatif)?;
-        inputs.validate()?;
-        let budget = self.deadline.map(Budget::with_deadline);
-        if budget.is_some() || seedmix::faultinject::is_armed() {
-            // Cancellation and injected faults unwind by design; keep
-            // their panic reports off stderr.
-            install_quiet_unwind_hook();
+        self.try_query_traced(whatif, None)
+    }
+
+    /// [`Session::try_query`] under a `"query"` span. Batch members
+    /// pass their batch index as `ord` and become span-tree *roots*
+    /// regardless of which worker thread runs them — batch position,
+    /// not scheduling, is what the trace-determinism contract pins.
+    /// Single queries (`ord = None`) nest under the caller's current
+    /// span (e.g. an engine cell).
+    fn try_query_traced(&self, whatif: &WhatIf, ord: Option<u64>) -> PlanResult<Answer> {
+        let mut span = match ord {
+            Some(o) => obs::span::enter_root_ord("query", o),
+            None => obs::span::enter("query"),
+        };
+        let out = (|| {
+            let inputs = self.try_hypothetical(whatif)?;
+            inputs.validate()?;
+            let budget = self.deadline.map(Budget::with_deadline);
+            if budget.is_some() || seedmix::faultinject::is_armed() {
+                // Cancellation and injected faults unwind by design;
+                // keep their panic reports off stderr.
+                install_quiet_unwind_hook();
+            }
+            self.try_resolve(&inputs, budget.as_ref())
+        })();
+        match &out {
+            Ok(a) if a.degraded => span.set_outcome(SpanOutcome::Degraded),
+            Ok(_) => {}
+            Err(_) => span.set_outcome(SpanOutcome::Failed),
         }
-        self.try_resolve(&inputs, budget.as_ref())
+        out
     }
 
     /// Answers a batch of independent what-if queries on `threads`
@@ -548,14 +570,19 @@ impl Session {
     /// byte-identical for every thread budget: the store only decides
     /// who computes an artifact, never what it is.
     pub fn query_batch(&self, queries: &[WhatIf], threads: usize) -> Vec<Answer> {
-        parallel_slots(queries.len(), threads, |i| self.query(&queries[i]))
+        parallel_slots(queries.len(), threads, |i| {
+            self.try_query_traced(&queries[i], Some(i as u64))
+                .unwrap_or_else(|e| panic!("what-if query failed: {e}"))
+        })
     }
 
     /// Fallible [`Session::query_batch`]: each query fails or succeeds
     /// independently — one malformed delta never takes down its batch
     /// neighbours.
     pub fn try_query_batch(&self, queries: &[WhatIf], threads: usize) -> Vec<PlanResult<Answer>> {
-        parallel_slots(queries.len(), threads, |i| self.try_query(&queries[i]))
+        parallel_slots(queries.len(), threads, |i| {
+            self.try_query_traced(&queries[i], Some(i as u64))
+        })
     }
 
     /// Commits a what-if delta as the session's new current inputs.
@@ -701,14 +728,18 @@ impl Session {
                 let cfg = spec.sim_config(self.mc_threads);
                 let mc_key = compose(tag::MC, &[graph_key, mfp, spec.fp()]);
                 let res = self.memo_stage(StageId::EvalMc, &self.store.sims, mc_key, || {
-                    inject(StageId::EvalMc)?;
-                    match budget {
-                        None => Ok(montecarlo_segments_model(&sg, &model, &cfg)),
-                        Some(b) => montecarlo_segments_model_abortable(&sg, &model, &cfg, &|| {
-                            b.is_exhausted()
-                        })
-                        .ok_or(PlanError::Cancelled),
-                    }
+                    traced(StageId::EvalMc, || {
+                        inject(StageId::EvalMc)?;
+                        match budget {
+                            None => Ok(montecarlo_segments_model(&sg, &model, &cfg)),
+                            Some(b) => {
+                                montecarlo_segments_model_abortable(&sg, &model, &cfg, &|| {
+                                    b.is_exhausted()
+                                })
+                                .ok_or(PlanError::Cancelled)
+                            }
+                        }
+                    })
                 });
                 match res {
                     Ok(stats) => Some(*stats),
@@ -755,6 +786,9 @@ impl Session {
     fn workflow_artifact(&self, inputs: &Inputs) -> PlanResult<Arc<WorkflowArtifact>> {
         match &inputs.workflow {
             WorkflowSource::Provided(wa) => {
+                let mut span =
+                    obs::span::enter_key(StageId::Generate.resolve_site(), wa.fp.combined());
+                span.set_outcome(SpanOutcome::Cached);
                 self.tracker.record(StageId::Generate, Outcome::Cached);
                 Ok(wa.clone())
             }
@@ -775,12 +809,14 @@ impl Session {
                 };
                 let key = h.finish();
                 self.memo_stage(StageId::Generate, &self.store.workflows, key, || {
-                    inject(StageId::Generate)?;
-                    let mut workflow = pegasus::generate(*class, *size, *seed);
-                    if let Some(c) = ccr {
-                        pegasus::ccr::scale_to_ccr(&mut workflow, *c, inputs.bandwidth);
-                    }
-                    Ok(WorkflowArtifact::new(workflow))
+                    traced(StageId::Generate, || {
+                        inject(StageId::Generate)?;
+                        let mut workflow = pegasus::generate(*class, *size, *seed);
+                        if let Some(c) = ccr {
+                            pegasus::ccr::scale_to_ccr(&mut workflow, *c, inputs.bandwidth);
+                        }
+                        Ok(WorkflowArtifact::new(workflow))
+                    })
                 })
             }
         }
@@ -790,7 +826,11 @@ impl Session {
     /// runs iff the store lacks the artifact (possibly more than once —
     /// the memo retries transient failures, see
     /// [`crate::store::MAX_ATTEMPTS`]). Each resolution records exactly
-    /// one event: `Executed`, `Cached`, or `Failed`.
+    /// one event — `Executed`, `Cached`, or `Failed` with its attempt
+    /// count and error kind — and one `"resolve.<stage>"` span carrying
+    /// the fingerprint key, the same outcome, and this caller's attempt
+    /// count. Stage-execution spans (from `ckpt_core::stage::traced`
+    /// inside `f`) nest under the resolution span.
     fn memo_stage<V: Send + Sync>(
         &self,
         stage: StageId,
@@ -798,19 +838,26 @@ impl Session {
         key: u64,
         f: impl Fn() -> PlanResult<V>,
     ) -> PlanResult<Arc<V>> {
-        let ran = Cell::new(false);
-        let res = memo.get_or_try_compute(key, stage, || {
-            ran.set(true);
-            f()
-        });
-        self.tracker.record(
-            stage,
-            match &res {
-                Err(_) => Outcome::Failed,
-                Ok(_) if ran.get() => Outcome::Executed,
-                Ok(_) => Outcome::Cached,
+        let mut span = obs::span::enter_key(stage.resolve_site(), key);
+        let mut how = Resolution::default();
+        let res = memo.get_or_try_compute_with(key, stage, f, &mut how);
+        let outcome = match &res {
+            // `e.attempts()` is the memo layer's total across takeovers
+            // (what the error surfaced), not just this caller's runs.
+            Err(e) => Outcome::Failed {
+                attempts: e.attempts(),
+                kind: e.kind(),
             },
-        );
+            Ok(_) if how.computed => Outcome::Executed,
+            Ok(_) => Outcome::Cached,
+        };
+        self.tracker.record(stage, outcome);
+        span.set_attempts(how.attempts);
+        span.set_outcome(match outcome {
+            Outcome::Executed => SpanOutcome::Executed,
+            Outcome::Cached => SpanOutcome::Cached,
+            Outcome::Failed { .. } => SpanOutcome::Failed,
+        });
         res
     }
 }

@@ -128,8 +128,52 @@ pub struct MemoStats {
     pub misses: u64,
     /// Entries evicted by the capacity bound.
     pub evictions: u64,
+    /// Compute attempts that started on a slot carrying prior failures
+    /// (bounded-retry activity; see [`MAX_ATTEMPTS`]).
+    pub retries: u64,
+    /// Computes claimed by a caller that had first parked behind
+    /// another worker (waiter takeover after a death or cancellation).
+    pub takeovers: u64,
     /// Slots that turned terminally failed (and were removed).
     pub failures: u64,
+}
+
+impl MemoStats {
+    /// Field-wise accumulation (the store's totals row).
+    pub fn absorb(&mut self, other: MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.retries += other.retries;
+        self.takeovers += other.takeovers;
+        self.failures += other.failures;
+    }
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} retries={} takeovers={} failures={}",
+            self.hits, self.misses, self.evictions, self.retries, self.takeovers, self.failures
+        )
+    }
+}
+
+/// How one [`Memo::get_or_try_compute_with`] call was satisfied, from
+/// the *calling session's* point of view. This is deliberately an
+/// out-parameter rather than part of the value: resolution telemetry
+/// must never contaminate the memoized artifact (which is shared and
+/// scheduling-independent), while who-computed-what is inherently
+/// per-caller and scheduling-dependent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resolution {
+    /// Whether this caller's own closure produced the final value.
+    pub computed: bool,
+    /// Compute attempts this caller ran (a successful one included).
+    pub attempts: u32,
+    /// Whether this caller parked behind another worker at least once.
+    pub waited: bool,
 }
 
 /// How one compute attempt ended (internal classification of closure
@@ -151,7 +195,24 @@ pub struct Memo<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    retries: AtomicU64,
+    takeovers: AtomicU64,
     failures: AtomicU64,
+}
+
+/// Cached handle for the budget-cancellation counter (resolved once;
+/// inert without the `observe` feature).
+fn cancellations_total() -> &'static obs::metrics::Counter {
+    static C: std::sync::OnceLock<obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("ckpt_cancellations_total"))
+}
+
+/// Cached handle for the fault-injection firing counter. Injected
+/// faults are recognized at the memo boundary by the `faultinject:`
+/// panic/message prefix — the same marker the chaos tests key on.
+fn fault_injections_total() -> &'static obs::metrics::Counter {
+    static C: std::sync::OnceLock<obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("ckpt_fault_injections_total"))
 }
 
 impl<V> Memo<V> {
@@ -172,6 +233,8 @@ impl<V> Memo<V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            takeovers: AtomicU64::new(0),
             failures: AtomicU64::new(0),
         }
     }
@@ -231,7 +294,7 @@ impl<V> Memo<V> {
     /// the closure owns no state that outlives it except through the
     /// slot, whose transitions are whole-value assignments.
     fn run_attempt(f: &impl Fn() -> PlanResult<V>) -> Attempt<V> {
-        match catch_unwind(AssertUnwindSafe(f)) {
+        let attempt = match catch_unwind(AssertUnwindSafe(f)) {
             Ok(Ok(v)) => Attempt::Value(v),
             Ok(Err(PlanError::Cancelled)) => Attempt::Cancelled,
             Ok(Err(e @ (PlanError::InvalidInput { .. } | PlanError::Numeric { .. }))) => {
@@ -249,7 +312,19 @@ impl<V> Memo<V> {
                     Attempt::Transient("panic with non-string payload".to_string())
                 }
             }
+        };
+        // Metric classification rides on the same funnel that already
+        // sees every attempt outcome; it never alters the attempt.
+        match &attempt {
+            Attempt::Cancelled => cancellations_total().inc(),
+            Attempt::Transient(message)
+                if message.starts_with(seedmix::faultinject::PANIC_PREFIX) =>
+            {
+                fault_injections_total().inc()
+            }
+            _ => {}
         }
+        attempt
     }
 
     /// The artifact for `key`, computing it with `f` on first access.
@@ -276,6 +351,22 @@ impl<V> Memo<V> {
         stage: StageId,
         f: impl Fn() -> PlanResult<V>,
     ) -> PlanResult<Arc<V>> {
+        self.get_or_try_compute_with(key, stage, f, &mut Resolution::default())
+    }
+
+    /// [`Memo::get_or_try_compute`] that additionally reports *how*
+    /// this call was satisfied through the [`Resolution`] out-param
+    /// (own compute vs. store, attempts run, whether it ever waited).
+    /// The session's tracker events and resolution spans are built
+    /// from this — the returned artifact is identical either way.
+    pub fn get_or_try_compute_with(
+        &self,
+        key: u64,
+        stage: StageId,
+        f: impl Fn() -> PlanResult<V>,
+        res: &mut Resolution,
+    ) -> PlanResult<Arc<V>> {
+        *res = Resolution::default();
         let slot = self.slot(key);
         let mut g = slot.lock();
         loop {
@@ -283,6 +374,7 @@ impl<V> Memo<V> {
                 SlotState::Done(v) => return Ok(v.clone()),
                 SlotState::Failed(e) => return Err(e.clone()),
                 SlotState::InFlight => {
+                    res.waited = true;
                     // Timed re-check instead of a bare wait: progress
                     // never depends on a notification arriving.
                     let (guard, _timeout) = slot
@@ -295,10 +387,18 @@ impl<V> Memo<V> {
                     let prior = *failures;
                     *g = SlotState::InFlight;
                     drop(g);
+                    if prior > 0 {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if res.waited {
+                        self.takeovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    res.attempts += 1;
                     let outcome = Self::run_attempt(&f);
                     g = slot.lock();
                     match outcome {
                         Attempt::Value(v) => {
+                            res.computed = true;
                             let v = Arc::new(v);
                             *g = SlotState::Done(v.clone());
                             slot.cv.notify_all();
@@ -374,6 +474,8 @@ impl<V> Memo<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            takeovers: self.takeovers.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
         }
     }
@@ -444,6 +546,28 @@ impl WorkflowArtifact {
     }
 }
 
+/// Aggregated statistics of a whole [`Store`]: the totals row plus a
+/// per-memo breakdown, in the store's declaration order. Printed by
+/// `whatif --stats` and exported to the metrics registry by
+/// [`Store::export_metrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Sum over every memo.
+    pub totals: MemoStats,
+    /// `(memo name, its counters)`, declaration-ordered.
+    pub per_memo: Vec<(&'static str, MemoStats)>,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "store: {}", self.totals)?;
+        for (name, stats) in &self.per_memo {
+            writeln!(f, "  {name}: {stats}")?;
+        }
+        Ok(())
+    }
+}
+
 impl Store {
     /// Unbounded store.
     pub fn new() -> Self {
@@ -463,6 +587,44 @@ impl Store {
             sims: Memo::bounded(capacity),
             wpars: Memo::bounded(capacity),
             stats: Memo::bounded(capacity),
+        }
+    }
+
+    /// Snapshot of every memo's counters plus the totals row.
+    pub fn stats(&self) -> StoreStats {
+        let per_memo: Vec<(&'static str, MemoStats)> = vec![
+            ("workflows", self.workflows.stats()),
+            ("schedules", self.schedules.stats()),
+            ("curves", self.curves.stats()),
+            ("plans", self.plans.stats()),
+            ("graphs", self.graphs.stats()),
+            ("evals", self.evals.stats()),
+            ("sims", self.sims.stats()),
+            ("wpars", self.wpars.stats()),
+            ("stats", self.stats.stats()),
+        ];
+        let mut totals = MemoStats::default();
+        for (_, s) in &per_memo {
+            totals.absorb(*s);
+        }
+        StoreStats { totals, per_memo }
+    }
+
+    /// Copies the store's counters into the global metrics registry as
+    /// `ckpt_store_*_total{memo="..."}` series. The counters are
+    /// monotone snapshots: call once per run, at dump time (repeated
+    /// calls would double-count). Inert without the `observe` feature.
+    pub fn export_metrics(&self) {
+        for (name, s) in self.stats().per_memo {
+            obs::metrics::labeled_counter("ckpt_store_hits_total", "memo", name).add(s.hits);
+            obs::metrics::labeled_counter("ckpt_store_misses_total", "memo", name).add(s.misses);
+            obs::metrics::labeled_counter("ckpt_store_evictions_total", "memo", name)
+                .add(s.evictions);
+            obs::metrics::labeled_counter("ckpt_store_retries_total", "memo", name).add(s.retries);
+            obs::metrics::labeled_counter("ckpt_store_takeovers_total", "memo", name)
+                .add(s.takeovers);
+            obs::metrics::labeled_counter("ckpt_store_terminal_failures_total", "memo", name)
+                .add(s.failures);
         }
     }
 }
@@ -668,6 +830,100 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn resolution_reports_who_computed_and_attempt_counts() {
+        let memo: Memo<u64> = Memo::new();
+        let mut res = Resolution::default();
+        let v = memo
+            .get_or_try_compute_with(9, StageId::Curve, || Ok(5), &mut res)
+            .unwrap();
+        assert_eq!(*v, 5);
+        assert!(res.computed);
+        assert_eq!(1, res.attempts);
+        assert!(!res.waited);
+        // Second access: pure store hit, zero attempts.
+        let mut res = Resolution::default();
+        let v = memo
+            .get_or_try_compute_with(9, StageId::Curve, || Ok(5), &mut res)
+            .unwrap();
+        assert_eq!(*v, 5);
+        assert!(!res.computed);
+        assert_eq!(0, res.attempts);
+        assert!(!res.waited);
+    }
+
+    #[test]
+    fn a_transient_death_counts_one_retry_and_two_attempts() {
+        let memo: Memo<u64> = Memo::new();
+        let calls = Cell::new(0u32);
+        let mut res = Resolution::default();
+        let v = memo
+            .get_or_try_compute_with(
+                5,
+                StageId::Placement,
+                || {
+                    calls.set(calls.get() + 1);
+                    if calls.get() == 1 {
+                        panic!("first-attempt death");
+                    }
+                    Ok(13)
+                },
+                &mut res,
+            )
+            .unwrap();
+        assert_eq!(*v, 13);
+        assert!(res.computed);
+        assert_eq!(2, res.attempts, "failed attempt + successful retry");
+        let s = memo.stats();
+        assert_eq!(1, s.retries);
+        assert_eq!(0, s.takeovers, "same caller retried; nobody waited");
+    }
+
+    #[test]
+    fn a_waiter_that_claims_the_slot_counts_as_takeover() {
+        let memo: Memo<u64> = Memo::new();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // The closure runs strictly after the slot turns
+                // InFlight, so the barrier guarantees the main thread
+                // can only ever observe InFlight and park.
+                let r = memo.get_or_try_compute(1, StageId::Curve, || -> PlanResult<u64> {
+                    barrier.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    ckpt_core::Cancelled::throw()
+                });
+                assert_eq!(r.unwrap_err(), PlanError::Cancelled);
+            });
+            barrier.wait();
+            let mut res = Resolution::default();
+            let v = memo
+                .get_or_try_compute_with(1, StageId::Curve, || Ok(77), &mut res)
+                .unwrap();
+            assert_eq!(*v, 77);
+            assert!(res.waited, "must have parked behind the canceller");
+            assert!(res.computed, "and then claimed the compute");
+        });
+        assert_eq!(1, memo.stats().takeovers);
+        assert_eq!(0, memo.stats().retries, "cancellation is not a failure");
+    }
+
+    #[test]
+    fn store_stats_aggregates_every_memo_with_a_totals_row() {
+        let store = Store::new();
+        store.evals.get_or_compute(1, || 1.0);
+        store.evals.get_or_compute(1, || 1.0); // hit
+        store.wpars.get_or_compute(2, || 3.0);
+        let s = store.stats();
+        assert_eq!(9, s.per_memo.len(), "one row per memo");
+        assert_eq!(1, s.totals.hits);
+        assert_eq!(2, s.totals.misses);
+        let text = s.to_string();
+        assert!(text.starts_with("store: hits=1 misses=2"));
+        assert!(text.contains("evals: hits=1 misses=1"));
+        assert!(text.contains("wpars: hits=0 misses=1"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::sync::{Mutex, MutexGuard};
 
-use ckpt_core::StageId;
+use ckpt_core::{ErrorKind, StageId};
 
 /// How a stage resolution was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,9 +22,17 @@ pub enum Outcome {
     /// The artifact came from the store (or was already in hand, for a
     /// provided workflow).
     Cached,
-    /// The stage resolution surfaced a typed error (terminal failure,
-    /// cancellation, or rejected input) instead of an artifact.
-    Failed,
+    /// The stage resolution surfaced a typed error instead of an
+    /// artifact. Carries *how* it failed — the error kind and how many
+    /// compute attempts were made — so chaos tests can assert the
+    /// failure mode, not just its existence.
+    Failed {
+        /// Compute attempts behind the error (see
+        /// `ckpt_core::PlanError::attempts`).
+        attempts: u32,
+        /// Coarse classification of the error.
+        kind: ErrorKind,
+    },
 }
 
 /// One stage resolution.
@@ -73,27 +81,39 @@ impl Tracker {
         self.lock().clone()
     }
 
-    fn stages_with(&self, outcome: Outcome) -> BTreeSet<StageId> {
+    fn stages_with(&self, pred: impl Fn(&Outcome) -> bool) -> BTreeSet<StageId> {
         self.lock()
             .iter()
-            .filter(|e| e.outcome == outcome)
+            .filter(|e| pred(&e.outcome))
             .map(|e| e.stage)
             .collect()
     }
 
     /// The set of stages that *executed* since the last clear.
     pub fn executed(&self) -> BTreeSet<StageId> {
-        self.stages_with(Outcome::Executed)
+        self.stages_with(|o| matches!(o, Outcome::Executed))
     }
 
     /// The set of stages served from cache since the last clear.
     pub fn cached(&self) -> BTreeSet<StageId> {
-        self.stages_with(Outcome::Cached)
+        self.stages_with(|o| matches!(o, Outcome::Cached))
     }
 
     /// The set of stages whose resolution failed since the last clear.
     pub fn failed(&self) -> BTreeSet<StageId> {
-        self.stages_with(Outcome::Failed)
+        self.stages_with(|o| matches!(o, Outcome::Failed { .. }))
+    }
+
+    /// Every failure since the last clear, with its attempt count and
+    /// error kind, in record order.
+    pub fn failures(&self) -> Vec<(StageId, u32, ErrorKind)> {
+        self.lock()
+            .iter()
+            .filter_map(|e| match e.outcome {
+                Outcome::Failed { attempts, kind } => Some((e.stage, attempts, kind)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Number of executions of one stage since the last clear.
@@ -134,13 +154,36 @@ mod tests {
     }
 
     #[test]
-    fn failed_outcomes_classify_separately() {
+    fn failed_outcomes_classify_separately_and_carry_the_mode() {
         let t = Tracker::new();
-        t.record(StageId::Placement, Outcome::Failed);
+        t.record(
+            StageId::Placement,
+            Outcome::Failed {
+                attempts: 3,
+                kind: ErrorKind::StageFailed,
+            },
+        );
         t.record(StageId::Schedule, Outcome::Executed);
-        assert_eq!(t.failed(), [StageId::Placement].into_iter().collect());
+        t.record(
+            StageId::EvalMc,
+            Outcome::Failed {
+                attempts: 1,
+                kind: ErrorKind::Cancelled,
+            },
+        );
+        assert_eq!(
+            t.failed(),
+            [StageId::Placement, StageId::EvalMc].into_iter().collect()
+        );
         assert_eq!(t.executed(), [StageId::Schedule].into_iter().collect());
         assert!(t.cached().is_empty());
+        assert_eq!(
+            t.failures(),
+            vec![
+                (StageId::Placement, 3, ErrorKind::StageFailed),
+                (StageId::EvalMc, 1, ErrorKind::Cancelled),
+            ]
+        );
     }
 
     #[test]

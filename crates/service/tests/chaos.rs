@@ -23,7 +23,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ckpt_service::{
-    Answer, Inputs, McSpec, ModelSpec, PlanError, PolicySpec, Session, WhatIf, WorkflowSource,
+    Answer, ErrorKind, Inputs, McSpec, ModelSpec, PlanError, PolicySpec, Session, WhatIf,
+    WorkflowSource,
 };
 use pegasus::WorkflowClass;
 use seedmix::faultinject::{arm, disarm, FaultPlan};
@@ -195,6 +196,14 @@ fn saturated_panic_plan_fails_everything_then_recovers() {
             }
             other => panic!("q{i}: expected terminal StageFailed, got {other:?}"),
         }
+    }
+    // The tracker's enriched events agree: every recorded failure is a
+    // terminal stage failure at exactly the attempt bound.
+    let failures = session.tracker().failures();
+    assert!(!failures.is_empty());
+    for (stage, attempts, kind) in &failures {
+        assert_eq!(ErrorKind::StageFailed, *kind, "{stage:?}");
+        assert_eq!(ckpt_service::MAX_ATTEMPTS, *attempts, "{stage:?}");
     }
     disarm();
     for (i, result) in session.try_query_batch(&queries, 2).iter().enumerate() {

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use ckpt_core::StageId;
 use ckpt_service::{
-    Answer, Inputs, McSpec, Memo, ModelSpec, PlanError, PolicySpec, Session, WhatIf,
+    Answer, ErrorKind, Inputs, McSpec, Memo, ModelSpec, PlanError, PolicySpec, Session, WhatIf,
     WorkflowSource, MAX_ATTEMPTS,
 };
 use pegasus::WorkflowClass;
@@ -238,6 +238,12 @@ fn deadline_degrades_monte_carlo_to_the_exact_analytic_answer() {
     assert!(start.elapsed() < Duration::from_secs(30));
     assert!(degraded.degraded);
     assert!(degraded.mc.is_none());
+    // The tracker records *how* the MC stage died: one cancelled
+    // resolution on its first attempt, nothing else failed.
+    assert_eq!(
+        vec![(StageId::EvalMc, 1, ErrorKind::Cancelled)],
+        session.tracker().failures()
+    );
 
     let mut analytic_inputs = inputs.clone();
     analytic_inputs.mc = None;
